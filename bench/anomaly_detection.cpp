@@ -1,0 +1,49 @@
+// Anomaly detection from link counters, evaluated against ground truth.
+//
+// The paper's §4.2 found "unexpected sources of congestion" — evacuation
+// events — by joining network logs with application logs.  Operators
+// without server instrumentation would have to find them from link
+// counters alone; this bench runs the two classic detector families the
+// related work uses (per-link EWMA residuals; PCA normal-subspace
+// residuals) on the simulated cluster's link loads and scores them against
+// the labeled evacuation windows — an evaluation the ISP literature could
+// never do for lack of ground truth.
+#include <iostream>
+
+#include "anomaly/detectors.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const double duration = dct::bench::duration_arg(argc, argv, 900.0);
+  const auto seed = dct::bench::seed_arg(argc, argv);
+
+  std::cout << "=== Anomaly detection from SNMP-style link loads ===\n\n";
+
+  dct::ScenarioConfig cfg = dct::scenarios::canonical(duration, seed);
+  cfg.workload.evacuations_per_hour = 40.0;  // several labeled anomalies
+  auto exp = dct::ClusterExperiment(cfg);
+  dct::bench::run_scenario(exp);
+
+  const auto truth = dct::evacuation_windows(exp.trace());
+  std::cout << truth.size() << " ground-truth evacuation windows\n\n";
+
+  const auto loads = dct::link_load_matrix(exp.utilization(), exp.topology());
+  const auto ewma_events = dct::ewma_detect(loads);
+  const auto pca_events = dct::pca_detect(loads);
+  const auto q_ewma = dct::evaluate_detection(ewma_events, truth, 5.0);
+  const auto q_pca = dct::evaluate_detection(pca_events, truth, 5.0);
+
+  dct::TextTable t("detector quality against labeled evacuations");
+  t.header({"detector", "events raised", "precision", "recall"});
+  t.row({"EWMA residual (per-link)", std::to_string(q_ewma.events),
+         dct::TextTable::pct(q_ewma.precision()), dct::TextTable::pct(q_ewma.recall())});
+  t.row({"PCA subspace (network-wide)", std::to_string(q_pca.events),
+         dct::TextTable::pct(q_pca.precision()), dct::TextTable::pct(q_pca.recall())});
+  t.print(std::cout);
+
+  std::cout << "\nNote: 'false positives' here are often real job-driven surges —\n"
+               "counter-only detectors cannot tell an index build from a failing\n"
+               "server, which is precisely the paper's case for server-side logs\n"
+               "joined with application metadata.\n";
+  return 0;
+}

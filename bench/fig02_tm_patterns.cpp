@@ -1,0 +1,104 @@
+// Figure 2: the work-seeks-bandwidth and scatter-gather patterns in a
+// server-to-server traffic matrix over a representative 10 s window.
+//
+// The paper shows a heatmap of log_e(bytes) with dense rack-sized squares
+// around the diagonal (work-seeks-bandwidth) and horizontal/vertical lines
+// (scatter-gather), plus a sparse band for external servers.  This harness
+// renders a rack-granularity ASCII heatmap and quantifies the patterns; an
+// ablation with locality disabled shows the diagonal vanish.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "analysis/traffic_matrix.h"
+#include "bench_util.h"
+
+namespace {
+
+// Rack-granularity ASCII heatmap of loge(bytes).
+void print_heatmap(const dct::Topology& topo, const dct::SparseTm& tm,
+                   std::ostream& os) {
+  const std::int32_t racks = topo.rack_count();
+  // Aggregate server TM into rack cells (externals into one extra cell).
+  std::vector<std::vector<double>> cell(racks + 1, std::vector<double>(racks + 1, 0.0));
+  for (const auto& e : tm.entries()) {
+    const dct::ServerId a{e.from};
+    const dct::ServerId b{e.to};
+    const std::int32_t ra = topo.is_external(a) ? racks : topo.rack_of(a).value();
+    const std::int32_t rb = topo.is_external(b) ? racks : topo.rack_of(b).value();
+    cell[ra][rb] += e.bytes;
+  }
+  const char* shades = " .:-=+*#%@";
+  double max_log = 0;
+  double min_log = 1e300;
+  for (const auto& row : cell) {
+    for (double v : row) {
+      if (v > 1) {
+        max_log = std::max(max_log, std::log(v));
+        min_log = std::min(min_log, std::log(v));
+      }
+    }
+  }
+  if (min_log > max_log) min_log = max_log;
+  os << "rack-to-rack heatmap of loge(bytes); rows=from, cols=to; 'X'=external band\n";
+  for (std::int32_t i = 0; i <= racks; ++i) {
+    for (std::int32_t j = 0; j <= racks; ++j) {
+      const double v = cell[i][j];
+      int idx = 0;
+      if (v > 1) {
+        idx = 1 + static_cast<int>((std::log(v) - min_log) /
+                                   (max_log - min_log + 1e-9) * 8.0);
+        idx = std::min(idx, 9);
+      }
+      os << (i == racks || j == racks ? (v > 1 ? 'X' : ' ') : shades[idx]);
+    }
+    os << '\n';
+  }
+}
+
+void pattern_scores(const dct::ClusterExperiment& exp, const dct::SparseTm& tm,
+                    const char* label, std::ostream& os) {
+  const auto lb = dct::locality_breakdown(tm, exp.topology());
+  dct::TextTable t(std::string("Fig.2 pattern scores (") + label + ")");
+  t.header({"score", "value", "interpretation"});
+  t.row({"traffic within rack", dct::TextTable::pct(lb.frac_same_rack),
+         "work-seeks-bandwidth diagonal squares"});
+  t.row({"traffic within VLAN (cross-rack)", dct::TextTable::pct(lb.frac_same_vlan),
+         "VLAN-level locality"});
+  t.row({"traffic across VLANs", dct::TextTable::pct(lb.frac_cross_vlan),
+         "scatter-gather lines"});
+  t.row({"traffic to/from external servers", dct::TextTable::pct(lb.frac_external),
+         "ingest/egress band at matrix edge"});
+  t.print(os);
+  os << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double duration = dct::bench::duration_arg(argc, argv, 600.0);
+  const auto seed = dct::bench::seed_arg(argc, argv);
+
+  std::cout << "=== Figure 2: Work-Seeks-Bandwidth and Scatter-Gather ===\n\n";
+
+  auto canonical = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
+  dct::bench::run_scenario(canonical);
+  const auto tm = dct::build_tm(canonical.trace(), canonical.topology(), duration / 2,
+                                10.0, dct::TmScope::kServer);
+  print_heatmap(canonical.topology(), tm, std::cout);
+  std::cout << '\n';
+  pattern_scores(canonical, tm, "canonical", std::cout);
+
+  // Ablation: random placement removes the diagonal concentration.
+  auto ablation = dct::ClusterExperiment(dct::scenarios::no_locality(duration, seed));
+  dct::bench::run_scenario(ablation);
+  const auto tm2 = dct::build_tm(ablation.trace(), ablation.topology(), duration / 2,
+                                 10.0, dct::TmScope::kServer);
+  pattern_scores(ablation, tm2, "ablation: locality disabled", std::cout);
+
+  dct::bench::paper_note(
+      std::cout, "dominant structure",
+      "dense diagonal squares + scatter-gather lines",
+      "same-rack share drops from canonical to ablation (see tables above)");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 5: when and where congestion happens.
+//
+// Paper (C = 70% utilization, inter-switch links): 86% of links observe
+// congestion lasting at least 10 seconds and 15% observe congestion lasting
+// at least 100 seconds; short congestion is highly correlated across tens
+// of links, long congestion is localized.  Thresholds of 90/95% behave
+// qualitatively the same.  §4.2 attributes hot-link traffic to the reduce
+// and extract phases plus evacuations.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/congestion.h"
+#include "bench_util.h"
+#include "common/stats.h"
+
+int main(int argc, char** argv) {
+  const double duration = dct::bench::duration_arg(argc, argv, 600.0);
+  const auto seed = dct::bench::seed_arg(argc, argv);
+
+  std::cout << "=== Figure 5: when and where congestion happens ===\n\n";
+
+  auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
+  dct::bench::run_scenario(exp);
+  const auto& util = exp.utilization();
+
+  dct::TextTable sweep("links observing congestion, by threshold C");
+  sweep.header({"C", "links hot >= 10 s", "links hot >= 100 s", "episodes > 10 s"});
+  for (double c : {0.7, 0.9, 0.95}) {
+    const auto report = dct::congestion_report(util, exp.topology(), c);
+    sweep.row({dct::TextTable::pct(c, 0), dct::TextTable::pct(report.frac_links_hot_10s),
+               dct::TextTable::pct(report.frac_links_hot_100s),
+               dct::TextTable::num(double(report.episodes_over_10s))});
+  }
+  sweep.print(std::cout);
+  std::cout << '\n';
+
+  const auto report = dct::congestion_report(util, exp.topology(), 0.7);
+
+  // "when": simultaneously hot inter-switch links over time (coarse bins).
+  dct::TextTable when("simultaneously hot links over time (C=70%)");
+  when.header({"time (s)", "hot links (of " +
+                               std::to_string(exp.topology().inter_switch_links().size()) +
+                               ")"});
+  const auto coarse = report.hot_links_over_time.coarsen(
+      std::max<std::size_t>(1, report.hot_links_over_time.bin_count() / 24));
+  for (std::size_t b = 0; b < coarse.bin_count(); ++b) {
+    when.row({dct::TextTable::num(coarse.bin_time(b)),
+              dct::TextTable::num(coarse.value(b) /
+                                  static_cast<double>(std::max<std::size_t>(
+                                      1, report.hot_links_over_time.bin_count() /
+                                             coarse.bin_count())))});
+  }
+  when.print(std::cout);
+  std::cout << '\n';
+
+  // "where": distribution of total hot seconds per link.
+  std::vector<double> hot_secs;
+  for (const auto& lc : report.inter_switch) hot_secs.push_back(lc.total_hot_seconds());
+  dct::TextTable where("per-link total congested seconds (C=70%)");
+  where.header({"percentile", "hot seconds"});
+  for (double p : {0.5, 0.75, 0.9, 0.99, 1.0}) {
+    where.row({dct::TextTable::pct(p, 0), dct::TextTable::num(dct::quantile(hot_secs, p))});
+  }
+  where.print(std::cout);
+  std::cout << '\n';
+
+  // Attribution of traffic crossing hot links (§4.2's finding).
+  const auto attr = dct::hot_link_attribution(exp.trace(), exp.topology(), util, 0.7);
+  dct::TextTable who("traffic crossing hot links, by cause");
+  who.header({"cause", "share of hot-link bytes"});
+  const char* kind_names[] = {"block read (extract)", "shuffle (reduce)",
+                              "replica write", "ingest", "egress", "evacuation",
+                              "control", "other"};
+  for (int k = 0; k < 8; ++k) {
+    if (attr.by_flow_kind[k] <= 0) continue;
+    who.row({kind_names[k],
+             dct::TextTable::pct(attr.by_flow_kind[k] / std::max(attr.bytes_total, 1.0))});
+  }
+  who.print(std::cout);
+  std::cout << '\n';
+
+  dct::TextTable t("Fig.5 headline numbers (C=70%)");
+  t.header({"quantity", "paper", "this reproduction"});
+  t.row({"links congested >= 10 s", "86%",
+         dct::TextTable::pct(report.frac_links_hot_10s)});
+  t.row({"links congested >= 100 s", "15%",
+         dct::TextTable::pct(report.frac_links_hot_100s)});
+  t.row({"reduce+extract dominate hot links", "yes",
+         attr.by_flow_kind[0] + attr.by_flow_kind[1] > attr.bytes_total * 0.4
+             ? "yes"
+             : "no (see attribution table)"});
+  t.print(std::cout);
+  return 0;
+}

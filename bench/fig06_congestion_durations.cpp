@@ -1,0 +1,62 @@
+// Figure 6: length of congestion events.
+//
+// Paper: of all congestion events longer than one second, over 90% are no
+// longer than 2 seconds; but long epochs exist — one day had 665 unique
+// episodes longer than 10 s, a few lasting hundreds of seconds.
+#include <iostream>
+
+#include "analysis/congestion.h"
+#include "bench_util.h"
+#include "common/histogram.h"
+
+int main(int argc, char** argv) {
+  const double duration = dct::bench::duration_arg(argc, argv, 900.0);
+  const auto seed = dct::bench::seed_arg(argc, argv);
+
+  std::cout << "=== Figure 6: length of congestion events (C=70%) ===\n\n";
+
+  auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
+  dct::bench::run_scenario(exp);
+  const auto report = dct::congestion_report(exp.utilization(), exp.topology(), 0.7);
+
+  // Frequency of episode durations on a log axis, plus the cumulative curve
+  // (the paper plots both).
+  dct::Cdf cdf;
+  for (double d : report.episode_durations) cdf.add(d);
+  cdf.finalize();
+
+  dct::TextTable series("episode duration distribution (episodes > 1 s)");
+  series.header({"duration <= (s)", "episodes", "cumulative fraction"});
+  double prev_count = 0;
+  for (double x : dct::log_space(1.0, 1000.0, 13)) {
+    const double cum = cdf.empty() ? 0.0 : cdf.at(x);
+    const double count = cum * static_cast<double>(report.episode_durations.size());
+    series.row({dct::TextTable::num(x), dct::TextTable::num(count - prev_count),
+                dct::TextTable::num(cum)});
+    prev_count = count;
+  }
+  series.print(std::cout);
+  std::cout << '\n';
+
+  dct::TextTable t("Fig.6 headline numbers");
+  t.header({"quantity", "paper (one day)", "this reproduction (" +
+                                               dct::TextTable::num(duration) + " s)"});
+  t.row({"episodes > 1 s", "(many)",
+         dct::TextTable::num(double(report.episodes_over_1s))});
+  t.row({"episodes > 10 s", "665",
+         dct::TextTable::num(double(report.episodes_over_10s))});
+  t.row({"fraction of >1 s episodes that are <= 2 s", "the dominant mode is short",
+         cdf.empty() ? "n/a" : dct::TextTable::pct(cdf.at(2.0))});
+  t.row({"fraction of >1 s episodes that are <= 10 s", "the large majority",
+         cdf.empty() ? "n/a" : dct::TextTable::pct(cdf.at(10.0))});
+  t.row({"longest episode (s)", "several hundred",
+         dct::TextTable::num(report.longest_episode)});
+  t.print(std::cout);
+  std::cout << "\nNotes: episode *counts* scale with measured hours and cluster size\n"
+               "(the paper's 665 is one day of a ~1500-server cluster; this is a\n"
+               "scaled run — see DESIGN.md).  Our hot links also run hotter and\n"
+               "more sustained than the paper's, shifting mass from the 1-2 s mode\n"
+               "toward 2-10 s; the mode-plus-long-tail shape is the reproduced\n"
+               "claim.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 10: traffic changes in both magnitude and participants.
+//
+// Paper (10 hours of cluster time): the aggregate traffic rate swings
+// quickly, with spikes reaching more than half the full-duplex bisection
+// bandwidth; and the normalized L1 change between consecutive TMs is large
+// (median near 1) at both tau = 10 s and tau = 100 s, meaning the *pairs*
+// exchanging traffic churn even when total volume is flat.
+#include <iostream>
+
+#include "analysis/traffic_matrix.h"
+#include "bench_util.h"
+#include "common/stats.h"
+
+int main(int argc, char** argv) {
+  const double duration = dct::bench::duration_arg(argc, argv, 1800.0);
+  const auto seed = dct::bench::seed_arg(argc, argv);
+
+  std::cout << "=== Figure 10: traffic magnitude and participant churn ===\n\n";
+
+  // Long-horizon run with slow load modulation on top of the fast churn,
+  // like the 10-hour window the paper plots.
+  dct::ScenarioConfig cfg = dct::scenarios::canonical(duration, seed);
+  cfg.workload.diurnal_amplitude = 0.5;
+  cfg.workload.diurnal_period = duration / 2.0;
+  auto exp = dct::ClusterExperiment(cfg);
+  dct::bench::run_scenario(exp);
+
+  // Top panel: aggregate rate over time vs bisection bandwidth.
+  const auto rate = dct::aggregate_rate_series(exp.trace(), 10.0);
+  const double bisection = exp.topology().bisection_bandwidth();
+  dct::TextTable top("aggregate traffic rate (GB/s), 10 s bins (sampled)");
+  top.header({"time (s)", "rate (GB/s)", "fraction of bisection"});
+  double peak = 0;
+  for (std::size_t b = 0; b < rate.bin_count(); ++b) peak = std::max(peak, rate.value(b));
+  const std::size_t stride = std::max<std::size_t>(1, rate.bin_count() / 24);
+  for (std::size_t b = 0; b < rate.bin_count(); b += stride) {
+    top.row({dct::TextTable::num(rate.bin_time(b)),
+             dct::TextTable::num(rate.value(b) / 1e9),
+             dct::TextTable::pct(rate.value(b) / bisection)});
+  }
+  top.print(std::cout);
+  std::cout << '\n';
+
+  // Bottom panel: normalized change at both timescales.
+  const auto tms10 =
+      dct::build_tm_series(exp.trace(), exp.topology(), 10.0, dct::TmScope::kServer);
+  const auto tms100 =
+      dct::build_tm_series(exp.trace(), exp.topology(), 100.0, dct::TmScope::kServer);
+  const auto change10 = dct::tm_change_series(tms10);
+  const auto change100 = dct::tm_change_series(tms100);
+
+  dct::TextTable dist("normalized TM change |M(t+tau)-M(t)| / |M(t)|");
+  dist.header({"percentile", "tau = 10 s", "tau = 100 s"});
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    dist.row({dct::TextTable::pct(p, 0), dct::TextTable::num(dct::quantile(change10, p)),
+              dct::TextTable::num(dct::quantile(change100, p))});
+  }
+  dist.print(std::cout);
+  std::cout << '\n';
+
+  dct::TextTable t("Fig.10 headline numbers");
+  t.header({"quantity", "paper", "this reproduction"});
+  t.row({"peak rate vs bisection bandwidth", "spikes > 50% of full-duplex bisection",
+         dct::TextTable::pct(peak / bisection)});
+  t.row({"median change (both timescales)", "~0.8-1 (large)",
+         dct::TextTable::num(dct::median(change10)) + " / " +
+             dct::TextTable::num(dct::median(change100))});
+  t.row({"participants churn while totals are flat?", "yes",
+         dct::median(change10) > 0.3 ? "yes" : "no"});
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// §4.3's implications for traffic engineering, quantified.
+//
+// Paper: "Centralized decision making ... is quite challenging — not only
+// would the central scheduler have to deal with a rather high volume of
+// scheduling decisions but it would also have to make the decisions very
+// quickly"; "scheduling just the few long running flows would [not] be
+// enough ... more than half the bytes are in flows that last no longer
+// than 25 s"; "Scheduling application units (jobs etc.) rather than the
+// flows ... is likely to be more feasible".
+#include <iostream>
+
+#include "analysis/scheduling.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const double duration = dct::bench::duration_arg(argc, argv, 600.0);
+  const auto seed = dct::bench::seed_arg(argc, argv);
+
+  std::cout << "=== Section 4.3: is per-flow traffic engineering feasible? ===\n\n";
+
+  auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
+  dct::bench::run_scenario(exp);
+  const auto feas = dct::scheduling_feasibility(
+      exp.trace(), {0.001, 0.01, 0.05, 0.1, 0.5, 1.0}, 10.0);
+
+  dct::TextTable lat("scheduling-lag impact by central-scheduler decision latency");
+  lat.header({"decision latency", "flows lag-dominated (life < 10x latency)",
+              "bytes in those flows"});
+  for (const auto& p : feas.latency_points) {
+    lat.row({dct::TextTable::num(p.decision_latency * 1000.0) + " ms",
+             dct::TextTable::pct(p.frac_flows_lag_dominated),
+             dct::TextTable::pct(p.frac_bytes_lag_dominated)});
+  }
+  lat.print(std::cout);
+  std::cout << '\n';
+
+  dct::TextTable t("headline numbers");
+  t.header({"quantity", "paper", "this reproduction"});
+  t.row({"per-flow decisions required", "~1e5 flows/s (their cluster)",
+         dct::TextTable::num(feas.flow_decisions_per_sec) + " flows/s (scaled cluster)"});
+  t.row({"per-job decisions instead", "orders of magnitude fewer",
+         dct::TextTable::num(feas.job_decisions_per_sec) + " jobs/s (" +
+             dct::TextTable::num(feas.flow_decisions_per_sec /
+                                 std::max(feas.job_decisions_per_sec, 1e-9)) +
+             "x fewer)"});
+  t.row({"bytes controlled by scheduling only flows > " +
+             dct::TextTable::num(feas.elephant_cutoff) + " s",
+         "misses most bytes",
+         dct::TextTable::pct(feas.frac_bytes_in_long_flows) + " of bytes"});
+  t.print(std::cout);
+
+  std::cout << "\nConclusion (as in the paper): schedule application units or use\n"
+               "distributed/random choices; per-flow centralized TE cannot keep up.\n";
+  return 0;
+}

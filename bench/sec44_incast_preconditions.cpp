@@ -1,0 +1,63 @@
+// §4.4: why the cluster sees no TCP incast collapse.
+//
+// The paper argues the preconditions never line up: applications cap
+// simultaneously open connections (default 2) and stagger new fetches,
+// placement keeps most exchanges local, and multiplexing lets other flows
+// absorb freed bandwidth.  This bench measures the preconditions on the
+// canonical scenario and on the uncapped ablation: removing the connection
+// cap makes synchronized fan-in bursts — the incast trigger — far larger.
+#include <iostream>
+
+#include "analysis/incast.h"
+#include "bench_util.h"
+
+namespace {
+
+dct::IncastReport measure(const dct::ScenarioConfig& cfg) {
+  auto exp = dct::ClusterExperiment(cfg);
+  dct::bench::run_scenario(exp);
+  return dct::incast_preconditions(exp.trace(), exp.topology(), 0.002, 16);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double duration = dct::bench::duration_arg(argc, argv, 300.0);
+  const auto seed = dct::bench::seed_arg(argc, argv);
+
+  std::cout << "=== Section 4.4: incast preconditions ===\n\n";
+
+  const auto capped = measure(dct::scenarios::canonical(duration, seed));
+  const auto uncapped = measure(dct::scenarios::uncapped_connections(duration, seed));
+
+  dct::TextTable t("incast preconditions: canonical vs uncapped ablation");
+  t.header({"precondition", "canonical (cap=2, 15 ms gap)", "uncapped"});
+  t.row({"median synchronized fan-in (2 ms window)",
+         dct::TextTable::num(capped.fanin_burst_size.quantile(0.5)),
+         dct::TextTable::num(uncapped.fanin_burst_size.quantile(0.5))});
+  t.row({"p99 synchronized fan-in",
+         dct::TextTable::num(capped.fanin_burst_size.quantile(0.99)),
+         dct::TextTable::num(uncapped.fanin_burst_size.quantile(0.99))});
+  t.row({"max synchronized fan-in", dct::TextTable::num(capped.max_fanin_burst),
+         dct::TextTable::num(uncapped.max_fanin_burst)});
+  t.row({"bursts >= 16 senders (collapse territory)",
+         dct::TextTable::num(double(capped.dangerous_bursts)),
+         dct::TextTable::num(double(uncapped.dangerous_bursts))});
+  t.row({"p99 concurrent flows per server downlink",
+         dct::TextTable::num(capped.p99_concurrent_on_downlink),
+         dct::TextTable::num(uncapped.p99_concurrent_on_downlink)});
+  t.row({"flows staying in-rack", dct::TextTable::pct(capped.frac_flows_same_rack),
+         dct::TextTable::pct(uncapped.frac_flows_same_rack)});
+  t.row({"flows staying in-VLAN", dct::TextTable::pct(capped.frac_flows_same_vlan),
+         dct::TextTable::pct(uncapped.frac_flows_same_vlan)});
+  t.print(std::cout);
+  std::cout << '\n';
+
+  dct::bench::paper_note(
+      std::cout, "incast observed?",
+      "no; connection caps + locality keep fan-in small",
+      capped.dangerous_bursts == 0
+          ? "no dangerous bursts under the cap; ablation grows fan-in"
+          : "some dangerous bursts even under the cap (see table)");
+  return 0;
+}

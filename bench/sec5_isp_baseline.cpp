@@ -1,0 +1,76 @@
+// §5 control experiment: tomogravity is not broken — datacenter traffic is.
+//
+// The paper credits tomogravity's failure to the mismatch between the
+// gravity prior and job-clustered traffic ("the pronounced patterns in
+// traffic that we observe are quite far from the simple spread that the
+// gravity prior would generate").  The natural control: feed the same
+// estimator ISP-like traffic — a gravity-structured TM with multiplicative
+// noise, the regime where the prior is known to be a good predictor — on
+// the *same* datacenter topology, and watch the error collapse.
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "tomo_bench.h"
+
+namespace {
+
+// A gravity-structured TM with lognormal multiplicative noise.
+dct::DenseTorTm gravity_like_tm(std::int32_t n, dct::Rng& rng, double noise_sigma) {
+  std::vector<double> out(n), in(n);
+  for (auto& v : out) v = rng.lognormal(3.0, 0.8);
+  for (auto& v : in) v = rng.lognormal(3.0, 0.8);
+  double total = 0;
+  for (double v : out) total += v;
+  dct::DenseTorTm tm(n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      tm.set(i, j, out[i] * in[j] / total * rng.lognormal(0.0, noise_sigma));
+    }
+  }
+  return tm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double duration = dct::bench::duration_arg(argc, argv, 900.0);
+  const auto seed = dct::bench::seed_arg(argc, argv);
+
+  std::cout << "=== Section 5 control: tomogravity on ISP-like vs datacenter traffic ===\n\n";
+
+  // Datacenter side: real (simulated) job-clustered traffic.
+  auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
+  dct::bench::run_scenario(exp);
+  const auto dc_results = dct::bench::run_tomography_eval(exp, 60.0);
+  std::vector<double> dc_err;
+  for (const auto& r : dc_results) dc_err.push_back(r.err_tomogravity);
+
+  // ISP-like side: gravity-structured synthetic TMs on the same topology.
+  const dct::RoutingMatrix routing(exp.topology());
+  dct::Rng rng(seed);
+  std::vector<double> isp_err;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto truth = gravity_like_tm(exp.topology().rack_count(), rng, 0.15);
+    const auto est = dct::tomogravity(routing, routing.link_loads(truth));
+    isp_err.push_back(dct::rmsre(truth, est));
+  }
+
+  dct::TextTable t("tomogravity RMSRE by traffic regime (same topology, same estimator)");
+  t.header({"traffic", "median error", "p90 error"});
+  t.row({"ISP-like (gravity + 15% noise)", dct::TextTable::pct(dct::median(isp_err)),
+         dct::TextTable::pct(dct::quantile(isp_err, 0.9))});
+  t.row({"datacenter (job-clustered, measured)", dct::TextTable::pct(dct::median(dc_err)),
+         dct::TextTable::pct(dct::quantile(dc_err, 0.9))});
+  t.print(std::cout);
+  std::cout << '\n';
+
+  dct::bench::paper_note(
+      std::cout, "why tomography fails in datacenters",
+      "gravity prior fits ISP traffic, not job-clustered traffic",
+      dct::median(isp_err) * 2 < dct::median(dc_err)
+          ? "reproduced: same estimator, >2x worse on DC traffic"
+          : "gap smaller than expected (see table)");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared pipeline for the tomography benches (Figs. 12-14): run the
+// canonical scenario, carve the trace into ToR-level TMs, synthesize SNMP
+// link loads from each, and run the three estimators of §5 against the
+// ground truth.
+#pragma once
+
+#include <vector>
+
+#include "analysis/traffic_matrix.h"
+#include "bench_util.h"
+#include "tomography/estimators.h"
+#include "tomography/metrics.h"
+#include "tomography/routing.h"
+#include "trace/snmp.h"
+
+namespace dct::bench {
+
+struct TomoResult {
+  DenseTorTm truth{0};
+  DenseTorTm tomogravity_est{0};
+  DenseTorTm job_aware_est{0};
+  DenseTorTm sparsity_est{0};
+  double err_tomogravity = 0;
+  double err_job_aware = 0;
+  double err_sparsity = 0;
+  /// Tomogravity fed from coarse SNMP counter polls instead of exact
+  /// window loads (the real-world measurement pipeline).
+  double err_tomogravity_snmp = 0;
+  double truth_sparsity = 0;       ///< fraction of OD pairs for 75% volume
+  double tomogravity_sparsity = 0;
+  double job_aware_sparsity = 0;
+  double sparsity_est_sparsity = 0;
+};
+
+/// Runs the §5 evaluation: one TomoResult per `window`-second ToR TM.
+/// TMs with too little traffic to evaluate are skipped.
+inline std::vector<TomoResult> run_tomography_eval(ClusterExperiment& exp,
+                                                   double window,
+                                                   double snmp_poll = 30.0) {
+  const auto tms =
+      build_tm_series(exp.trace(), exp.topology(), window, TmScope::kToR);
+  const RoutingMatrix routing(exp.topology());
+  const auto activity = job_tor_activity(exp.trace(), exp.topology());
+  const auto snmp = SnmpCounters::collect(exp.sim(), exp.topology(), snmp_poll);
+
+  std::vector<TomoResult> results;
+  std::size_t window_index = 0;
+  for (const auto& sparse : tms) {
+    const double t0 = static_cast<double>(window_index++) * window;
+    if (sparse.total() <= 0 || sparse.nonzero_count() < 3) continue;
+    TomoResult r;
+    r.truth = DenseTorTm::from_sparse(sparse);
+    const auto loads = routing.link_loads(r.truth);
+
+    // What SNMP actually exposes for this window: counter deltas, snapped
+    // to the poll grid.
+    std::vector<double> snmp_loads(loads.size());
+    for (std::int32_t m = 0; m < routing.link_count(); ++m) {
+      snmp_loads[static_cast<std::size_t>(m)] =
+          snmp.bytes_between(routing.link_at(m), t0, t0 + window);
+    }
+    r.err_tomogravity_snmp = rmsre(r.truth, tomogravity(routing, snmp_loads));
+
+    r.tomogravity_est = tomogravity(routing, loads);
+    r.job_aware_est =
+        tomogravity(routing, loads, job_augmented_prior(routing, loads, activity));
+    r.sparsity_est = sparsity_max(routing, loads);
+
+    r.err_tomogravity = rmsre(r.truth, r.tomogravity_est);
+    r.err_job_aware = rmsre(r.truth, r.job_aware_est);
+    r.err_sparsity = rmsre(r.truth, r.sparsity_est);
+    r.truth_sparsity = sparsity_fraction(r.truth);
+    r.tomogravity_sparsity = sparsity_fraction(r.tomogravity_est);
+    r.job_aware_sparsity = sparsity_fraction(r.job_aware_est);
+    r.sparsity_est_sparsity = sparsity_fraction(r.sparsity_est);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace dct::bench

@@ -1,0 +1,85 @@
+#include "analysis/incast.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/require.h"
+
+namespace dct {
+
+IncastReport incast_preconditions(const ClusterTrace& trace, const Topology& topo,
+                                  TimeSec burst_window, std::int32_t danger_fanin) {
+  require(burst_window > 0, "incast_preconditions: burst window must be > 0");
+  require(danger_fanin >= 2, "incast_preconditions: danger fan-in must be >= 2");
+  IncastReport out;
+  out.burst_window = burst_window;
+  out.danger_fanin = danger_fanin;
+
+  // Group flow starts by receiving server.
+  struct Arrival {
+    TimeSec start;
+    TimeSec end;
+  };
+  std::vector<std::vector<Arrival>> per_receiver(
+      static_cast<std::size_t>(topo.server_count()));
+  std::size_t local_rack = 0;
+  std::size_t local_vlan = 0;
+  std::size_t total = 0;
+  for (const SocketFlowLog& f : trace.flows()) {
+    per_receiver[static_cast<std::size_t>(f.peer.value())].push_back(
+        {f.start, std::max(f.end, f.start)});
+    ++total;
+    if (topo.same_rack(f.local, f.peer)) {
+      ++local_rack;
+      ++local_vlan;
+    } else if (topo.same_vlan(f.local, f.peer)) {
+      ++local_vlan;
+    }
+  }
+  if (total > 0) {
+    out.frac_flows_same_rack = static_cast<double>(local_rack) / static_cast<double>(total);
+    out.frac_flows_same_vlan = static_cast<double>(local_vlan) / static_cast<double>(total);
+  }
+
+  for (auto& arrivals : per_receiver) {
+    if (arrivals.empty()) continue;
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const Arrival& a, const Arrival& b) { return a.start < b.start; });
+
+    // Synchronized fan-in: maximal groups of starts within burst_window.
+    std::size_t i = 0;
+    while (i < arrivals.size()) {
+      std::size_t j = i;
+      while (j + 1 < arrivals.size() &&
+             arrivals[j + 1].start - arrivals[i].start <= burst_window) {
+        ++j;
+      }
+      const double burst = static_cast<double>(j - i + 1);
+      out.fanin_burst_size.add(burst);
+      out.max_fanin_burst = std::max(out.max_fanin_burst, burst);
+      if (burst >= danger_fanin) ++out.dangerous_bursts;
+      i = j + 1;
+    }
+
+    // Concurrent flows on this server's downlink at each arrival instant
+    // (sweep over the sorted arrivals with an active set).
+    std::vector<TimeSec> active_ends;
+    for (const Arrival& a : arrivals) {
+      active_ends.erase(
+          std::remove_if(active_ends.begin(), active_ends.end(),
+                         [&](TimeSec e) { return e <= a.start; }),
+          active_ends.end());
+      active_ends.push_back(a.end);
+      out.concurrent_on_downlink.add(static_cast<double>(active_ends.size()));
+    }
+  }
+
+  out.fanin_burst_size.finalize();
+  out.concurrent_on_downlink.finalize();
+  if (!out.concurrent_on_downlink.empty()) {
+    out.p99_concurrent_on_downlink = out.concurrent_on_downlink.quantile(0.99);
+  }
+  return out;
+}
+
+}  // namespace dct

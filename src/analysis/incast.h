@@ -1,0 +1,57 @@
+// Incast precondition analysis (§4.4).
+//
+// The paper sees no TCP-incast throughput collapse and explains why: the
+// engineering of the applications keeps the preconditions from lining up —
+// (1) applications cap simultaneously open connections to a small number,
+// (2) computation placement keeps most exchanges local (rack/VLAN), which
+// isolates flows and keeps any one bottleneck-ed switch from carrying the
+// many synchronized flows incast needs, and (3) multiplexing across jobs
+// lets other flows use freed bandwidth.  This module measures those
+// preconditions from a trace: synchronized fan-in bursts per receiver, the
+// concurrent-flow pressure on server downlinks, and flow locality.  The
+// §4.4 bench contrasts the canonical scenario against the uncapped ablation,
+// where fan-in bursts grow by an order of magnitude.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "topology/topology.h"
+#include "trace/cluster_trace.h"
+
+namespace dct {
+
+struct IncastReport {
+  /// Distribution of the number of flows converging on one receiving server
+  /// with starts within `burst_window` of each other (synchronized fan-in,
+  /// the incast trigger).
+  Cdf fanin_burst_size;
+  double max_fanin_burst = 0;
+  /// Bursts at or above `danger_fanin` concurrent senders.
+  std::size_t dangerous_bursts = 0;
+
+  /// Distribution of concurrent flows per server *downlink* (the queue that
+  /// would overflow), sampled at flow arrivals.
+  Cdf concurrent_on_downlink;
+  double p99_concurrent_on_downlink = 0;
+
+  /// Locality shares (precondition 2: most flows never share the
+  /// aggregation fabric).
+  double frac_flows_same_rack = 0;
+  double frac_flows_same_vlan = 0;  ///< includes same rack
+
+  TimeSec burst_window = 0.002;
+  std::int32_t danger_fanin = 16;
+};
+
+/// Computes the §4.4 preconditions from a trace.  `burst_window` is the
+/// synchronization tolerance (default 2 ms ~ a few datacenter RTTs);
+/// `danger_fanin` is the fan-in at which 2009-era shallow-buffer ToRs are
+/// known to collapse.
+[[nodiscard]] IncastReport incast_preconditions(const ClusterTrace& trace,
+                                                const Topology& topo,
+                                                TimeSec burst_window = 0.002,
+                                                std::int32_t danger_fanin = 16);
+
+}  // namespace dct

@@ -1,0 +1,52 @@
+#include "analysis/scheduling.h"
+
+#include <algorithm>
+
+#include "common/histogram.h"
+#include "common/require.h"
+
+namespace dct {
+
+SchedulingFeasibility scheduling_feasibility(const ClusterTrace& trace,
+                                             std::vector<TimeSec> decision_latencies,
+                                             TimeSec elephant_cutoff) {
+  require(elephant_cutoff > 0, "scheduling_feasibility: cutoff must be > 0");
+  SchedulingFeasibility out;
+  out.elephant_cutoff = elephant_cutoff;
+
+  Cdf durations_by_count;
+  Cdf durations_by_bytes;
+  for (const SocketFlowLog& f : trace.flows()) {
+    if (f.truncated) continue;
+    const double d = std::max(f.duration(), 1e-4);
+    durations_by_count.add(d);
+    if (f.bytes > 0) durations_by_bytes.add(d, static_cast<double>(f.bytes));
+  }
+  durations_by_count.finalize();
+  durations_by_bytes.finalize();
+
+  out.flow_decisions_per_sec =
+      static_cast<double>(trace.flow_count()) / std::max(trace.duration(), 1e-9);
+  out.job_decisions_per_sec =
+      static_cast<double>(trace.jobs().size()) / std::max(trace.duration(), 1e-9);
+  if (durations_by_bytes.sample_count() > 0) {
+    out.frac_bytes_in_long_flows = 1.0 - durations_by_bytes.at(elephant_cutoff);
+  }
+
+  std::sort(decision_latencies.begin(), decision_latencies.end());
+  for (TimeSec latency : decision_latencies) {
+    require(latency > 0, "scheduling_feasibility: latencies must be > 0");
+    SchedulerLatencyPoint p;
+    p.decision_latency = latency;
+    if (durations_by_count.sample_count() > 0) {
+      p.frac_flows_lag_dominated = durations_by_count.at(10.0 * latency);
+    }
+    if (durations_by_bytes.sample_count() > 0) {
+      p.frac_bytes_lag_dominated = durations_by_bytes.at(10.0 * latency);
+    }
+    out.latency_points.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace dct

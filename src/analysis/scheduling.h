@@ -1,0 +1,50 @@
+// Traffic-engineering feasibility (§4.3's implications).
+//
+// The paper draws two consequences from the flow microscopics: a
+// centralized per-flow scheduler would need to keep up with ~10^5 decisions
+// per second AND decide fast enough that short flows don't spend their
+// lives waiting ("make the decisions very quickly to avoid visible lag in
+// flows"); and since most bytes are in short flows, scheduling only the
+// long-lived flows would miss most of the traffic.  This module computes
+// those quantities from a trace so the argument can be made for any
+// workload.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "topology/topology.h"
+#include "trace/cluster_trace.h"
+
+namespace dct {
+
+/// Feasibility of a centralized scheduler with a given decision latency.
+struct SchedulerLatencyPoint {
+  TimeSec decision_latency = 0;
+  /// Flows whose entire lifetime is shorter than 10x the decision latency —
+  /// for these, scheduling lag is "visible" (>= 10% of flow life).
+  double frac_flows_lag_dominated = 0;
+  /// Bytes carried by those flows.
+  double frac_bytes_lag_dominated = 0;
+};
+
+struct SchedulingFeasibility {
+  /// Decisions/second a per-flow scheduler must sustain (mean arrival rate).
+  double flow_decisions_per_sec = 0;
+  /// Decisions/second if scheduling application units (jobs) instead.
+  double job_decisions_per_sec = 0;
+  /// Fraction of bytes in flows lasting longer than `elephant_cutoff`
+  /// seconds — what a scheduler of long flows only would control.
+  double elephant_cutoff = 10.0;
+  double frac_bytes_in_long_flows = 0;
+  std::vector<SchedulerLatencyPoint> latency_points;
+};
+
+/// Evaluates per-flow scheduling against the given decision latencies
+/// (seconds).  `elephant_cutoff` defines "long flows" for the
+/// schedule-only-elephants alternative.
+[[nodiscard]] SchedulingFeasibility scheduling_feasibility(
+    const ClusterTrace& trace, std::vector<TimeSec> decision_latencies,
+    TimeSec elephant_cutoff = 10.0);
+
+}  // namespace dct

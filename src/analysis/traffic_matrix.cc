@@ -1,0 +1,262 @@
+#include "analysis/traffic_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+#include "common/stats.h"
+
+namespace dct {
+
+void SparseTm::add(std::int32_t from, std::int32_t to, double bytes) {
+  require(from >= 0 && from < n_ && to >= 0 && to < n_, "SparseTm::add: out of range");
+  require(bytes >= 0, "SparseTm::add: negative bytes");
+  if (bytes == 0) return;
+  cells_[key(from, to)] += bytes;
+  total_ += bytes;
+}
+
+double SparseTm::at(std::int32_t from, std::int32_t to) const {
+  require(from >= 0 && from < n_ && to >= 0 && to < n_, "SparseTm::at: out of range");
+  const auto it = cells_.find(key(from, to));
+  return it == cells_.end() ? 0.0 : it->second;
+}
+
+std::vector<SparseTm::Entry> SparseTm::entries() const {
+  std::vector<Entry> out;
+  out.reserve(cells_.size());
+  for (const auto& [k, v] : cells_) {
+    out.push_back({static_cast<std::int32_t>(k >> 32),
+                   static_cast<std::int32_t>(k & 0xffffffffu), v});
+  }
+  return out;
+}
+
+double SparseTm::l1_distance(const SparseTm& a, const SparseTm& b) {
+  double sum = 0;
+  for (const auto& [k, v] : a.cells_) {
+    const auto it = b.cells_.find(k);
+    sum += std::fabs(v - (it == b.cells_.end() ? 0.0 : it->second));
+  }
+  for (const auto& [k, v] : b.cells_) {
+    if (a.cells_.find(k) == a.cells_.end()) sum += std::fabs(v);
+  }
+  return sum;
+}
+
+double SparseTm::entries_for_volume(double volume_fraction) const {
+  require(volume_fraction > 0 && volume_fraction <= 1,
+          "entries_for_volume: fraction must be in (0,1]");
+  if (cells_.empty() || total_ <= 0) return 0;
+  std::vector<double> vals;
+  vals.reserve(cells_.size());
+  for (const auto& [k, v] : cells_) vals.push_back(v);
+  std::sort(vals.begin(), vals.end(), std::greater<>());
+  const double target = volume_fraction * total_;
+  double acc = 0;
+  std::size_t count = 0;
+  for (double v : vals) {
+    acc += v;
+    ++count;
+    if (acc >= target) break;
+  }
+  return static_cast<double>(count);
+}
+
+namespace {
+
+// Maps a flow endpoint to a TM node index, or -1 to drop the flow.
+std::int32_t scope_node(const Topology& topo, ServerId s, TmScope scope) {
+  if (scope == TmScope::kServer) return s.value();
+  if (topo.is_external(s)) return -1;
+  return topo.rack_of(s).value();
+}
+
+}  // namespace
+
+std::vector<SparseTm> build_tm_series(const ClusterTrace& trace, const Topology& topo,
+                                      TimeSec window, TmScope scope) {
+  require(window > 0, "build_tm_series: window must be > 0");
+  const auto n_windows =
+      static_cast<std::size_t>(std::ceil(trace.duration() / window));
+  const std::int32_t n =
+      scope == TmScope::kServer ? topo.server_count() : topo.rack_count();
+  std::vector<SparseTm> tms(std::max<std::size_t>(n_windows, 1), SparseTm(n));
+
+  for (const SocketFlowLog& f : trace.flows()) {
+    const std::int32_t from = scope_node(topo, f.local, scope);
+    const std::int32_t to = scope_node(topo, f.peer, scope);
+    if (from < 0 || to < 0) continue;
+    if (scope == TmScope::kToR && from == to) continue;  // same-rack dropped
+    if (f.bytes <= 0) continue;
+    const TimeSec start = std::max<TimeSec>(0.0, f.start);
+    const TimeSec end = std::min<TimeSec>(trace.duration(), std::max(f.end, start));
+    if (end <= start) {
+      // Instantaneous flow: all bytes land in the containing window.
+      const auto w = std::min(static_cast<std::size_t>(start / window), tms.size() - 1);
+      tms[w].add(from, to, static_cast<double>(f.bytes));
+      continue;
+    }
+    const double density = static_cast<double>(f.bytes) / (end - start);
+    auto w = static_cast<std::size_t>(start / window);
+    for (; w < tms.size(); ++w) {
+      const TimeSec w_lo = static_cast<double>(w) * window;
+      const TimeSec w_hi = w_lo + window;
+      if (w_lo >= end) break;
+      const TimeSec overlap = std::min(w_hi, end) - std::max(w_lo, start);
+      if (overlap > 0) tms[w].add(from, to, density * overlap);
+    }
+  }
+  return tms;
+}
+
+SparseTm build_tm(const ClusterTrace& trace, const Topology& topo, TimeSec t0,
+                  TimeSec window, TmScope scope) {
+  require(window > 0, "build_tm: window must be > 0");
+  const std::int32_t n =
+      scope == TmScope::kServer ? topo.server_count() : topo.rack_count();
+  SparseTm tm(n);
+  const TimeSec t1 = t0 + window;
+  for (const SocketFlowLog& f : trace.flows()) {
+    if (f.end <= t0 || f.start >= t1 || f.bytes <= 0) continue;
+    const std::int32_t from = scope_node(topo, f.local, scope);
+    const std::int32_t to = scope_node(topo, f.peer, scope);
+    if (from < 0 || to < 0) continue;
+    if (scope == TmScope::kToR && from == to) continue;
+    const TimeSec span = std::max<TimeSec>(f.end - f.start, 1e-9);
+    const TimeSec overlap = std::min(f.end, t1) - std::max(f.start, t0);
+    tm.add(from, to, static_cast<double>(f.bytes) * overlap / span);
+  }
+  return tm;
+}
+
+PairBytesStats pair_bytes_stats(const SparseTm& server_tm, const Topology& topo) {
+  require(server_tm.size() == topo.server_count(),
+          "pair_bytes_stats: TM must be server-scoped");
+  PairBytesStats out;
+  std::size_t nonzero_within = 0;
+  std::size_t nonzero_across = 0;
+  for (const auto& e : server_tm.entries()) {
+    if (e.from == e.to || e.bytes <= 0) continue;
+    const ServerId a{e.from};
+    const ServerId b{e.to};
+    if (topo.is_external(a) || topo.is_external(b)) continue;
+    if (topo.same_rack(a, b)) {
+      out.log_bytes_within_rack.add(std::log(e.bytes));
+      ++nonzero_within;
+    } else {
+      out.log_bytes_across_racks.add(std::log(e.bytes));
+      ++nonzero_across;
+    }
+  }
+  out.log_bytes_within_rack.finalize();
+  out.log_bytes_across_racks.finalize();
+
+  const auto n = static_cast<std::size_t>(topo.internal_server_count());
+  const auto per_rack = static_cast<std::size_t>(topo.config().servers_per_rack);
+  out.pairs_within_rack = n * (per_rack - 1);
+  out.pairs_across_racks = n * (n - per_rack);
+  out.prob_zero_within_rack =
+      out.pairs_within_rack > 0
+          ? 1.0 - static_cast<double>(nonzero_within) /
+                      static_cast<double>(out.pairs_within_rack)
+          : 1.0;
+  out.prob_zero_across_racks =
+      out.pairs_across_racks > 0
+          ? 1.0 - static_cast<double>(nonzero_across) /
+                      static_cast<double>(out.pairs_across_racks)
+          : 1.0;
+  return out;
+}
+
+CorrespondentStats correspondent_stats(const SparseTm& server_tm, const Topology& topo) {
+  require(server_tm.size() == topo.server_count(),
+          "correspondent_stats: TM must be server-scoped");
+  const auto n = static_cast<std::size_t>(topo.internal_server_count());
+  // Correspondents are counted symmetrically (talks to = sends or receives).
+  std::vector<std::unordered_map<std::int32_t, bool>> peers(n);
+  for (const auto& e : server_tm.entries()) {
+    if (e.bytes <= 0 || e.from == e.to) continue;
+    const ServerId a{e.from};
+    const ServerId b{e.to};
+    if (topo.is_external(a) || topo.is_external(b)) continue;
+    peers[static_cast<std::size_t>(e.from)][e.to] = true;
+    peers[static_cast<std::size_t>(e.to)][e.from] = true;
+  }
+
+  CorrespondentStats out;
+  const double rack_size = topo.config().servers_per_rack;
+  std::vector<double> counts_within;
+  std::vector<double> counts_across;
+  for (std::size_t s = 0; s < n; ++s) {
+    double within = 0;
+    double across = 0;
+    for (const auto& [peer, _] : peers[s]) {
+      if (topo.same_rack(ServerId{static_cast<std::int32_t>(s)}, ServerId{peer})) {
+        ++within;
+      } else {
+        ++across;
+      }
+    }
+    counts_within.push_back(within);
+    counts_across.push_back(across);
+    out.frac_within_rack.add(within / (rack_size - 1));
+    out.frac_across_racks.add(across / (static_cast<double>(n) - rack_size));
+  }
+  out.frac_within_rack.finalize();
+  out.frac_across_racks.finalize();
+  out.median_within = median(counts_within);
+  out.median_across = median(counts_across);
+  return out;
+}
+
+LocalityBreakdown locality_breakdown(const SparseTm& server_tm, const Topology& topo) {
+  require(server_tm.size() == topo.server_count(),
+          "locality_breakdown: TM must be server-scoped");
+  LocalityBreakdown out;
+  double total = 0;
+  for (const auto& e : server_tm.entries()) {
+    if (e.bytes <= 0) continue;
+    total += e.bytes;
+    const ServerId a{e.from};
+    const ServerId b{e.to};
+    if (topo.is_external(a) || topo.is_external(b)) {
+      out.frac_external += e.bytes;
+    } else if (topo.same_rack(a, b)) {
+      out.frac_same_rack += e.bytes;
+    } else if (topo.same_vlan(a, b)) {
+      out.frac_same_vlan += e.bytes;
+    } else {
+      out.frac_cross_vlan += e.bytes;
+    }
+  }
+  if (total > 0) {
+    out.frac_same_rack /= total;
+    out.frac_same_vlan /= total;
+    out.frac_cross_vlan /= total;
+    out.frac_external /= total;
+  }
+  return out;
+}
+
+BinnedSeries aggregate_rate_series(const ClusterTrace& trace, TimeSec bin_width) {
+  const auto bins =
+      static_cast<std::size_t>(std::ceil(trace.duration() / bin_width));
+  BinnedSeries series(0.0, bin_width, std::max<std::size_t>(bins, 1));
+  for (const SocketFlowLog& f : trace.flows()) {
+    if (f.bytes <= 0) continue;
+    series.add_interval(f.start, std::max(f.end, f.start), static_cast<double>(f.bytes));
+  }
+  return series.to_rate();
+}
+
+std::vector<double> tm_change_series(const std::vector<SparseTm>& tms) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i + 1 < tms.size(); ++i) {
+    if (tms[i].total() <= 0) continue;
+    out.push_back(SparseTm::l1_distance(tms[i + 1], tms[i]) / tms[i].total());
+  }
+  return out;
+}
+
+}  // namespace dct

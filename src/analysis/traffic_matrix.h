@@ -1,0 +1,133 @@
+// Traffic matrices and the macroscopic pattern statistics of §4.1.
+//
+// A traffic matrix (TM) gives the bytes exchanged from the row entity to
+// the column entity over a time window.  The paper computes TMs at multiple
+// time-scales (1 s, 10 s, 100 s) between servers and between top-of-rack
+// switches; the ToR-to-ToR TM has a zero diagonal (only cross-rack traffic).
+// TMs here are sparse — the central empirical finding is exactly that most
+// entries are zero.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/ids.h"
+#include "common/units.h"
+#include "topology/topology.h"
+#include "trace/cluster_trace.h"
+
+namespace dct {
+
+/// A sparse origin-destination byte matrix over `n` entities.
+class SparseTm {
+ public:
+  explicit SparseTm(std::int32_t n = 0) : n_(n) {}
+
+  void add(std::int32_t from, std::int32_t to, double bytes);
+  [[nodiscard]] double at(std::int32_t from, std::int32_t to) const;
+
+  [[nodiscard]] std::int32_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t nonzero_count() const noexcept { return cells_.size(); }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Number of off-diagonal OD pairs (the denominator for sparsity).
+  [[nodiscard]] std::size_t pair_count() const noexcept {
+    return static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_ - 1);
+  }
+
+  /// Iteration support: (from, to, bytes) triples in unspecified order.
+  struct Entry {
+    std::int32_t from;
+    std::int32_t to;
+    double bytes;
+  };
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+  /// Sum of |a - b| over the union of entries (the numerator of the paper's
+  /// normalized-change metric, Fig. 10 bottom).
+  [[nodiscard]] static double l1_distance(const SparseTm& a, const SparseTm& b);
+
+  /// Fraction of entries (of the non-zero support) needed to cover
+  /// `volume_fraction` of the total bytes — the sparsity measure of Fig. 14,
+  /// reported relative to pair_count().
+  [[nodiscard]] double entries_for_volume(double volume_fraction) const;
+
+ private:
+  static std::uint64_t key(std::int32_t from, std::int32_t to) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+  std::int32_t n_;
+  double total_ = 0;
+  std::unordered_map<std::uint64_t, double> cells_;
+};
+
+/// Scope of a TM series: whole servers or ToR-to-ToR (cross-rack only).
+enum class TmScope : std::uint8_t { kServer, kToR };
+
+/// Builds a sequence of TMs over consecutive `window`-second windows.
+/// Flow bytes are spread uniformly over the flow's lifetime (the socket-log
+/// approximation: logs record per-flow transfers, not per-packet timings).
+/// ToR scope drops same-rack and external traffic, matching the paper's
+/// ToR-to-ToR matrices.
+[[nodiscard]] std::vector<SparseTm> build_tm_series(const ClusterTrace& trace,
+                                                    const Topology& topo, TimeSec window,
+                                                    TmScope scope);
+
+/// One TM over [t0, t0+window).
+[[nodiscard]] SparseTm build_tm(const ClusterTrace& trace, const Topology& topo,
+                                TimeSec t0, TimeSec window, TmScope scope);
+
+// ---------------------------------------------------------------------------
+// §4.1 pattern statistics
+// ---------------------------------------------------------------------------
+
+/// Fig. 3: distributions of loge(bytes) over non-zero server pairs, split by
+/// rack locality, plus the zero-entry probabilities the figure's caption
+/// highlights.
+struct PairBytesStats {
+  Cdf log_bytes_within_rack;   ///< loge(bytes) of non-zero same-rack pairs
+  Cdf log_bytes_across_racks;  ///< loge(bytes) of non-zero cross-rack pairs
+  double prob_zero_within_rack = 1.0;
+  double prob_zero_across_racks = 1.0;
+  std::size_t pairs_within_rack = 0;
+  std::size_t pairs_across_racks = 0;
+};
+[[nodiscard]] PairBytesStats pair_bytes_stats(const SparseTm& server_tm,
+                                              const Topology& topo);
+
+/// Fig. 4: per-server correspondent fractions, within and across racks.
+struct CorrespondentStats {
+  Cdf frac_within_rack;   ///< fraction of same-rack servers a server talks to
+  Cdf frac_across_racks;  ///< fraction of out-of-rack servers it talks to
+  double median_within = 0;   ///< median count of in-rack correspondents
+  double median_across = 0;   ///< median count of out-of-rack correspondents
+};
+[[nodiscard]] CorrespondentStats correspondent_stats(const SparseTm& server_tm,
+                                                     const Topology& topo);
+
+/// Fig. 2 quantification: how much of the traffic stays local at each tier.
+/// (The heatmap itself is emitted by the bench; these scores make the
+/// work-seeks-bandwidth / scatter-gather claim checkable.)
+struct LocalityBreakdown {
+  double frac_same_rack = 0;   ///< bytes between same-rack server pairs
+  double frac_same_vlan = 0;   ///< ... same VLAN but different rack
+  double frac_cross_vlan = 0;  ///< ... across VLANs (internal)
+  double frac_external = 0;    ///< ... to/from external servers
+};
+[[nodiscard]] LocalityBreakdown locality_breakdown(const SparseTm& server_tm,
+                                                   const Topology& topo);
+
+/// Fig. 10: aggregate cluster traffic rate (bytes/s per bin) over time.
+[[nodiscard]] BinnedSeries aggregate_rate_series(const ClusterTrace& trace,
+                                                 TimeSec bin_width);
+
+/// Fig. 10 (bottom): normalized L1 change between consecutive TMs,
+///   |M(t+tau) - M(t)|_1 / |M(t)|_1,
+/// where tau is the window the series was built with.  Windows with zero
+/// traffic are skipped.
+[[nodiscard]] std::vector<double> tm_change_series(const std::vector<SparseTm>& tms);
+
+}  // namespace dct

@@ -1,0 +1,90 @@
+// Strongly-typed integer identifiers used across the dctraffic library.
+//
+// The simulator, trace layer and analysis layer pass around many kinds of
+// small integer handles (servers, racks, links, flows, jobs, ...).  Using a
+// distinct type per kind turns accidental cross-assignment (e.g. indexing a
+// per-link array with a server id) into a compile error at zero runtime cost.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace dct {
+
+/// A zero-cost strongly typed wrapper around a 32-bit index.
+///
+/// `Tag` is a phantom type that distinguishes unrelated id spaces.  Ids are
+/// totally ordered and hashable so they can key standard containers; the
+/// underlying value is exposed via `value()` for array indexing.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::int32_t;
+
+  /// Constructs the sentinel "invalid" id (value -1).
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(value_type v) noexcept : value_(v) {}
+
+  /// Underlying integer, suitable for indexing dense per-entity arrays.
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+
+  /// True unless this is the default-constructed sentinel.
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ >= 0; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+ private:
+  value_type value_ = -1;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+  return os << id.value();
+}
+
+struct ServerTag {};
+struct RackTag {};
+struct SwitchTag {};
+struct LinkTag {};
+struct VlanTag {};
+struct JobTag {};
+struct PhaseTag {};
+struct VertexTag {};
+struct FlowTag {};
+struct BlockTag {};
+
+/// One physical machine (the paper's cluster has no virtualization, so one
+/// IP address == one server).
+using ServerId = StrongId<ServerTag>;
+/// One rack of servers behind a top-of-rack switch.
+using RackId = StrongId<RackTag>;
+/// Any switch in the topology (ToR, aggregation or core).
+using SwitchId = StrongId<SwitchTag>;
+/// One directed link (unidirectional capacity) in the topology.
+using LinkId = StrongId<LinkTag>;
+/// A VLAN grouping a small number of racks (keeps broadcast domains small).
+using VlanId = StrongId<VlanTag>;
+/// A submitted Scope job (compiled into a workflow of phases).
+using JobId = StrongId<JobTag>;
+/// One phase (Extract/Partition/Aggregate/Combine) of a job workflow.
+using PhaseId = StrongId<PhaseTag>;
+/// One parallel vertex of a phase, pinned to a server.
+using VertexId = StrongId<VertexTag>;
+/// One five-tuple flow in the fluid simulator / socket logs.
+using FlowId = StrongId<FlowTag>;
+/// One replicated block in the distributed block store.
+using BlockId = StrongId<BlockTag>;
+
+}  // namespace dct
+
+namespace std {
+template <typename Tag>
+struct hash<dct::StrongId<Tag>> {
+  size_t operator()(dct::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,50 @@
+// Lightweight precondition / invariant checking.
+//
+// Library code validates arguments with `require(...)`, which throws
+// `dct::Error` (a `std::runtime_error`) so misuse is reported to callers
+// instead of corrupting simulator state.  Internal invariants that indicate
+// a library bug use `ensure(...)`, which reports `std::logic_error`.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dct {
+
+/// Error thrown when a caller violates a documented precondition.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(std::string_view kind, std::string_view msg,
+                              const std::source_location& loc) {
+  std::string full;
+  full.reserve(msg.size() + 128);
+  full.append(kind).append(" failed at ");
+  full.append(loc.file_name());
+  full.push_back(':');
+  full.append(std::to_string(loc.line()));
+  full.append(" (").append(loc.function_name()).append("): ");
+  full.append(msg);
+  if (kind == "precondition") throw Error(full);
+  throw std::logic_error(full);
+}
+}  // namespace detail
+
+/// Validates a documented precondition; throws dct::Error when violated.
+inline void require(bool cond, std::string_view msg,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::fail("precondition", msg, loc);
+}
+
+/// Validates an internal invariant; throws std::logic_error when violated.
+inline void ensure(bool cond, std::string_view msg,
+                   std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::fail("invariant", msg, loc);
+}
+
+}  // namespace dct

@@ -1,0 +1,160 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/require.h"
+
+namespace dct {
+
+void StreamingStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+namespace {
+
+double sorted_quantile(std::span<const double> sorted, double p) {
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double quantile(std::span<const double> xs, double p) {
+  require(!xs.empty(), "quantile: empty sample");
+  require(p >= 0.0 && p <= 1.0, "quantile: p must be in [0,1]");
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return sorted_quantile(copy, p);
+}
+
+std::vector<double> quantiles_inplace(std::vector<double>& xs, std::span<const double> ps) {
+  require(!xs.empty(), "quantiles_inplace: empty sample");
+  std::sort(xs.begin(), xs.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) {
+    require(p >= 0.0 && p <= 1.0, "quantiles_inplace: p must be in [0,1]");
+    out.push_back(sorted_quantile(xs, p));
+  }
+  return out;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "pearson: size mismatch");
+  require(xs.size() >= 2, "pearson: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+// Average ranks with tie handling, 1-based.
+std::vector<double> ranks(std::span<const double> xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> r(xs.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "spearman: size mismatch");
+  require(xs.size() >= 2, "spearman: need at least two points");
+  const auto rx = ranks(xs);
+  const auto ry = ranks(ys);
+  return pearson(rx, ry);
+}
+
+double weighted_quantile(std::span<const double> xs, std::span<const double> weights,
+                         double p) {
+  require(xs.size() == weights.size(), "weighted_quantile: size mismatch");
+  require(!xs.empty(), "weighted_quantile: empty sample");
+  require(p >= 0.0 && p <= 1.0, "weighted_quantile: p must be in [0,1]");
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  double total = 0;
+  for (double w : weights) {
+    require(w >= 0.0, "weighted_quantile: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "weighted_quantile: total weight must be positive");
+  const double target = p * total;
+  double acc = 0;
+  for (std::size_t idx : order) {
+    acc += weights[idx];
+    if (acc >= target) return xs[idx];
+  }
+  return xs[order.back()];
+}
+
+}  // namespace dct

@@ -1,0 +1,61 @@
+// Summary statistics, quantiles and correlation utilities used by the
+// analysis layer when condensing per-flow / per-link measurements into the
+// series the paper's figures report.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dct {
+
+/// Single-pass (Welford) accumulator for count / mean / variance / extrema.
+class StreamingStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const StreamingStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact quantile of a sample (linear interpolation between order
+/// statistics, the "type 7" definition).  `p` in [0,1].  Copies and sorts;
+/// use `quantiles_inplace` for repeated queries on the same data.
+[[nodiscard]] double quantile(std::span<const double> xs, double p);
+
+/// Sorts `xs` once and evaluates many probabilities against it.
+[[nodiscard]] std::vector<double> quantiles_inplace(std::vector<double>& xs,
+                                                    std::span<const double> ps);
+
+/// Median convenience wrapper around `quantile`.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Pearson linear correlation coefficient; 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson on average ranks, handling ties).
+[[nodiscard]] double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Weighted quantile: probability mass proportional to `weights`.
+/// Used for byte-weighted flow-duration CDFs (Fig. 9's "Bytes" series).
+[[nodiscard]] double weighted_quantile(std::span<const double> xs,
+                                       std::span<const double> weights, double p);
+
+}  // namespace dct

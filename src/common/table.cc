@@ -1,0 +1,85 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace dct {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+TextTable& TextTable::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+TextTable& TextTable::row(std::vector<std::string> cols) {
+  rows_.push_back(std::move(cols));
+  return *this;
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  if (v != 0 && (std::fabs(v) >= 1e6 || std::fabs(v) < 1e-4)) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", std::max(0, precision - 1), v);
+    // Trim trailing zeros but keep at least one decimal digit off.
+    std::string s(buf);
+    if (s.find('.') != std::string::npos) {
+      while (s.back() == '0') s.pop_back();
+      if (s.back() == '.') s.pop_back();
+    }
+    return s;
+  }
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto grow = [&](const std::vector<std::string>& cols) {
+    if (cols.size() > widths.size()) widths.resize(cols.size(), 0);
+    for (std::size_t i = 0; i < cols.size(); ++i)
+      widths[i] = std::max(widths[i], cols[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cols) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cols.size() ? cols[i] : std::string{};
+      os << cell;
+      if (i + 1 < widths.size()) os << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cols) {
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (i) os << ',';
+      os << cols[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace dct

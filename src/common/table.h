@@ -1,0 +1,42 @@
+// Plain-text table / series printing for the bench harnesses.
+//
+// Every figure-reproduction binary prints its series through `TextTable` so
+// outputs are uniformly aligned and greppable, and can be re-emitted as CSV
+// for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dct {
+
+/// A simple column-aligned text table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {});
+
+  /// Sets the header row.
+  TextTable& header(std::vector<std::string> cols);
+  /// Appends a data row (sizes may differ from the header; short rows pad).
+  TextTable& row(std::vector<std::string> cols);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string num(double v, int precision = 4);
+  /// Formats a probability/fraction as a percentage string, e.g. "42.4%".
+  static std::string pct(double fraction, int decimals = 1);
+
+  /// Renders aligned text (with title and separator) to `os`.
+  void print(std::ostream& os) const;
+  /// Renders comma-separated values (header + rows, no title) to `os`.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dct

@@ -1,0 +1,40 @@
+#include "core/experiment.h"
+
+#include "common/require.h"
+
+namespace dct {
+namespace {
+// Flow records are streamed into the trace by the collector; keeping a
+// second copy inside the simulator would double memory for big runs.
+// Records stay available through trace().flows().
+ScenarioConfig with_streamed_records(ScenarioConfig c) {
+  c.sim.keep_records = false;
+  return c;
+}
+}  // namespace
+
+ClusterExperiment::ClusterExperiment(ScenarioConfig config)
+    : config_(with_streamed_records(std::move(config))),
+      topo_(config_.topology),
+      sim_(topo_, config_.sim),
+      trace_(topo_.server_count(), config_.sim.end_time),
+      collector_(sim_, trace_),
+      driver_(topo_, sim_, trace_, config_.workload, config_.seed) {}
+
+void ClusterExperiment::run() {
+  if (ran_) return;
+  driver_.install();
+  sim_.run();
+  trace_.build_indices();
+  ran_ = true;
+}
+
+const LinkUtilizationMap& ClusterExperiment::utilization() {
+  require(ran_, "ClusterExperiment::utilization: call run() first");
+  if (!util_cache_) {
+    util_cache_ = std::make_unique<LinkUtilizationMap>(utilization_from_sim(sim_));
+  }
+  return *util_cache_;
+}
+
+}  // namespace dct

@@ -1,0 +1,67 @@
+// ClusterExperiment: the top-level entry point of the library.
+//
+// One experiment = one simulated measurement campaign: build the cluster,
+// run the workload under server-centric instrumentation, and hand the
+// resulting ClusterTrace (socket + application logs) and exact link
+// utilization to the analysis and tomography layers.
+//
+//   dct::ClusterExperiment exp(dct::scenarios::canonical(600.0));
+//   exp.run();
+//   auto tms  = dct::build_tm_series(exp.trace(), exp.topology(), 10.0,
+//                                    dct::TmScope::kServer);
+//   auto cong = dct::congestion_report(exp.utilization(), exp.topology(), 0.7);
+#pragma once
+
+#include <memory>
+
+#include "analysis/congestion.h"
+#include "core/scenario.h"
+#include "flowsim/flowsim.h"
+#include "topology/topology.h"
+#include "trace/cluster_trace.h"
+#include "workload/driver.h"
+
+namespace dct {
+
+/// Owns the whole simulation stack for one scenario and runs it to the
+/// horizon.  All accessors require run() to have completed.
+class ClusterExperiment {
+ public:
+  explicit ClusterExperiment(ScenarioConfig config);
+
+  // The simulator, trace and driver hold references into this object, so it
+  // must stay put.  Construct in place (guaranteed prvalue elision makes
+  // `auto exp = ClusterExperiment(cfg);` fine).
+  ClusterExperiment(const ClusterExperiment&) = delete;
+  ClusterExperiment& operator=(const ClusterExperiment&) = delete;
+  ClusterExperiment(ClusterExperiment&&) = delete;
+  ClusterExperiment& operator=(ClusterExperiment&&) = delete;
+
+  /// Installs the workload and runs the simulator to the horizon.
+  /// Idempotent.
+  void run();
+
+  [[nodiscard]] const ScenarioConfig& scenario() const noexcept { return config_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const FlowSim& sim() const noexcept { return sim_; }
+  [[nodiscard]] const ClusterTrace& trace() const noexcept { return trace_; }
+  [[nodiscard]] const WorkloadDriver& workload() const noexcept { return driver_; }
+  [[nodiscard]] const WorkloadStats& workload_stats() const noexcept {
+    return driver_.stats();
+  }
+
+  /// Exact per-link utilization from the simulator (computed once, cached).
+  [[nodiscard]] const LinkUtilizationMap& utilization();
+
+ private:
+  ScenarioConfig config_;
+  Topology topo_;
+  FlowSim sim_;
+  ClusterTrace trace_;
+  TraceCollector collector_;
+  WorkloadDriver driver_;
+  bool ran_ = false;
+  std::unique_ptr<LinkUtilizationMap> util_cache_;
+};
+
+}  // namespace dct

@@ -1,0 +1,106 @@
+#include "core/scenario.h"
+
+namespace dct::scenarios {
+
+ScenarioConfig canonical(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.name = "canonical";
+  cfg.seed = seed;
+  // 25 racks x 20 servers = 500 servers (the paper's cluster is ~1500; the
+  // per-entity statistics we reproduce are scale-free).
+  cfg.topology.racks = 25;
+  cfg.topology.servers_per_rack = 20;
+  cfg.topology.racks_per_vlan = 5;
+  cfg.topology.agg_switches = 2;
+  cfg.topology.external_servers = 10;
+  cfg.sim.end_time = duration;
+  cfg.sim.recompute_interval = 0.025;
+  cfg.sim.util_bin_width = 1.0;
+  return cfg;
+}
+
+ScenarioConfig weekend(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = canonical(duration, seed);
+  cfg.name = "weekend";
+  cfg.workload.jobs_per_second *= 0.25;
+  cfg.workload.evacuations_per_hour *= 0.5;
+  return cfg;
+}
+
+ScenarioConfig heavy(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = canonical(duration, seed);
+  cfg.name = "heavy";
+  cfg.workload.jobs_per_second *= 1.8;
+  cfg.workload.production_jobs.weight *= 1.6;
+  cfg.workload.evacuations_per_hour *= 1.5;
+  return cfg;
+}
+
+ScenarioConfig no_locality(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = canonical(duration, seed);
+  cfg.name = "no_locality";
+  cfg.workload.locality_enabled = false;
+  cfg.workload.aggregate_home_bias = 0.0;
+  return cfg;
+}
+
+ScenarioConfig uncapped_connections(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = canonical(duration, seed);
+  cfg.name = "uncapped_connections";
+  cfg.workload.max_fetch_connections = 64;
+  cfg.workload.fetch_gap = 0.0;
+  return cfg;
+}
+
+ScenarioConfig unchunked(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = canonical(duration, seed);
+  cfg.name = "unchunked";
+  cfg.workload.chunked_transfers = false;
+  return cfg;
+}
+
+ScenarioConfig paper_scale(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = canonical(duration, seed);
+  cfg.name = "paper_scale";
+  cfg.topology.racks = 75;
+  cfg.topology.agg_switches = 6;  // same ~12.5 racks per aggregation switch
+  cfg.topology.external_servers = 30;
+  // Keep per-server intensity constant: 3x the servers, 3x the arrivals.
+  cfg.workload.jobs_per_second *= 3.0;
+  cfg.workload.initial_datasets *= 3;
+  cfg.workload.max_concurrent_jobs *= 3;
+  return cfg;
+}
+
+ScenarioConfig full_bisection(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = canonical(duration, seed);
+  cfg.name = "full_bisection";
+  // Every rack's 20 x 1 Gbps can leave the rack; aggregation carries all
+  // ToRs at once.
+  cfg.topology.tor_uplink_capacity =
+      cfg.topology.server_link_capacity * cfg.topology.servers_per_rack;
+  cfg.topology.agg_uplink_capacity =
+      cfg.topology.tor_uplink_capacity * cfg.topology.racks;
+  return cfg;
+}
+
+ScenarioConfig tiny(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.name = "tiny";
+  cfg.seed = seed;
+  cfg.topology.racks = 4;
+  cfg.topology.servers_per_rack = 8;
+  cfg.topology.racks_per_vlan = 2;
+  cfg.topology.agg_switches = 2;
+  cfg.topology.external_servers = 2;
+  cfg.sim.end_time = duration;
+  cfg.sim.recompute_interval = 0.0;  // exact mode
+  cfg.workload.jobs_per_second = 0.2;
+  cfg.workload.initial_datasets = 8;
+  cfg.workload.short_jobs.input_max = 1 * kGB;
+  cfg.workload.medium_jobs.input_max = 2 * kGB;
+  cfg.workload.production_jobs.input_max = 4 * kGB;
+  return cfg;
+}
+
+}  // namespace dct::scenarios

@@ -1,0 +1,71 @@
+// Scenario presets: named (topology, workload, simulator, seed) bundles.
+//
+// The *canonical* scenario is this library's stand-in for the paper's
+// instrumented production cluster, scaled down so every experiment runs on
+// a laptop (DESIGN.md §5 discusses what survives the scaling).  The other
+// presets are the load variants used by the Fig. 8 day-by-day experiment
+// and the ablations called out in DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "flowsim/flowsim.h"
+#include "topology/topology.h"
+#include "workload/driver.h"
+
+namespace dct {
+
+/// A complete, reproducible experiment description.
+struct ScenarioConfig {
+  std::string name = "canonical";
+  TopologyConfig topology;
+  WorkloadConfig workload;
+  FlowSimConfig sim;
+  std::uint64_t seed = 42;
+};
+
+namespace scenarios {
+
+/// The paper-analogue cluster under its normal mixed workload.
+[[nodiscard]] ScenarioConfig canonical(TimeSec duration = 600.0, std::uint64_t seed = 42);
+
+/// Lightly loaded cluster (the paper's weekend days in Fig. 8).
+[[nodiscard]] ScenarioConfig weekend(TimeSec duration = 600.0, std::uint64_t seed = 42);
+
+/// Heavily loaded cluster (the paper's congested weekdays in Fig. 8).
+[[nodiscard]] ScenarioConfig heavy(TimeSec duration = 600.0, std::uint64_t seed = 42);
+
+/// Ablation: random placement instead of the locality ladder
+/// (work-seeks-bandwidth off).
+[[nodiscard]] ScenarioConfig no_locality(TimeSec duration = 600.0,
+                                         std::uint64_t seed = 42);
+
+/// Ablation: no connection cap / no stop-and-go release of shuffle fetches.
+[[nodiscard]] ScenarioConfig uncapped_connections(TimeSec duration = 600.0,
+                                                  std::uint64_t seed = 42);
+
+/// Ablation: whole-partition transfers instead of chunked ones.
+[[nodiscard]] ScenarioConfig unchunked(TimeSec duration = 600.0, std::uint64_t seed = 42);
+
+/// Architecture study: the same workload on a non-oversubscribed fabric
+/// (ToR uplinks sized to the rack's full NIC capacity, aggregation sized to
+/// carry every ToR) — the VL2-style "what if bandwidth were not scarce"
+/// question the paper says its characterization enables designers to ask.
+[[nodiscard]] ScenarioConfig full_bisection(TimeSec duration = 600.0,
+                                            std::uint64_t seed = 42);
+
+/// The paper's actual scale: 75 racks x 20 servers = 1500 servers (plus
+/// externals).  Same workload intensity per server as `canonical`.  A
+/// 600 s run takes a few minutes of wall clock and several GB of memory;
+/// use for final-fidelity reproductions, not for iteration.
+[[nodiscard]] ScenarioConfig paper_scale(TimeSec duration = 600.0,
+                                         std::uint64_t seed = 42);
+
+/// A very small, fast configuration for unit tests (4 racks, exact-mode
+/// simulator).
+[[nodiscard]] ScenarioConfig tiny(TimeSec duration = 60.0, std::uint64_t seed = 42);
+
+}  // namespace scenarios
+}  // namespace dct

@@ -1,0 +1,446 @@
+#include "flowsim/flowsim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace dct {
+
+std::string_view to_string(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kBlockRead: return "block_read";
+    case FlowKind::kShuffle: return "shuffle";
+    case FlowKind::kReplicaWrite: return "replica_write";
+    case FlowKind::kIngest: return "ingest";
+    case FlowKind::kEgress: return "egress";
+    case FlowKind::kEvacuation: return "evacuation";
+    case FlowKind::kControl: return "control";
+    case FlowKind::kOther: return "other";
+  }
+  return "unknown";
+}
+
+void FlowSimConfig::validate() const {
+  require(end_time > 0, "FlowSimConfig: end_time must be > 0");
+  require(recompute_interval >= 0, "FlowSimConfig: recompute_interval must be >= 0");
+  require(util_bin_width > 0, "FlowSimConfig: util_bin_width must be > 0");
+  require(fail_rate_floor >= 0, "FlowSimConfig: fail_rate_floor must be >= 0");
+  require(fail_timeout > 0, "FlowSimConfig: fail_timeout must be > 0");
+  require(connect_share_floor >= 0, "FlowSimConfig: connect_share_floor must be >= 0");
+  require(connect_fail_max_prob >= 0 && connect_fail_max_prob <= 1,
+          "FlowSimConfig: connect_fail_max_prob must be in [0,1]");
+}
+
+FlowSim::FlowSim(const Topology& topo, FlowSimConfig config)
+    : topo_(topo), config_(config), rng_(config.seed) {
+  config_.validate();
+  const auto n_links = static_cast<std::size_t>(topo_.link_count());
+  const auto n_bins =
+      static_cast<std::size_t>(std::ceil(config_.end_time / config_.util_bin_width));
+  link_series_.reserve(n_links);
+  for (std::size_t l = 0; l < n_links; ++l) {
+    link_series_.emplace_back(0.0, config_.util_bin_width, std::max<std::size_t>(1, n_bins));
+  }
+  link_residual_.resize(n_links, 0.0);
+  link_nflows_.resize(n_links, 0);
+  link_epoch_.resize(n_links, 0);
+  link_active_.resize(n_links, 0);
+  csr_offset_.resize(n_links + 1, 0);
+}
+
+void FlowSim::push_event(Event e) {
+  e.seq = seq_++;
+  events_.push(e);
+}
+
+void FlowSim::at(TimeSec t, UserCallback fn) {
+  require(t >= now_, "FlowSim::at: cannot schedule in the past");
+  require(fn != nullptr, "FlowSim::at: null callback");
+  user_callbacks_.push_back(std::move(fn));
+  Event e{};
+  e.time = t;
+  e.kind = EventKind::kUser;
+  e.user_index = static_cast<std::uint32_t>(user_callbacks_.size() - 1);
+  push_event(e);
+}
+
+std::ptrdiff_t FlowSim::slot_of(std::int32_t flow_id) const {
+  if (flow_id < 0 || static_cast<std::size_t>(flow_id) >= slot_by_flow_.size()) return -1;
+  return slot_by_flow_[static_cast<std::size_t>(flow_id)];
+}
+
+FlowId FlowSim::start_flow(const FlowSpec& spec, CompletionCallback on_complete) {
+  require(spec.bytes >= 0, "start_flow: negative byte count");
+  const FlowId id{static_cast<std::int32_t>(started_)};
+  ++started_;
+  slot_by_flow_.push_back(-1);
+
+  ActiveFlow f;
+  f.id = id;
+  f.spec = spec;
+  topo_.route_into(spec.src, spec.dst, f.path);
+  f.remaining = static_cast<double>(spec.bytes);
+  f.start = now_;
+  f.last_deposit = now_;
+  f.on_complete = std::move(on_complete);
+
+  // Connection-establishment failure: if the prospective fair share on the
+  // bottleneck link is under the floor, the attempt may fail outright
+  // (queues full at the bottleneck; the SYN-timeout analogue).
+  bool connect_failed = false;
+  if (!f.path.empty() && spec.bytes > 0 && now_ < config_.end_time &&
+      config_.connect_share_floor > 0) {
+    double share = std::numeric_limits<double>::infinity();
+    for (LinkId l : f.path) {
+      const auto li = static_cast<std::size_t>(l.value());
+      share = std::min(share, topo_.link(l).capacity /
+                                  static_cast<double>(link_active_[li] + 1));
+    }
+    if (share < config_.connect_share_floor) {
+      const double overload = config_.connect_share_floor / std::max(share, 1.0);
+      const double p =
+          std::min(config_.connect_fail_max_prob, 0.25 * (overload - 1.0));
+      connect_failed = p > 0 && rng_.bernoulli(p);
+    }
+  }
+  if (connect_failed) {
+    FlowRecord rec;
+    rec.id = id;
+    rec.src = spec.src;
+    rec.dst = spec.dst;
+    rec.bytes_requested = spec.bytes;
+    rec.bytes_sent = 0;
+    rec.start = now_;
+    rec.end = now_;
+    rec.failed = true;
+    rec.job = spec.job;
+    rec.phase = spec.phase;
+    rec.kind = spec.kind;
+    ++failed_;
+    if (config_.keep_records) records_.push_back(rec);
+    if (record_sink_) record_sink_(rec);
+    if (f.on_complete) f.on_complete(*this, rec);
+    return id;
+  }
+
+  // Degenerate flows (zero bytes, loopback, or started while draining the
+  // horizon) finalize immediately without entering the network.
+  if (spec.bytes == 0 || f.path.empty() || now_ >= config_.end_time) {
+    FlowRecord rec;
+    rec.id = id;
+    rec.src = spec.src;
+    rec.dst = spec.dst;
+    rec.bytes_requested = spec.bytes;
+    rec.bytes_sent = (f.path.empty() && now_ < config_.end_time) ? spec.bytes : 0;
+    rec.start = now_;
+    rec.end = now_;
+    rec.truncated = now_ >= config_.end_time && spec.bytes > 0 && !f.path.empty();
+    rec.job = spec.job;
+    rec.phase = spec.phase;
+    rec.kind = spec.kind;
+    if (config_.keep_records) records_.push_back(rec);
+    if (record_sink_) record_sink_(rec);
+    // No completion callback while draining: a callback that immediately
+    // starts another flow would otherwise loop forever at the horizon.
+    if (f.on_complete && now_ < config_.end_time) f.on_complete(*this, rec);
+    return id;
+  }
+
+  slot_by_flow_[static_cast<std::size_t>(id.value())] =
+      static_cast<std::int32_t>(active_.size());
+  for (LinkId l : f.path) ++link_active_[static_cast<std::size_t>(l.value())];
+  active_.push_back(std::move(f));
+  dirty_ = true;
+  schedule_recompute();
+  return id;
+}
+
+void FlowSim::schedule_recompute() {
+  if (recompute_scheduled_) return;
+  recompute_scheduled_ = true;
+  Event e{};
+  e.time = std::max(now_, last_recompute_ + config_.recompute_interval);
+  e.kind = EventKind::kRecompute;
+  push_event(e);
+}
+
+void FlowSim::deposit(ActiveFlow& f, TimeSec up_to) {
+  const TimeSec dt = up_to - f.last_deposit;
+  if (dt <= 0) return;
+  const double moved = std::min(f.remaining, f.rate * dt);
+  if (moved > 0) {
+    for (LinkId l : f.path) {
+      link_series_[static_cast<std::size_t>(l.value())].add_interval(f.last_deposit, up_to,
+                                                                     moved);
+    }
+    f.remaining -= moved;
+  }
+  f.last_deposit = up_to;
+}
+
+void FlowSim::recompute_rates() {
+  ++recomputes_;
+  last_recompute_ = now_;
+  dirty_ = false;
+  const std::size_t n = active_.size();
+  if (n == 0) return;
+
+  // Account utilization at the outgoing rates before changing them.
+  for (auto& f : active_) deposit(f, now_);
+
+  // --- Progressive filling (water-filling) max-min fair allocation. -------
+  // Phase 1: discover the touched links and count flows per link.
+  ++fill_epoch_;
+  used_links_.clear();
+  for (const auto& f : active_) {
+    for (LinkId l : f.path) {
+      const auto li = static_cast<std::size_t>(l.value());
+      if (link_epoch_[li] != fill_epoch_) {
+        link_epoch_[li] = fill_epoch_;
+        link_residual_[li] = topo_.link(l).capacity;
+        link_nflows_[li] = 0;
+        used_links_.push_back(l.value());
+      }
+      ++link_nflows_[li];
+    }
+  }
+  // Phase 2: CSR of link -> flows for the freeze step.  csr_count_ keeps the
+  // original per-link flow count (link_nflows_ is mutated while freezing).
+  csr_count_.resize(link_residual_.size());
+  std::size_t total_entries = 0;
+  for (std::int32_t l : used_links_) {
+    const auto li = static_cast<std::size_t>(l);
+    csr_offset_[li] = static_cast<std::int32_t>(total_entries);
+    csr_count_[li] = link_nflows_[li];
+    total_entries += static_cast<std::size_t>(link_nflows_[li]);
+  }
+  csr_flows_.resize(total_entries);
+  {
+    // Temporarily reuse csr_offset_ as a fill cursor.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (LinkId l : active_[i].path) {
+        const auto li = static_cast<std::size_t>(l.value());
+        csr_flows_[static_cast<std::size_t>(csr_offset_[li]++)] =
+            static_cast<std::int32_t>(i);
+      }
+    }
+    // Restore offsets.
+    std::size_t running = 0;
+    for (std::int32_t l : used_links_) {
+      const auto li = static_cast<std::size_t>(l);
+      const auto cnt = static_cast<std::size_t>(link_nflows_[li]);
+      csr_offset_[li] = static_cast<std::int32_t>(running);
+      running += cnt;
+    }
+  }
+  // Phase 3: iteratively freeze all links at the current minimum water
+  // level.  Freezing every min-share link in one pass is exact (removing a
+  // frozen flow from another min-share link keeps that link's share at the
+  // water level) and collapses the homogeneous-capacity case into few
+  // iterations.
+  flow_frozen_.assign(n, 0);
+  std::size_t unfrozen = n;
+  std::size_t guard = 0;
+  const double cap = config_.per_flow_rate_cap;
+  while (unfrozen > 0) {
+    ensure(++guard <= used_links_.size() + 2, "progressive filling failed to converge");
+    double min_share = std::numeric_limits<double>::infinity();
+    for (std::int32_t l : used_links_) {
+      const auto li = static_cast<std::size_t>(l);
+      if (link_nflows_[li] <= 0) continue;
+      const double share =
+          std::max(0.0, link_residual_[li]) / static_cast<double>(link_nflows_[li]);
+      min_share = std::min(min_share, share);
+    }
+    ensure(std::isfinite(min_share), "no constraining link for unfrozen flows");
+    if (cap > 0 && min_share >= cap) {
+      // The water level reached the per-flow ceiling: every remaining flow
+      // is cap-limited, not link-limited (with a uniform cap this is exact).
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!flow_frozen_[i]) {
+          flow_frozen_[i] = 1;
+          active_[i].rate = cap;
+        }
+      }
+      unfrozen = 0;
+      break;
+    }
+    const double level = min_share * (1.0 + 1e-9) + 1e-12;
+    for (std::int32_t l : used_links_) {
+      const auto li = static_cast<std::size_t>(l);
+      if (link_nflows_[li] <= 0) continue;
+      const double share =
+          std::max(0.0, link_residual_[li]) / static_cast<double>(link_nflows_[li]);
+      if (share > level) continue;
+      const auto begin = static_cast<std::size_t>(csr_offset_[li]);
+      const auto end = begin + static_cast<std::size_t>(csr_count_[li]);
+      for (std::size_t k = begin; k < end; ++k) {
+        const auto fi = static_cast<std::size_t>(csr_flows_[k]);
+        if (flow_frozen_[fi]) continue;
+        flow_frozen_[fi] = 1;
+        active_[fi].rate = min_share;
+        for (LinkId pl : active_[fi].path) {
+          const auto pli = static_cast<std::size_t>(pl.value());
+          link_residual_[pli] -= min_share;
+          --link_nflows_[pli];
+        }
+        --unfrozen;
+      }
+    }
+  }
+
+  // Phase 4: bump generations, schedule completion & stall events.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& f = active_[i];
+    ++f.generation;
+    if (f.rate > 0) {
+      const TimeSec done = now_ + f.remaining / f.rate;
+      if (done <= config_.end_time) {
+        Event e{};
+        e.time = done;
+        e.kind = EventKind::kCompletion;
+        e.flow_id = f.id.value();
+        e.generation = f.generation;
+        push_event(e);
+      }
+    }
+    if (f.rate < config_.fail_rate_floor) {
+      if (f.stall_since < 0) {
+        f.stall_since = now_;
+        Event e{};
+        e.time = now_ + config_.fail_timeout;
+        e.kind = EventKind::kStall;
+        e.flow_id = f.id.value();
+        push_event(e);
+      }
+    } else {
+      f.stall_since = -1;
+    }
+  }
+}
+
+void FlowSim::finalize_flow(std::size_t slot, bool failed, bool truncated) {
+  ensure(slot < active_.size(), "finalize_flow: bad slot");
+  ActiveFlow& f = active_[slot];
+  deposit(f, now_);
+
+  FlowRecord rec;
+  rec.id = f.id;
+  rec.src = f.spec.src;
+  rec.dst = f.spec.dst;
+  rec.bytes_requested = f.spec.bytes;
+  const double sent = static_cast<double>(f.spec.bytes) - f.remaining;
+  rec.bytes_sent = std::clamp<Bytes>(static_cast<Bytes>(std::llround(sent)), 0, f.spec.bytes);
+  if (!failed && !truncated) rec.bytes_sent = f.spec.bytes;
+  rec.start = f.start;
+  rec.end = now_;
+  rec.failed = failed;
+  rec.truncated = truncated;
+  rec.job = f.spec.job;
+  rec.phase = f.spec.phase;
+  rec.kind = f.spec.kind;
+
+  if (failed) ++failed_;
+  for (LinkId l : f.path) --link_active_[static_cast<std::size_t>(l.value())];
+  CompletionCallback cb = std::move(f.on_complete);
+
+  // Swap-remove and fix the moved flow's slot index.
+  slot_by_flow_[static_cast<std::size_t>(f.id.value())] = -1;
+  if (slot != active_.size() - 1) {
+    active_[slot] = std::move(active_.back());
+    slot_by_flow_[static_cast<std::size_t>(active_[slot].id.value())] =
+        static_cast<std::int32_t>(slot);
+  }
+  active_.pop_back();
+  dirty_ = true;
+  if (now_ < config_.end_time) schedule_recompute();
+
+  if (config_.keep_records) records_.push_back(rec);
+  if (record_sink_) record_sink_(rec);
+  if (cb && !truncated) cb(*this, rec);
+}
+
+void FlowSim::run() {
+  require(!running_, "FlowSim::run: re-entrant call");
+  if (ran_) return;
+  running_ = true;
+
+  while (!events_.empty()) {
+    Event e = events_.top();
+    if (e.time > config_.end_time) break;
+    events_.pop();
+    ensure(e.time >= now_ - 1e-9, "event queue went backwards");
+    now_ = std::max(now_, e.time);
+
+    switch (e.kind) {
+      case EventKind::kUser: {
+        UserCallback cb = std::move(user_callbacks_[e.user_index]);
+        if (cb) cb(*this);
+        break;
+      }
+      case EventKind::kRecompute: {
+        recompute_scheduled_ = false;
+        if (dirty_) recompute_rates();
+        break;
+      }
+      case EventKind::kCompletion: {
+        const std::ptrdiff_t slot = slot_of(e.flow_id);
+        if (slot < 0) break;  // already gone
+        ActiveFlow& f = active_[static_cast<std::size_t>(slot)];
+        if (f.generation != e.generation) break;  // stale rate epoch
+        deposit(f, now_);
+        f.remaining = 0;  // absorb float residue: this event is the finish
+        finalize_flow(static_cast<std::size_t>(slot), /*failed=*/false,
+                      /*truncated=*/false);
+        break;
+      }
+      case EventKind::kStall: {
+        const std::ptrdiff_t slot = slot_of(e.flow_id);
+        if (slot < 0) break;
+        ActiveFlow& f = active_[static_cast<std::size_t>(slot)];
+        if (f.rate >= config_.fail_rate_floor || f.stall_since < 0) break;
+        if (now_ - f.stall_since >= config_.fail_timeout - 1e-9) {
+          finalize_flow(static_cast<std::size_t>(slot), /*failed=*/true,
+                        /*truncated=*/false);
+        } else {
+          // The stall restarted since this event was queued; re-arm.
+          Event re{};
+          re.time = f.stall_since + config_.fail_timeout;
+          re.kind = EventKind::kStall;
+          re.flow_id = f.id.value();
+          push_event(re);
+        }
+        break;
+      }
+    }
+  }
+
+  drain_horizon();
+  running_ = false;
+  ran_ = true;
+}
+
+void FlowSim::drain_horizon() {
+  now_ = config_.end_time;
+  while (!active_.empty()) {
+    finalize_flow(active_.size() - 1, /*failed=*/false, /*truncated=*/true);
+  }
+}
+
+const BinnedSeries& FlowSim::link_bytes(LinkId link) const {
+  require(link.valid() && link.value() < topo_.link_count(), "link_bytes: bad link");
+  return link_series_[static_cast<std::size_t>(link.value())];
+}
+
+BinnedSeries FlowSim::link_utilization(LinkId link) const {
+  const BinnedSeries& bytes = link_bytes(link);
+  const double denom = topo_.link(link).capacity * bytes.bin_width();
+  BinnedSeries out(bytes.start_time(), bytes.bin_width(), bytes.bin_count());
+  for (std::size_t i = 0; i < bytes.bin_count(); ++i) {
+    out.add_point(bytes.bin_time(i), bytes.value(i) / denom);
+  }
+  return out;
+}
+
+}  // namespace dct

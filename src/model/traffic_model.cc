@@ -1,0 +1,201 @@
+#include "model/traffic_model.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <ostream>
+
+#include "common/require.h"
+#include "common/table.h"
+
+namespace dct {
+
+std::string_view to_string(FlowLocality locality) {
+  switch (locality) {
+    case FlowLocality::kSameRack: return "same_rack";
+    case FlowLocality::kSameVlan: return "same_vlan";
+    case FlowLocality::kCrossVlan: return "cross_vlan";
+    case FlowLocality::kExternal: return "external";
+  }
+  return "unknown";
+}
+
+FlowLocality classify_locality(const Topology& topo, ServerId a, ServerId b) {
+  if (topo.is_external(a) || topo.is_external(b)) return FlowLocality::kExternal;
+  if (topo.same_rack(a, b)) return FlowLocality::kSameRack;
+  if (topo.same_vlan(a, b)) return FlowLocality::kSameVlan;
+  return FlowLocality::kCrossVlan;
+}
+
+TrafficModel TrafficModel::fit(const ClusterTrace& trace, const Topology& topo) {
+  require(trace.flow_count() >= 10, "TrafficModel::fit: trace too small to fit");
+  require(trace.server_count() == topo.server_count(),
+          "TrafficModel::fit: trace/topology mismatch");
+  TrafficModel m;
+
+  std::vector<double> starts;
+  std::vector<double> sizes;
+  std::vector<double> rates;
+  std::array<double, 4> mix{};
+  std::vector<double> rack_flows(static_cast<std::size_t>(topo.rack_count()), 0.0);
+  double external_origins = 0;
+
+  for (const SocketFlowLog& f : trace.flows()) {
+    starts.push_back(f.start);
+    if (f.bytes > 0) sizes.push_back(static_cast<double>(f.bytes));
+    if (f.bytes > 0 && f.duration() > 1e-6 && !f.truncated) {
+      rates.push_back(static_cast<double>(f.bytes) / f.duration());
+    }
+    mix[static_cast<std::size_t>(classify_locality(topo, f.local, f.peer))] += 1.0;
+    if (topo.is_external(f.local)) {
+      external_origins += 1.0;
+    } else {
+      rack_flows[static_cast<std::size_t>(topo.rack_of(f.local).value())] += 1.0;
+    }
+  }
+  require(sizes.size() >= 2 && rates.size() >= 2,
+          "TrafficModel::fit: not enough completed flows");
+
+  std::sort(starts.begin(), starts.end());
+  std::vector<double> gaps;
+  gaps.reserve(starts.size());
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    gaps.push_back(std::max(starts[i] - starts[i - 1], 1e-7));
+  }
+  require(gaps.size() >= 2, "TrafficModel::fit: not enough arrivals");
+
+  const double span = std::max(starts.back() - starts.front(), 1e-9);
+  m.flows_per_second_ = static_cast<double>(starts.size()) / span;
+  m.inter_arrival_ = EmpiricalDistribution::from_samples(std::move(gaps));
+  m.bytes_ = EmpiricalDistribution::from_samples(std::move(sizes));
+  m.rate_ = EmpiricalDistribution::from_samples(std::move(rates));
+
+  double mix_total = 0;
+  for (double v : mix) mix_total += v;
+  for (std::size_t k = 0; k < 4; ++k) m.locality_mix_[k] = mix[k] / mix_total;
+
+  double rack_total = external_origins;
+  for (double v : rack_flows) rack_total += v;
+  m.rack_activity_.resize(rack_flows.size());
+  for (std::size_t r = 0; r < rack_flows.size(); ++r) {
+    m.rack_activity_[r] = rack_total > 0 ? rack_flows[r] / rack_total : 0.0;
+  }
+  return m;
+}
+
+ClusterTrace TrafficModel::generate(const Topology& topo, TimeSec duration,
+                                    Rng rng) const {
+  require(duration > 0, "TrafficModel::generate: duration must be > 0");
+  require(topo.rack_count() >= 2, "TrafficModel::generate: need at least two racks");
+  ClusterTrace trace(topo.server_count(), duration);
+
+  // Map fitted rack activity onto the target topology (resample if the rack
+  // counts differ, preserving the skew profile).
+  std::vector<double> activity(static_cast<std::size_t>(topo.rack_count()), 1.0);
+  if (!rack_activity_.empty()) {
+    for (std::size_t r = 0; r < activity.size(); ++r) {
+      const std::size_t src = r * rack_activity_.size() / activity.size();
+      activity[r] = std::max(rack_activity_[src], 1e-9);
+    }
+  }
+
+  auto random_server_in_rack = [&](std::int32_t rack) {
+    const std::int32_t base = rack * topo.config().servers_per_rack;
+    return ServerId{static_cast<std::int32_t>(
+        rng.uniform_int(base, base + topo.config().servers_per_rack - 1))};
+  };
+  auto pick_src_rack = [&]() {
+    return static_cast<std::int32_t>(rng.weighted_index(activity));
+  };
+
+  std::int32_t flow_id = 0;
+  TimeSec t = inter_arrival_.sample(rng);
+  while (t < duration) {
+    FlowRecord rec;
+    rec.id = FlowId{flow_id++};
+    rec.start = t;
+
+    const double bytes = std::max(1.0, bytes_.sample(rng));
+    const double rate = std::max(1.0, rate_.sample(rng));
+    rec.bytes_requested = static_cast<Bytes>(bytes);
+    rec.bytes_sent = rec.bytes_requested;
+    rec.end = std::min<TimeSec>(duration, t + bytes / rate);
+    rec.truncated = t + bytes / rate > duration;
+
+    const auto cls = static_cast<FlowLocality>(rng.weighted_index(locality_mix_));
+    const std::int32_t rack = pick_src_rack();
+    rec.src = random_server_in_rack(rack);
+    switch (cls) {
+      case FlowLocality::kSameRack: {
+        do {
+          rec.dst = random_server_in_rack(rack);
+        } while (rec.dst == rec.src);
+        break;
+      }
+      case FlowLocality::kSameVlan: {
+        const std::int32_t per_vlan = topo.config().racks_per_vlan;
+        const std::int32_t vlan = rack / per_vlan;
+        const std::int32_t first = vlan * per_vlan;
+        const std::int32_t last = std::min(first + per_vlan, topo.rack_count());
+        std::int32_t other = rack;
+        if (last - first > 1) {
+          while (other == rack) {
+            other = static_cast<std::int32_t>(rng.uniform_int(first, last - 1));
+          }
+        } else {
+          other = (rack + 1) % topo.rack_count();  // degenerate VLAN: spill
+        }
+        rec.dst = random_server_in_rack(other);
+        break;
+      }
+      case FlowLocality::kCrossVlan: {
+        const std::int32_t per_vlan = topo.config().racks_per_vlan;
+        std::int32_t other = rack;
+        while (other / per_vlan == rack / per_vlan) {
+          other = static_cast<std::int32_t>(rng.uniform_int(0, topo.rack_count() - 1));
+          if (topo.vlan_count() < 2) break;  // single-VLAN cluster: spill
+        }
+        rec.dst = random_server_in_rack(other);
+        break;
+      }
+      case FlowLocality::kExternal: {
+        if (topo.config().external_servers > 0) {
+          const ServerId ext{static_cast<std::int32_t>(rng.uniform_int(
+              topo.internal_server_count(), topo.server_count() - 1))};
+          if (rng.bernoulli(0.5)) {
+            rec.dst = ext;  // egress
+          } else {
+            rec.dst = rec.src;  // ingest lands on the chosen internal server
+            rec.src = ext;
+          }
+        } else {
+          rec.dst = random_server_in_rack((rack + 1) % topo.rack_count());
+        }
+        break;
+      }
+    }
+    trace.record_flow(rec);
+    t += inter_arrival_.sample(rng);
+  }
+  trace.build_indices();
+  return trace;
+}
+
+void TrafficModel::describe(std::ostream& os) const {
+  TextTable t("fitted traffic model");
+  t.header({"parameter", "value"});
+  t.row({"flow arrival rate (flows/s)", TextTable::num(flows_per_second_)});
+  t.row({"median inter-arrival (ms)",
+         TextTable::num(inter_arrival_.quantile(0.5) * 1000.0)});
+  t.row({"median flow size (bytes)", TextTable::num(bytes_.quantile(0.5))});
+  t.row({"p99 flow size (bytes)", TextTable::num(bytes_.quantile(0.99))});
+  t.row({"median flow rate (Mbps)",
+         TextTable::num(rate_.quantile(0.5) * 8.0 / 1e6)});
+  t.row({"P(same rack)", TextTable::pct(locality_mix_[0])});
+  t.row({"P(same VLAN)", TextTable::pct(locality_mix_[1])});
+  t.row({"P(cross VLAN)", TextTable::pct(locality_mix_[2])});
+  t.row({"P(external)", TextTable::pct(locality_mix_[3])});
+  t.print(os);
+}
+
+}  // namespace dct

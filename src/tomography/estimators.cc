@@ -1,0 +1,288 @@
+#include "tomography/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/require.h"
+
+namespace dct {
+namespace {
+
+// Measured index of ToR i's uplink / downlink, via any path that starts /
+// ends there.
+std::int32_t tor_up_idx(const RoutingMatrix& r, std::int32_t i) {
+  const std::int32_t j = (i + 1) % r.tor_count();
+  return r.path(i, j).front();
+}
+std::int32_t tor_down_idx(const RoutingMatrix& r, std::int32_t i) {
+  const std::int32_t j = (i + 1) % r.tor_count();
+  return r.path(j, i).back();
+}
+
+// v = A W A^T u  for W = diag(w) over OD pairs.
+std::vector<double> normal_matvec(const RoutingMatrix& r, const std::vector<double>& w,
+                                  const std::vector<double>& u) {
+  std::vector<double> y = r.adjoint(u);  // OD-space
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] *= w[i];
+  const std::int32_t n = r.tor_count();
+  std::vector<double> v(u.size(), 0.0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double x = y[static_cast<std::size_t>(i) * n + j];
+      if (x == 0) continue;
+      for (std::int32_t l : r.path(i, j)) v[static_cast<std::size_t>(l)] += x;
+    }
+  }
+  return v;
+}
+
+// Conjugate gradients for (A W A^T) lambda = rhs.  The operator is
+// symmetric positive semidefinite and rhs lies in its range, so CG
+// converges to a least-norm-ish solution; we stop on relative residual.
+std::vector<double> solve_normal(const RoutingMatrix& r, const std::vector<double>& w,
+                                 const std::vector<double>& rhs,
+                                 const TomogravityOptions& opts) {
+  std::vector<double> lambda(rhs.size(), 0.0);
+  std::vector<double> resid = rhs;
+  std::vector<double> p = resid;
+  double rr = 0;
+  for (double v : resid) rr += v * v;
+  const double rr0 = rr;
+  if (rr0 == 0) return lambda;
+
+  for (std::int32_t it = 0; it < opts.cg_iterations; ++it) {
+    const std::vector<double> ap = normal_matvec(r, w, p);
+    double pap = 0;
+    for (std::size_t i = 0; i < p.size(); ++i) pap += p[i] * ap[i];
+    if (pap <= 0) break;  // hit the operator's null space
+    const double alpha = rr / pap;
+    for (std::size_t i = 0; i < lambda.size(); ++i) {
+      lambda[i] += alpha * p[i];
+      resid[i] -= alpha * ap[i];
+    }
+    double rr_new = 0;
+    for (double v : resid) rr_new += v * v;
+    if (rr_new <= opts.cg_tolerance * rr0) break;
+    const double beta = rr_new / rr;
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = resid[i] + beta * p[i];
+    rr = rr_new;
+  }
+  return lambda;
+}
+
+}  // namespace
+
+DenseTorTm gravity_prior(const RoutingMatrix& routing,
+                         const std::vector<double>& link_loads) {
+  require(link_loads.size() == static_cast<std::size_t>(routing.link_count()),
+          "gravity_prior: load vector size mismatch");
+  const std::int32_t n = routing.tor_count();
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> in(static_cast<std::size_t>(n), 0.0);
+  double total = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        link_loads[static_cast<std::size_t>(tor_up_idx(routing, i))];
+    in[static_cast<std::size_t>(i)] =
+        link_loads[static_cast<std::size_t>(tor_down_idx(routing, i))];
+    total += out[static_cast<std::size_t>(i)];
+  }
+  DenseTorTm g(n);
+  if (total <= 0) return g;
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      g.set(i, j, out[static_cast<std::size_t>(i)] * in[static_cast<std::size_t>(j)] /
+                      total);
+    }
+  }
+  // With a zero diagonal the raw product no longer reproduces the measured
+  // marginals; a few rounds of iterative proportional fitting restore
+  //   sum_j g_ij = out_i  and  sum_i g_ij = in_j.
+  for (int round = 0; round < 25; ++round) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      double row = 0;
+      for (std::int32_t j = 0; j < n; ++j) {
+        if (i != j) row += g.at(i, j);
+      }
+      if (row <= 0) continue;
+      const double scale = out[static_cast<std::size_t>(i)] / row;
+      for (std::int32_t j = 0; j < n; ++j) {
+        if (i != j) g.set(i, j, g.at(i, j) * scale);
+      }
+    }
+    for (std::int32_t j = 0; j < n; ++j) {
+      double col = 0;
+      for (std::int32_t i = 0; i < n; ++i) {
+        if (i != j) col += g.at(i, j);
+      }
+      if (col <= 0) continue;
+      const double scale = in[static_cast<std::size_t>(j)] / col;
+      for (std::int32_t i = 0; i < n; ++i) {
+        if (i != j) g.set(i, j, g.at(i, j) * scale);
+      }
+    }
+  }
+  return g;
+}
+
+DenseTorTm tomogravity(const RoutingMatrix& routing, const std::vector<double>& link_loads,
+                       const DenseTorTm& prior, const TomogravityOptions& opts) {
+  require(prior.size() == routing.tor_count(), "tomogravity: prior size mismatch");
+  const std::int32_t n = routing.tor_count();
+  const std::size_t odn = static_cast<std::size_t>(n) * n;
+
+  // Relative-error weights: w = max(g, eps) so zero-prior entries stay
+  // (nearly) pinned at zero.
+  const double total = std::max(prior.total(), 1.0);
+  const double eps = 1e-9 * total;
+  std::vector<double> w(odn, 0.0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i != j) {
+        w[static_cast<std::size_t>(i) * n + j] = std::max(prior.at(i, j), eps);
+      }
+    }
+  }
+
+  DenseTorTm x = prior;
+  for (std::int32_t round = 0; round < opts.projection_rounds; ++round) {
+    // rhs = b - A x
+    const std::vector<double> ax = routing.link_loads(x);
+    std::vector<double> rhs(link_loads.size());
+    double rhs_norm = 0;
+    for (std::size_t l = 0; l < rhs.size(); ++l) {
+      rhs[l] = link_loads[l] - ax[l];
+      rhs_norm += rhs[l] * rhs[l];
+    }
+    if (rhs_norm <= 1e-16 * total * total) break;
+
+    const std::vector<double> lambda = solve_normal(routing, w, rhs, opts);
+    const std::vector<double> delta = routing.adjoint(lambda);
+    for (std::int32_t i = 0; i < n; ++i) {
+      for (std::int32_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const std::size_t k = static_cast<std::size_t>(i) * n + j;
+        x.set(i, j, std::max(0.0, x.at(i, j) + w[k] * delta[k]));
+      }
+    }
+  }
+  return x;
+}
+
+DenseTorTm tomogravity(const RoutingMatrix& routing, const std::vector<double>& link_loads,
+                       const TomogravityOptions& opts) {
+  return tomogravity(routing, link_loads, gravity_prior(routing, link_loads), opts);
+}
+
+std::vector<std::vector<double>> job_tor_activity(const ClusterTrace& trace,
+                                                  const Topology& topo) {
+  std::int32_t max_job = -1;
+  for (const SocketFlowLog& f : trace.flows()) {
+    if (f.job.valid()) max_job = std::max(max_job, f.job.value());
+  }
+  std::vector<std::vector<double>> activity(
+      static_cast<std::size_t>(max_job + 1),
+      std::vector<double>(static_cast<std::size_t>(topo.rack_count()), 0.0));
+  // Distinct (job, server) participation.
+  std::unordered_set<std::uint64_t> seen;
+  auto mark = [&](JobId job, ServerId s) {
+    if (topo.is_external(s)) return;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(job.value())) << 32) |
+        static_cast<std::uint32_t>(s.value());
+    if (!seen.insert(key).second) return;
+    activity[static_cast<std::size_t>(job.value())]
+            [static_cast<std::size_t>(topo.rack_of(s).value())] += 1.0;
+  };
+  for (const SocketFlowLog& f : trace.flows()) {
+    if (!f.job.valid()) continue;
+    mark(f.job, f.local);
+    mark(f.job, f.peer);
+  }
+  return activity;
+}
+
+DenseTorTm job_augmented_prior(const RoutingMatrix& routing,
+                               const std::vector<double>& link_loads,
+                               const std::vector<std::vector<double>>& activity,
+                               double alpha) {
+  require(alpha >= 0, "job_augmented_prior: alpha must be >= 0");
+  const DenseTorTm g = gravity_prior(routing, link_loads);
+  const std::int32_t n = routing.tor_count();
+
+  // overlap_ij = sum_k activity[k][i] * activity[k][j]
+  DenseTorTm m(n);
+  double m_total = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double overlap = 0;
+      for (const auto& a : activity) {
+        overlap += a[static_cast<std::size_t>(i)] * a[static_cast<std::size_t>(j)];
+      }
+      const double v = g.at(i, j) * (1.0 + alpha * overlap);
+      m.set(i, j, v);
+      m_total += v;
+    }
+  }
+  // Renormalize to the gravity total so the adjustment starts unbiased.
+  const double g_total = g.total();
+  if (m_total > 0 && g_total > 0) {
+    const double scale = g_total / m_total;
+    for (std::int32_t i = 0; i < n; ++i) {
+      for (std::int32_t j = 0; j < n; ++j) {
+        if (i != j) m.set(i, j, m.at(i, j) * scale);
+      }
+    }
+  }
+  return m;
+}
+
+DenseTorTm sparsity_max(const RoutingMatrix& routing, const std::vector<double>& link_loads,
+                        const SparsityOptions& opts) {
+  require(link_loads.size() == static_cast<std::size_t>(routing.link_count()),
+          "sparsity_max: load vector size mismatch");
+  const std::int32_t n = routing.tor_count();
+  DenseTorTm x(n);
+  std::vector<double> resid = link_loads;
+  double total = 0;
+  for (double v : resid) total += v;
+  if (total <= 0) return x;
+  const double stop = opts.residual_fraction * total;
+
+  std::int32_t entries = 0;
+  for (;;) {
+    // The OD pair that can absorb the most residual volume in one shot.
+    double best = 0;
+    std::int32_t bi = -1;
+    std::int32_t bj = -1;
+    for (std::int32_t i = 0; i < n; ++i) {
+      for (std::int32_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double assignable = std::numeric_limits<double>::infinity();
+        for (std::int32_t l : routing.path(i, j)) {
+          assignable = std::min(assignable, resid[static_cast<std::size_t>(l)]);
+        }
+        if (assignable > best) {
+          best = assignable;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (bi < 0 || best <= 0) break;
+    x.add(bi, bj, best);
+    double remaining = 0;
+    for (std::int32_t l : routing.path(bi, bj)) {
+      resid[static_cast<std::size_t>(l)] -= best;
+    }
+    for (double v : resid) remaining += v;
+    if (++entries >= opts.max_entries || remaining <= stop) break;
+  }
+  return x;
+}
+
+}  // namespace dct

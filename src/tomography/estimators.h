@@ -1,0 +1,79 @@
+// Traffic-matrix estimators (§5.1-5.3).
+//
+// Three estimators from the paper, all consuming only SNMP-style link loads
+// (plus, for the third, application metadata):
+//
+//  * Tomogravity (§5.1) — gravity prior g_ij ∝ out_i * in_j, then the
+//    weighted least-squares adjustment of Zhang et al.:
+//       minimize sum (x_ij - g_ij)^2 / g_ij   s.t.  A x = b,
+//    solved in closed form via conjugate gradients on A W A^T, followed by
+//    clamping to non-negativity and re-projection.
+//  * Gravity + job prior (§5.3) — the gravity prior is multiplied by
+//    1 + alpha * (shared job instances between ToR i and j), then the same
+//    least-squares adjustment runs.
+//  * Sparsity maximization (§5.2) — the paper formulates a MILP for the
+//    sparsest TM consistent with the link loads; we substitute a greedy
+//    matching-pursuit that repeatedly routes the largest assignable volume
+//    through one OD pair (documented substitution; it shares the MILP's
+//    qualitative behaviour: solutions far sparser than the ground truth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tomography/routing.h"
+#include "trace/cluster_trace.h"
+
+namespace dct {
+
+/// Solver knobs for the least-squares adjustment.
+struct TomogravityOptions {
+  std::int32_t cg_iterations = 200;     ///< conjugate-gradient cap
+  double cg_tolerance = 1e-10;          ///< relative residual target
+  std::int32_t projection_rounds = 4;   ///< clamp-and-reproject rounds
+};
+
+/// The pure gravity prior from link loads: out_i = load(tor_up_i),
+/// in_j = load(tor_down_j), g_ij = out_i * in_j / total (i != j).
+[[nodiscard]] DenseTorTm gravity_prior(const RoutingMatrix& routing,
+                                       const std::vector<double>& link_loads);
+
+/// Tomogravity: least-squares adjustment of `prior` to satisfy A x = b.
+[[nodiscard]] DenseTorTm tomogravity(const RoutingMatrix& routing,
+                                     const std::vector<double>& link_loads,
+                                     const DenseTorTm& prior,
+                                     const TomogravityOptions& opts = {});
+
+/// Convenience: gravity prior + adjustment in one call (§5.1's estimator).
+[[nodiscard]] DenseTorTm tomogravity(const RoutingMatrix& routing,
+                                     const std::vector<double>& link_loads,
+                                     const TomogravityOptions& opts = {});
+
+/// Per-job ToR activity: activity[job][tor] = number of distinct servers
+/// under `tor` that participated in the job (recovered from the app-log /
+/// socket-log join, the metadata §5.3 leverages).
+[[nodiscard]] std::vector<std::vector<double>> job_tor_activity(
+    const ClusterTrace& trace, const Topology& topo);
+
+/// §5.3's job-aware prior: gravity multiplied by
+///   1 + alpha * sum_k activity[k][i] * activity[k][j],
+/// renormalized to the gravity prior's total.
+[[nodiscard]] DenseTorTm job_augmented_prior(
+    const RoutingMatrix& routing, const std::vector<double>& link_loads,
+    const std::vector<std::vector<double>>& activity, double alpha = 1.0);
+
+/// Greedy sparsity maximization (§5.2 surrogate).  Stops when the residual
+/// drops below `residual_fraction` of the total load, when `max_entries`
+/// OD pairs have been used, or when no OD pair can absorb more volume (the
+/// greedy can strand residual that the exact MILP would place; the
+/// qualitative behaviour — solutions far sparser than the ground truth,
+/// worse estimates than tomogravity — is preserved).
+struct SparsityOptions {
+  double residual_fraction = 0.01;
+  std::int32_t max_entries = 1 << 20;
+};
+[[nodiscard]] DenseTorTm sparsity_max(const RoutingMatrix& routing,
+                                      const std::vector<double>& link_loads,
+                                      const SparsityOptions& opts = {});
+
+}  // namespace dct

@@ -1,0 +1,99 @@
+#include "tomography/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/require.h"
+#include "common/stats.h"
+
+namespace dct {
+
+double volume_threshold(const DenseTorTm& truth, double volume_fraction) {
+  require(volume_fraction > 0 && volume_fraction <= 1,
+          "volume_threshold: fraction must be in (0,1]");
+  std::vector<double> vals;
+  const std::int32_t n = truth.size();
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i != j && truth.at(i, j) > 0) vals.push_back(truth.at(i, j));
+    }
+  }
+  if (vals.empty()) return std::numeric_limits<double>::infinity();
+  std::sort(vals.begin(), vals.end(), std::greater<>());
+  double total = 0;
+  for (double v : vals) total += v;
+  const double target = volume_fraction * total;
+  double acc = 0;
+  for (double v : vals) {
+    acc += v;
+    if (acc >= target) return v;
+  }
+  return vals.back();
+}
+
+double rmsre(const DenseTorTm& truth, const DenseTorTm& estimate,
+             double volume_fraction) {
+  require(truth.size() == estimate.size(), "rmsre: size mismatch");
+  const double t = volume_threshold(truth, volume_fraction);
+  const std::int32_t n = truth.size();
+  double sum = 0;
+  std::size_t count = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double x = truth.at(i, j);
+      if (x < t || x <= 0) continue;
+      const double rel = (estimate.at(i, j) - x) / x;
+      sum += rel * rel;
+      ++count;
+    }
+  }
+  return count > 0 ? std::sqrt(sum / static_cast<double>(count)) : 0.0;
+}
+
+double sparsity_fraction(const DenseTorTm& tm, double volume_fraction) {
+  const auto needed = tm.entries_for_volume(volume_fraction);
+  const auto pairs = tm.pair_count();
+  return pairs > 0 ? static_cast<double>(needed) / static_cast<double>(pairs) : 0.0;
+}
+
+std::size_t heavy_hitter_overlap(const DenseTorTm& truth, const DenseTorTm& estimate,
+                                 std::size_t top_k, double truth_quantile) {
+  require(truth.size() == estimate.size(), "heavy_hitter_overlap: size mismatch");
+  require(truth_quantile >= 0 && truth_quantile <= 1,
+          "heavy_hitter_overlap: bad quantile");
+  const std::int32_t n = truth.size();
+
+  std::vector<double> truth_vals;
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i != j) truth_vals.push_back(truth.at(i, j));
+    }
+  }
+  if (truth_vals.empty()) return 0;
+  const double cut = quantile(truth_vals, truth_quantile);
+
+  struct Cell {
+    double v;
+    std::int32_t i;
+    std::int32_t j;
+  };
+  std::vector<Cell> est;
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i != j && estimate.at(i, j) > 0) est.push_back({estimate.at(i, j), i, j});
+    }
+  }
+  std::sort(est.begin(), est.end(), [](const Cell& a, const Cell& b) { return a.v > b.v; });
+  if (est.size() > top_k) est.resize(top_k);
+
+  std::size_t hits = 0;
+  for (const Cell& c : est) {
+    if (truth.at(c.i, c.j) > cut) ++hits;
+  }
+  return hits;
+}
+
+}  // namespace dct

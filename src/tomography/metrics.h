@@ -1,0 +1,40 @@
+// Estimation-quality metrics (§5's evaluation methodology).
+//
+// The paper's error function avoids penalizing mis-estimates of tiny
+// entries: choose a threshold T such that entries larger than T make up
+// about 75% of the true traffic volume, then report the root-mean-square
+// *relative* error (RMSRE) over just those entries.  Sparsity comparisons
+// (Fig. 14) count how many entries carry 75% of each matrix's volume.
+#pragma once
+
+#include <cstddef>
+
+#include "tomography/routing.h"
+
+namespace dct {
+
+/// The threshold T such that true entries >= T cover `volume_fraction` of
+/// the true total volume.  Returns +inf for an empty/zero matrix.
+[[nodiscard]] double volume_threshold(const DenseTorTm& truth, double volume_fraction);
+
+/// Root-mean-square relative error over entries of `truth` at or above the
+/// `volume_fraction` threshold:
+///   sqrt( mean over {ij : truth_ij >= T} of ((est_ij - truth_ij)/truth_ij)^2 ).
+/// Returns 0 when no entry qualifies.
+[[nodiscard]] double rmsre(const DenseTorTm& truth, const DenseTorTm& estimate,
+                           double volume_fraction = 0.75);
+
+/// Fraction of all off-diagonal OD pairs needed to carry `volume_fraction`
+/// of the matrix's volume (Fig. 14's x-axis).
+[[nodiscard]] double sparsity_fraction(const DenseTorTm& tm,
+                                       double volume_fraction = 0.75);
+
+/// How many of `estimate`'s `top_k` largest entries coincide with entries of
+/// `truth` above its `truth_quantile` quantile (the §5.2 check that the
+/// sparsity-maximal solution misses the true heavy hitters).
+[[nodiscard]] std::size_t heavy_hitter_overlap(const DenseTorTm& truth,
+                                               const DenseTorTm& estimate,
+                                               std::size_t top_k,
+                                               double truth_quantile = 0.97);
+
+}  // namespace dct

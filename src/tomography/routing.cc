@@ -1,0 +1,136 @@
+#include "tomography/routing.h"
+
+#include <algorithm>
+
+#include "analysis/traffic_matrix.h"
+#include "common/require.h"
+
+namespace dct {
+
+double DenseTorTm::total() const {
+  double t = 0;
+  for (std::int32_t i = 0; i < n_; ++i) {
+    for (std::int32_t j = 0; j < n_; ++j) {
+      if (i != j) t += at(i, j);
+    }
+  }
+  return t;
+}
+
+std::size_t DenseTorTm::nonzero_count() const {
+  std::size_t c = 0;
+  for (std::int32_t i = 0; i < n_; ++i) {
+    for (std::int32_t j = 0; j < n_; ++j) {
+      if (i != j && at(i, j) > 0) ++c;
+    }
+  }
+  return c;
+}
+
+std::size_t DenseTorTm::entries_for_volume(double volume_fraction) const {
+  require(volume_fraction > 0 && volume_fraction <= 1,
+          "entries_for_volume: fraction must be in (0,1]");
+  std::vector<double> vals;
+  for (std::int32_t i = 0; i < n_; ++i) {
+    for (std::int32_t j = 0; j < n_; ++j) {
+      if (i != j && at(i, j) > 0) vals.push_back(at(i, j));
+    }
+  }
+  if (vals.empty()) return 0;
+  std::sort(vals.begin(), vals.end(), std::greater<>());
+  double total = 0;
+  for (double v : vals) total += v;
+  const double target = volume_fraction * total;
+  double acc = 0;
+  std::size_t count = 0;
+  for (double v : vals) {
+    acc += v;
+    ++count;
+    if (acc >= target) break;
+  }
+  return count;
+}
+
+DenseTorTm DenseTorTm::from_sparse(const SparseTm& tm) {
+  DenseTorTm out(tm.size());
+  for (const auto& e : tm.entries()) {
+    if (e.from != e.to) out.add(e.from, e.to, e.bytes);
+  }
+  return out;
+}
+
+RoutingMatrix::RoutingMatrix(const Topology& topo) : n_(topo.rack_count()) {
+  // Measured links: every inter-switch link, densely re-indexed.
+  measured_of_link_.assign(static_cast<std::size_t>(topo.link_count()), -1);
+  for (LinkId l : topo.inter_switch_links()) {
+    measured_of_link_[static_cast<std::size_t>(l.value())] =
+        static_cast<std::int32_t>(link_ids_.size());
+    link_ids_.push_back(l);
+  }
+
+  paths_.resize(static_cast<std::size_t>(n_) * n_);
+  for (std::int32_t i = 0; i < n_; ++i) {
+    for (std::int32_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      auto& p = paths_[static_cast<std::size_t>(i) * n_ + j];
+      const RackId ri{i};
+      const RackId rj{j};
+      p.push_back(measured_index(topo.tor_up_link(ri)));
+      if (topo.agg_of(ri) != topo.agg_of(rj)) {
+        p.push_back(measured_index(topo.agg_up_link(topo.agg_of(ri))));
+        p.push_back(measured_index(topo.agg_down_link(topo.agg_of(rj))));
+      }
+      p.push_back(measured_index(topo.tor_down_link(rj)));
+      for (std::int32_t idx : p) ensure(idx >= 0, "unmeasured link on a ToR path");
+    }
+  }
+}
+
+std::int32_t RoutingMatrix::measured_index(LinkId l) const {
+  require(l.valid() &&
+              static_cast<std::size_t>(l.value()) < measured_of_link_.size(),
+          "measured_index: link out of range");
+  return measured_of_link_[static_cast<std::size_t>(l.value())];
+}
+
+LinkId RoutingMatrix::link_at(std::int32_t measured) const {
+  require(measured >= 0 && measured < link_count(), "link_at: out of range");
+  return link_ids_[static_cast<std::size_t>(measured)];
+}
+
+const std::vector<std::int32_t>& RoutingMatrix::path(std::int32_t i,
+                                                     std::int32_t j) const {
+  require(i >= 0 && i < n_ && j >= 0 && j < n_ && i != j, "path: bad OD pair");
+  return paths_[static_cast<std::size_t>(i) * n_ + j];
+}
+
+std::vector<double> RoutingMatrix::link_loads(const DenseTorTm& tm) const {
+  require(tm.size() == n_, "link_loads: TM size mismatch");
+  std::vector<double> b(static_cast<std::size_t>(link_count()), 0.0);
+  for (std::int32_t i = 0; i < n_; ++i) {
+    for (std::int32_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      const double x = tm.at(i, j);
+      if (x <= 0) continue;
+      for (std::int32_t l : path(i, j)) b[static_cast<std::size_t>(l)] += x;
+    }
+  }
+  return b;
+}
+
+std::vector<double> RoutingMatrix::adjoint(const std::vector<double>& lambda) const {
+  require(lambda.size() == static_cast<std::size_t>(link_count()),
+          "adjoint: size mismatch");
+  std::vector<double> y(static_cast<std::size_t>(n_) * n_, 0.0);
+  for (std::int32_t i = 0; i < n_; ++i) {
+    for (std::int32_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      double acc = 0;
+      for (std::int32_t l : path(i, j)) acc += lambda[static_cast<std::size_t>(l)];
+      y[static_cast<std::size_t>(i) * n_ + j] = acc;
+    }
+  }
+  return y;
+}
+
+}  // namespace dct

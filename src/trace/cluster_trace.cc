@@ -1,0 +1,99 @@
+#include "trace/cluster_trace.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+#include "flowsim/flowsim.h"
+
+namespace dct {
+
+std::string_view to_string(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kExtract: return "extract";
+    case PhaseKind::kPartition: return "partition";
+    case PhaseKind::kAggregate: return "aggregate";
+    case PhaseKind::kCombine: return "combine";
+    case PhaseKind::kOutput: return "output";
+  }
+  return "unknown";
+}
+
+ClusterTrace::ClusterTrace(std::int32_t server_count, TimeSec duration)
+    : duration_(duration) {
+  require(server_count >= 1, "ClusterTrace: need at least one server");
+  require(duration > 0, "ClusterTrace: duration must be > 0");
+  server_logs_.resize(static_cast<std::size_t>(server_count));
+  for (std::int32_t s = 0; s < server_count; ++s) {
+    server_logs_[static_cast<std::size_t>(s)].server = ServerId{s};
+  }
+}
+
+void ClusterTrace::record_flow(const FlowRecord& rec) {
+  // Loopback transfers never reach a socket; skip them like ETW would.
+  if (rec.src == rec.dst) return;
+  require(rec.src.valid() && rec.src.value() < server_count(),
+          "record_flow: src out of range");
+  require(rec.dst.valid() && rec.dst.value() < server_count(),
+          "record_flow: dst out of range");
+
+  SocketFlowLog log;
+  log.flow = rec.id;
+  log.local = rec.src;
+  log.peer = rec.dst;
+  log.direction = SocketDirection::kSend;
+  log.start = rec.start;
+  log.end = rec.end;
+  log.bytes = rec.bytes_sent;
+  log.bytes_requested = rec.bytes_requested;
+  log.failed = rec.failed;
+  log.truncated = rec.truncated;
+  log.job = rec.job;
+  log.phase = rec.phase;
+  log.kind = rec.kind;
+
+  server_logs_[static_cast<std::size_t>(rec.src.value())].flows.push_back(log);
+  flows_.push_back(log);
+  total_bytes_ += rec.bytes_sent;
+
+  log.local = rec.dst;
+  log.peer = rec.src;
+  log.direction = SocketDirection::kRecv;
+  server_logs_[static_cast<std::size_t>(rec.dst.value())].flows.push_back(log);
+}
+
+const ServerLog& ClusterTrace::server_log(ServerId s) const {
+  require(s.valid() && s.value() < server_count(), "server_log: out of range");
+  return server_logs_[static_cast<std::size_t>(s.value())];
+}
+
+std::optional<PhaseKind> ClusterTrace::phase_kind(PhaseId phase) const {
+  if (!phase.valid()) return std::nullopt;
+  const auto idx = static_cast<std::size_t>(phase.value());
+  if (idx >= phase_kind_index_.size() || phase_kind_index_[idx] < 0) {
+    // Indices may not have been built; fall back to a linear scan.
+    for (const auto& p : phases_) {
+      if (p.phase == phase) return p.kind;
+    }
+    return std::nullopt;
+  }
+  return static_cast<PhaseKind>(phase_kind_index_[idx]);
+}
+
+void ClusterTrace::build_indices() {
+  std::int32_t max_phase = -1;
+  for (const auto& p : phases_) max_phase = std::max(max_phase, p.phase.value());
+  phase_kind_index_.assign(static_cast<std::size_t>(max_phase + 1), -1);
+  for (const auto& p : phases_) {
+    phase_kind_index_[static_cast<std::size_t>(p.phase.value())] =
+        static_cast<std::int32_t>(p.kind);
+  }
+}
+
+TraceCollector::TraceCollector(FlowSim& sim, ClusterTrace& trace) : trace_(trace) {
+  sim.set_record_sink([this](const FlowRecord& rec) {
+    if (rec.src != rec.dst) socket_records_ += 2;
+    trace_.record_flow(rec);
+  });
+}
+
+}  // namespace dct

@@ -1,0 +1,117 @@
+// ClusterTrace: the cluster-wide measurement product.
+//
+// One ClusterTrace is what two months of the paper's instrumentation yields
+// after upload: every server's socket-level flow log plus the cluster's
+// application logs, with enough metadata to interpret them.  The analysis
+// layer (traffic matrices, congestion, flow statistics) and the tomography
+// layer both consume this type; nothing downstream of the trace touches the
+// simulator, mirroring the paper's separation between collection and
+// analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "trace/events.h"
+
+namespace dct {
+
+class Topology;
+class FlowSim;
+
+/// Per-server socket log: all flows this server participated in, in the
+/// order they finalized.
+struct ServerLog {
+  ServerId server;
+  std::vector<SocketFlowLog> flows;
+};
+
+/// Cluster-wide trace: per-server socket logs + application logs.
+class ClusterTrace {
+ public:
+  /// Creates an empty trace for a cluster of `server_count` servers
+  /// observing [0, duration).
+  ClusterTrace(std::int32_t server_count, TimeSec duration);
+
+  // --- Collection (called by the TraceCollector / workload executor) ------
+  void record_flow(const FlowRecord& rec);
+  void record_job(const JobLogRecord& rec) { jobs_.push_back(rec); }
+  void record_phase(const PhaseLogRecord& rec) { phases_.push_back(rec); }
+  void record_read_failure(const ReadFailureRecord& rec) { read_failures_.push_back(rec); }
+  void record_evacuation(const EvacuationRecord& rec) { evacuations_.push_back(rec); }
+
+  // --- Metadata -------------------------------------------------------------
+  [[nodiscard]] std::int32_t server_count() const noexcept {
+    return static_cast<std::int32_t>(server_logs_.size());
+  }
+  [[nodiscard]] TimeSec duration() const noexcept { return duration_; }
+
+  // --- Socket-level views ----------------------------------------------------
+  /// The socket log of one server.
+  [[nodiscard]] const ServerLog& server_log(ServerId s) const;
+
+  /// A unified flow view: every *network* flow exactly once (the sender's
+  /// record), in finalization order.  Loopback never appears (local reads
+  /// do not traverse sockets in this system).
+  [[nodiscard]] const std::vector<SocketFlowLog>& flows() const noexcept { return flows_; }
+
+  /// Total bytes moved across the network during the trace.
+  [[nodiscard]] Bytes total_bytes() const noexcept { return total_bytes_; }
+  /// Total number of network flows observed.
+  [[nodiscard]] std::size_t flow_count() const noexcept { return flows_.size(); }
+
+  // --- Application-log views --------------------------------------------------
+  [[nodiscard]] const std::vector<JobLogRecord>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] const std::vector<PhaseLogRecord>& phase_logs() const noexcept {
+    return phases_;
+  }
+  [[nodiscard]] const std::vector<ReadFailureRecord>& read_failures() const noexcept {
+    return read_failures_;
+  }
+  [[nodiscard]] const std::vector<EvacuationRecord>& evacuations() const noexcept {
+    return evacuations_;
+  }
+
+  /// Looks up the phase-kind of a phase id (the app-log join that lets
+  /// analysis attribute flows to map/reduce activity).  Empty when the
+  /// phase id was never logged.
+  [[nodiscard]] std::optional<PhaseKind> phase_kind(PhaseId phase) const;
+
+  /// Finalizes indices after collection; called once by the collector.
+  /// Idempotent; analysis accessors that need the indices call it lazily
+  /// through the collector instead.
+  void build_indices();
+
+ private:
+  TimeSec duration_;
+  std::vector<ServerLog> server_logs_;
+  std::vector<SocketFlowLog> flows_;
+  Bytes total_bytes_ = 0;
+  std::vector<JobLogRecord> jobs_;
+  std::vector<PhaseLogRecord> phases_;
+  std::vector<ReadFailureRecord> read_failures_;
+  std::vector<EvacuationRecord> evacuations_;
+  std::vector<std::int32_t> phase_kind_index_;  // PhaseId -> PhaseKind ordinal, -1 unset
+};
+
+/// Connects a FlowSim to a ClusterTrace: installs a record sink that turns
+/// every finalized FlowRecord into sender- and receiver-side socket logs.
+/// Keeps overhead counters so the instrumentation-cost experiment (§2) can
+/// report events/bytes logged per server.
+class TraceCollector {
+ public:
+  /// Attaches to `sim`; the collector must outlive the simulation run.
+  TraceCollector(FlowSim& sim, ClusterTrace& trace);
+
+  /// Number of socket log records written (2 per network flow).
+  [[nodiscard]] std::size_t socket_records() const noexcept { return socket_records_; }
+
+ private:
+  ClusterTrace& trace_;
+  std::size_t socket_records_ = 0;
+};
+
+}  // namespace dct

@@ -1,0 +1,288 @@
+#include "trace/codec.h"
+
+#include <cmath>
+
+#include "common/require.h"
+
+namespace dct {
+
+void ByteWriter::uvarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::svarint(std::int64_t v) {
+  // Zig-zag: small magnitudes of either sign stay small.
+  uvarint((static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+std::int64_t ByteWriter::quantize_time(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e6));
+}
+
+double ByteWriter::dequantize_time(std::int64_t us) {
+  return static_cast<double>(us) * 1e-6;
+}
+
+std::uint8_t ByteReader::u8() {
+  require(pos_ < data_.size(), "ByteReader: underrun");
+  return data_[pos_++];
+}
+
+std::uint64_t ByteReader::uvarint() {
+  std::uint64_t out = 0;
+  int shift = 0;
+  for (;;) {
+    require(pos_ < data_.size(), "ByteReader: underrun in varint");
+    const std::uint8_t b = data_[pos_++];
+    require(shift < 64, "ByteReader: varint too long");
+    out |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return out;
+    shift += 7;
+  }
+}
+
+std::int64_t ByteReader::svarint() {
+  const std::uint64_t z = uvarint();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+namespace {
+
+constexpr std::uint8_t kLogMagic = 0xD7;
+constexpr std::uint8_t kTraceMagic = 0xDC;
+constexpr std::uint8_t kTraceVersion = 1;
+
+// Packs the three flags + direction + kind into one byte.
+std::uint8_t pack_flags(const SocketFlowLog& f) {
+  std::uint8_t b = static_cast<std::uint8_t>(f.kind);  // 0..7 -> low 3 bits
+  if (f.direction == SocketDirection::kRecv) b |= 0x08;
+  if (f.failed) b |= 0x10;
+  if (f.truncated) b |= 0x20;
+  return b;
+}
+
+void unpack_flags(std::uint8_t b, SocketFlowLog& f) {
+  f.kind = static_cast<FlowKind>(b & 0x07);
+  f.direction = (b & 0x08) ? SocketDirection::kRecv : SocketDirection::kSend;
+  f.failed = (b & 0x10) != 0;
+  f.truncated = (b & 0x20) != 0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_server_log(const ServerLog& log) {
+  ByteWriter w;
+  w.u8(kLogMagic);
+  w.svarint(log.server.value());
+  w.uvarint(log.flows.size());
+
+  // Delta state.  Logs finalize in end-time order, so delta-encoding end
+  // times yields tiny non-negative values; start is encoded relative to end
+  // (a small negative = -duration); ids are near-monotonic.
+  std::int64_t prev_end = 0;
+  std::int64_t prev_flow = 0;
+  for (const SocketFlowLog& f : log.flows) {
+    const std::int64_t end_us = ByteWriter::quantize_time(f.end);
+    const std::int64_t start_us = ByteWriter::quantize_time(f.start);
+    w.svarint(end_us - prev_end);
+    prev_end = end_us;
+    w.svarint(start_us - end_us);
+    w.svarint(f.flow.value() - prev_flow);
+    prev_flow = f.flow.value();
+    w.svarint(f.peer.value());
+    w.uvarint(static_cast<std::uint64_t>(f.bytes));
+    // Requested == transferred for the common (successful) case; encode the
+    // difference so it costs one byte normally.
+    w.svarint(f.bytes_requested - f.bytes);
+    w.svarint(f.job.value());
+    w.svarint(f.phase.value());
+    w.u8(pack_flags(f));
+  }
+  return w.take();
+}
+
+ServerLog decode_server_log(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  require(r.u8() == kLogMagic, "decode_server_log: bad magic");
+  ServerLog log;
+  log.server = ServerId{static_cast<std::int32_t>(r.svarint())};
+  const std::uint64_t n = r.uvarint();
+  log.flows.reserve(n);
+  std::int64_t prev_end = 0;
+  std::int64_t prev_flow = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SocketFlowLog f;
+    f.local = log.server;
+    const std::int64_t end_us = prev_end + r.svarint();
+    prev_end = end_us;
+    const std::int64_t start_us = end_us + r.svarint();
+    f.end = ByteWriter::dequantize_time(end_us);
+    f.start = ByteWriter::dequantize_time(start_us);
+    f.flow = FlowId{static_cast<std::int32_t>(prev_flow + r.svarint())};
+    prev_flow = f.flow.value();
+    f.peer = ServerId{static_cast<std::int32_t>(r.svarint())};
+    f.bytes = static_cast<Bytes>(r.uvarint());
+    f.bytes_requested = f.bytes + r.svarint();
+    f.job = JobId{static_cast<std::int32_t>(r.svarint())};
+    f.phase = PhaseId{static_cast<std::int32_t>(r.svarint())};
+    unpack_flags(r.u8(), f);
+    log.flows.push_back(f);
+  }
+  return log;
+}
+
+std::size_t raw_encoding_size(const ServerLog& log) noexcept {
+  // A naive dump writes each record as fixed-width fields:
+  //   flow id 4, local 4, peer 4, dir/flags/kind 1, start 8, end 8,
+  //   bytes 8, bytes_requested 8, job 4, phase 4  = 53 bytes.
+  constexpr std::size_t kRawRecord = 53;
+  return 16 + log.flows.size() * kRawRecord;
+}
+
+std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
+  ByteWriter w;
+  w.u8(kTraceMagic);
+  w.u8(kTraceVersion);
+  w.svarint(trace.server_count());
+  w.time_us(trace.duration());
+
+  for (std::int32_t s = 0; s < trace.server_count(); ++s) {
+    const auto encoded = encode_server_log(trace.server_log(ServerId{s}));
+    w.uvarint(encoded.size());
+    for (std::uint8_t b : encoded) w.u8(b);
+  }
+
+  w.uvarint(trace.jobs().size());
+  for (const JobLogRecord& j : trace.jobs()) {
+    w.svarint(j.job.value());
+    w.time_us(j.submit);
+    w.time_us(j.start);
+    w.time_us(j.end);
+    w.u8(static_cast<std::uint8_t>((j.completed ? 1 : 0) | (j.failed ? 2 : 0)));
+    w.svarint(j.phases);
+    w.uvarint(static_cast<std::uint64_t>(j.input_bytes));
+  }
+  w.uvarint(trace.phase_logs().size());
+  for (const PhaseLogRecord& p : trace.phase_logs()) {
+    w.svarint(p.job.value());
+    w.svarint(p.phase.value());
+    w.u8(static_cast<std::uint8_t>(p.kind));
+    w.time_us(p.start);
+    w.time_us(p.end);
+    w.svarint(p.vertices);
+    w.uvarint(static_cast<std::uint64_t>(p.bytes_in));
+    w.uvarint(static_cast<std::uint64_t>(p.bytes_out));
+  }
+  w.uvarint(trace.read_failures().size());
+  for (const ReadFailureRecord& rf : trace.read_failures()) {
+    w.time_us(rf.time);
+    w.svarint(rf.job.value());
+    w.svarint(rf.phase.value());
+    w.svarint(rf.reader.value());
+    w.svarint(rf.source.value());
+    w.u8(rf.fatal ? 1 : 0);
+  }
+  w.uvarint(trace.evacuations().size());
+  for (const EvacuationRecord& e : trace.evacuations()) {
+    w.time_us(e.start);
+    w.time_us(e.end);
+    w.svarint(e.server.value());
+    w.uvarint(static_cast<std::uint64_t>(e.bytes_moved));
+    w.svarint(e.blocks_moved);
+  }
+  return w.take();
+}
+
+ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  require(r.u8() == kTraceMagic, "decode_trace: bad magic");
+  require(r.u8() == kTraceVersion, "decode_trace: unsupported version");
+  const auto servers = static_cast<std::int32_t>(r.svarint());
+  const TimeSec duration = r.time_us();
+  ClusterTrace trace(servers, duration);
+
+  // Re-ingest flows via the senders' logs only: record_flow() regenerates
+  // the receiver-side entries and the unified view.
+  for (std::int32_t s = 0; s < servers; ++s) {
+    const std::uint64_t len = r.uvarint();
+    require(len <= r.remaining(), "decode_trace: truncated server log");
+    std::vector<std::uint8_t> inner;
+    inner.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) inner.push_back(r.u8());
+    ServerLog log = decode_server_log(inner);
+    for (const SocketFlowLog& f : log.flows) {
+      if (f.direction != SocketDirection::kSend) continue;
+      FlowRecord rec;
+      rec.id = f.flow;
+      rec.src = f.local;
+      rec.dst = f.peer;
+      rec.bytes_requested = f.bytes_requested;
+      rec.bytes_sent = f.bytes;
+      rec.start = f.start;
+      rec.end = f.end;
+      rec.failed = f.failed;
+      rec.truncated = f.truncated;
+      rec.job = f.job;
+      rec.phase = f.phase;
+      rec.kind = f.kind;
+      trace.record_flow(rec);
+    }
+  }
+
+  const std::uint64_t n_jobs = r.uvarint();
+  for (std::uint64_t i = 0; i < n_jobs; ++i) {
+    JobLogRecord j;
+    j.job = JobId{static_cast<std::int32_t>(r.svarint())};
+    j.submit = r.time_us();
+    j.start = r.time_us();
+    j.end = r.time_us();
+    const std::uint8_t flags = r.u8();
+    j.completed = (flags & 1) != 0;
+    j.failed = (flags & 2) != 0;
+    j.phases = static_cast<std::int32_t>(r.svarint());
+    j.input_bytes = static_cast<Bytes>(r.uvarint());
+    trace.record_job(j);
+  }
+  const std::uint64_t n_phases = r.uvarint();
+  for (std::uint64_t i = 0; i < n_phases; ++i) {
+    PhaseLogRecord p;
+    p.job = JobId{static_cast<std::int32_t>(r.svarint())};
+    p.phase = PhaseId{static_cast<std::int32_t>(r.svarint())};
+    p.kind = static_cast<PhaseKind>(r.u8());
+    p.start = r.time_us();
+    p.end = r.time_us();
+    p.vertices = static_cast<std::int32_t>(r.svarint());
+    p.bytes_in = static_cast<Bytes>(r.uvarint());
+    p.bytes_out = static_cast<Bytes>(r.uvarint());
+    trace.record_phase(p);
+  }
+  const std::uint64_t n_rf = r.uvarint();
+  for (std::uint64_t i = 0; i < n_rf; ++i) {
+    ReadFailureRecord rf;
+    rf.time = r.time_us();
+    rf.job = JobId{static_cast<std::int32_t>(r.svarint())};
+    rf.phase = PhaseId{static_cast<std::int32_t>(r.svarint())};
+    rf.reader = ServerId{static_cast<std::int32_t>(r.svarint())};
+    rf.source = ServerId{static_cast<std::int32_t>(r.svarint())};
+    rf.fatal = r.u8() != 0;
+    trace.record_read_failure(rf);
+  }
+  const std::uint64_t n_ev = r.uvarint();
+  for (std::uint64_t i = 0; i < n_ev; ++i) {
+    EvacuationRecord e;
+    e.start = r.time_us();
+    e.end = r.time_us();
+    e.server = ServerId{static_cast<std::int32_t>(r.svarint())};
+    e.bytes_moved = static_cast<Bytes>(r.uvarint());
+    e.blocks_moved = static_cast<std::int32_t>(r.svarint());
+    trace.record_evacuation(e);
+  }
+  trace.build_indices();
+  return trace;
+}
+
+}  // namespace dct

@@ -1,0 +1,77 @@
+// Binary codec for cluster traces.
+//
+// The paper's collectors parse ETW events locally and upload compressed
+// logs ("compression reduces the network bandwidth used by the measurement
+// infrastructure by at least an order of magnitude").  This codec plays that
+// role: per-server socket logs are serialized with variable-length integers,
+// zig-zag signing and per-field delta encoding — the semantic compression
+// that makes flow logs small — and the ratio against a fixed-width record
+// dump is reported by the instrumentation-overhead benchmark.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/cluster_trace.h"
+
+namespace dct {
+
+/// Append-only byte buffer with varint primitives.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  /// Unsigned LEB128.
+  void uvarint(std::uint64_t v);
+  /// Zig-zag signed LEB128.
+  void svarint(std::int64_t v);
+  /// Time quantized to integer microseconds (zig-zag varint).
+  void time_us(double seconds) { svarint(quantize_time(seconds)); }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+  /// Microsecond quantization used by time_us (exposed for delta encoding).
+  static std::int64_t quantize_time(double seconds);
+  static double dequantize_time(std::int64_t us);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential reader over an encoded buffer; throws dct::Error on underrun
+/// or malformed varints.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint64_t uvarint();
+  std::int64_t svarint();
+  double time_us() { return ByteWriter::dequantize_time(svarint()); }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Serializes one server's socket log (delta-encoded).
+[[nodiscard]] std::vector<std::uint8_t> encode_server_log(const ServerLog& log);
+/// Inverse of encode_server_log.
+[[nodiscard]] ServerLog decode_server_log(std::span<const std::uint8_t> data);
+
+/// Size of the naive fixed-width binary dump of the same log, the baseline
+/// the compression ratio is quoted against.
+[[nodiscard]] std::size_t raw_encoding_size(const ServerLog& log) noexcept;
+
+/// Serializes an entire ClusterTrace (all server logs + application logs).
+[[nodiscard]] std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace);
+/// Inverse of encode_trace.
+[[nodiscard]] ClusterTrace decode_trace(std::span<const std::uint8_t> data);
+
+}  // namespace dct

@@ -1,0 +1,101 @@
+// Event records produced by the server-centric instrumentation layer.
+//
+// The paper's methodology instruments *servers*, not switches: an ETW
+// session on every machine records one socket-level event per application
+// read/write (aggregating over packets), and application logs (job queues,
+// phase activity, error codes) are collected alongside so network traffic
+// can be attributed to the jobs that caused it.  This header defines the
+// analogous record types for the simulated cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "flowsim/flowsim.h"
+
+namespace dct {
+
+/// Direction of a socket-level log entry relative to the logging server.
+enum class SocketDirection : std::uint8_t { kSend, kRecv };
+
+/// One flow as logged by a server's socket instrumentation.  Each network
+/// flow appears twice in a cluster trace: once in the sender's log (kSend)
+/// and once in the receiver's (kRecv); the sender's copy is authoritative
+/// when a unified flow view is needed.
+struct SocketFlowLog {
+  FlowId flow;
+  ServerId local;   ///< the logging server
+  ServerId peer;    ///< the other endpoint
+  SocketDirection direction = SocketDirection::kSend;
+  TimeSec start = 0;
+  TimeSec end = 0;
+  Bytes bytes = 0;             ///< bytes actually transferred
+  Bytes bytes_requested = 0;   ///< bytes the application asked for
+  bool failed = false;
+  bool truncated = false;
+  JobId job;       ///< invalid for infrastructure traffic
+  PhaseId phase;   ///< invalid for infrastructure traffic
+  FlowKind kind = FlowKind::kOther;
+
+  [[nodiscard]] TimeSec duration() const noexcept { return end - start; }
+};
+
+/// Phase types of the Scope/Dryad-style workflow (§3 of the paper).
+enum class PhaseKind : std::uint8_t {
+  kExtract,    ///< parse raw data blocks into records
+  kPartition,  ///< divide a stream into hash buckets (pipelines with extract)
+  kAggregate,  ///< reduce; barrier: needs every partition output
+  kCombine,    ///< join of two streams
+  kOutput      ///< write job output to the replicated store
+};
+
+[[nodiscard]] std::string_view to_string(PhaseKind kind);
+
+/// Application log: lifetime of one job.
+struct JobLogRecord {
+  JobId job;
+  TimeSec submit = 0;
+  TimeSec start = 0;
+  TimeSec end = 0;
+  bool completed = false;  ///< false: killed (read failure) or truncated
+  bool failed = false;     ///< killed after exhausting read retries
+  std::int32_t phases = 0;
+  Bytes input_bytes = 0;
+};
+
+/// Application log: one phase of a job.
+struct PhaseLogRecord {
+  JobId job;
+  PhaseId phase;
+  PhaseKind kind = PhaseKind::kExtract;
+  TimeSec start = 0;
+  TimeSec end = 0;
+  std::int32_t vertices = 0;
+  Bytes bytes_in = 0;
+  Bytes bytes_out = 0;
+};
+
+/// Application log: a vertex could not read its input (stuck / unable to
+/// connect / no steady progress).  §4.2 correlates these with congestion.
+struct ReadFailureRecord {
+  TimeSec time = 0;
+  JobId job;
+  PhaseId phase;
+  ServerId reader;   ///< server whose vertex failed to read
+  ServerId source;   ///< server it was reading from
+  bool fatal = false;  ///< retries exhausted; job will be killed
+};
+
+/// Application log: the automated management system evacuated a flaky
+/// server's blocks (an unexpected congestion source found in §4.2).
+struct EvacuationRecord {
+  TimeSec start = 0;
+  TimeSec end = 0;
+  ServerId server;
+  Bytes bytes_moved = 0;
+  std::int32_t blocks_moved = 0;
+};
+
+}  // namespace dct

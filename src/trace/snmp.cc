@@ -1,0 +1,71 @@
+#include "trace/snmp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace dct {
+
+SnmpCounters SnmpCounters::collect(const FlowSim& sim, const Topology& topo,
+                                   TimeSec poll_interval) {
+  require(poll_interval > 0, "SnmpCounters: poll interval must be > 0");
+  SnmpCounters out;
+  out.topo_ = &topo;
+  out.interval_ = poll_interval;
+  const TimeSec horizon = sim.config().end_time;
+  out.polls_ = static_cast<std::size_t>(std::ceil(horizon / poll_interval)) + 1;
+
+  out.counters_.resize(static_cast<std::size_t>(topo.link_count()));
+  for (std::int32_t l = 0; l < topo.link_count(); ++l) {
+    const BinnedSeries& bytes = sim.link_bytes(LinkId{l});
+    auto& counter = out.counters_[static_cast<std::size_t>(l)];
+    counter.assign(out.polls_, 0.0);
+    // Cumulative sum of the byte series, sampled at poll instants.  The
+    // byte series bins are finer than (or equal to) the poll interval in
+    // all practical configurations; accumulate bin-by-bin.
+    double acc = 0;
+    std::size_t poll = 1;  // counter at t=0 is 0
+    for (std::size_t b = 0; b < bytes.bin_count() && poll < out.polls_; ++b) {
+      const TimeSec bin_end = bytes.bin_time(b) + bytes.bin_width();
+      acc += bytes.value(b);
+      while (poll < out.polls_ &&
+             static_cast<TimeSec>(poll) * poll_interval <= bin_end + 1e-9) {
+        counter[poll] = acc;
+        ++poll;
+      }
+    }
+    for (; poll < out.polls_; ++poll) counter[poll] = acc;
+  }
+  return out;
+}
+
+double SnmpCounters::counter(LinkId link, std::size_t poll) const {
+  require(topo_ != nullptr, "SnmpCounters: not collected");
+  require(link.valid() && link.value() < topo_->link_count(),
+          "SnmpCounters: link out of range");
+  require(poll < polls_, "SnmpCounters: poll out of range");
+  return counters_[static_cast<std::size_t>(link.value())][poll];
+}
+
+double SnmpCounters::bytes_between(LinkId link, TimeSec t0, TimeSec t1) const {
+  require(t1 >= t0, "SnmpCounters: t1 must be >= t0");
+  require(topo_ != nullptr, "SnmpCounters: not collected");
+  // Nearest poll at-or-before t0, nearest at-or-after t1.
+  const auto p0 = static_cast<std::size_t>(
+      std::clamp(std::floor(t0 / interval_), 0.0, static_cast<double>(polls_ - 1)));
+  const auto p1 = static_cast<std::size_t>(
+      std::clamp(std::ceil(t1 / interval_), 0.0, static_cast<double>(polls_ - 1)));
+  return counter(link, p1) - counter(link, p0);
+}
+
+double SnmpCounters::utilization_between(LinkId link, TimeSec t0, TimeSec t1) const {
+  const double bytes = bytes_between(link, t0, t1);
+  // The reconstructible window is the poll-aligned one.
+  const double w0 = std::floor(t0 / interval_) * interval_;
+  const double w1 = std::ceil(t1 / interval_) * interval_;
+  const double span = std::max(w1 - w0, interval_);
+  return bytes / (topo_->link(link).capacity * span);
+}
+
+}  // namespace dct

@@ -1,0 +1,54 @@
+// Simulated SNMP byte counters on switch interfaces.
+//
+// §2 and §5: SNMP counters are what is "ubiquitously available" in real
+// datacenters — cumulative per-interface byte counts, polled at coarse
+// intervals (typically once every five minutes).  This module produces
+// exactly that view from a finished simulation: monotone per-link counters
+// sampled on a poll grid.  The tomography benches can consume these instead
+// of exact window loads, reproducing the measurement pipeline an operator
+// without server instrumentation actually has (including the quantization
+// error when TM windows don't align with polls).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "flowsim/flowsim.h"
+#include "topology/topology.h"
+
+namespace dct {
+
+/// Cumulative byte counters per link, sampled every `poll_interval` seconds
+/// (samples at t = 0, T, 2T, ..., including the final partial interval).
+class SnmpCounters {
+ public:
+  /// Polls a finished simulation's exact link byte series.
+  static SnmpCounters collect(const FlowSim& sim, const Topology& topo,
+                              TimeSec poll_interval);
+
+  [[nodiscard]] TimeSec poll_interval() const noexcept { return interval_; }
+  [[nodiscard]] std::size_t poll_count() const noexcept { return polls_; }
+
+  /// Counter value (cumulative bytes) of `link` at poll index `p`.
+  [[nodiscard]] double counter(LinkId link, std::size_t poll) const;
+
+  /// Bytes carried by `link` over [t0, t1), *as reconstructible from the
+  /// polls*: the counter delta between the nearest poll at-or-before t0 and
+  /// the nearest poll at-or-after t1.  This is what a counter-only analyst
+  /// can actually compute — coarser than the truth when the window does not
+  /// align with the poll grid.
+  [[nodiscard]] double bytes_between(LinkId link, TimeSec t0, TimeSec t1) const;
+
+  /// Average utilization of `link` over the window, per bytes_between.
+  [[nodiscard]] double utilization_between(LinkId link, TimeSec t0, TimeSec t1) const;
+
+ private:
+  const Topology* topo_ = nullptr;
+  TimeSec interval_ = 0;
+  std::size_t polls_ = 0;
+  std::vector<std::vector<double>> counters_;  // link -> per-poll cumulative bytes
+};
+
+}  // namespace dct

@@ -1,0 +1,260 @@
+#include "workload/blockstore.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace dct {
+
+void BlockStoreConfig::validate(const Topology& topo) const {
+  require(block_size > 0, "BlockStoreConfig: block_size must be > 0");
+  require(replication >= 1, "BlockStoreConfig: replication must be >= 1");
+  require(replication <= topo.internal_server_count(),
+          "BlockStoreConfig: replication exceeds server count");
+  require(home_vlan_bias >= 0.0 && home_vlan_bias <= 1.0,
+          "BlockStoreConfig: home_vlan_bias must be in [0,1]");
+  require(home_rack_bias >= 0.0 && home_rack_bias <= 1.0,
+          "BlockStoreConfig: home_rack_bias must be in [0,1]");
+}
+
+BlockStore::BlockStore(const Topology& topo, BlockStoreConfig config, Rng rng)
+    : topo_(topo), config_(config), rng_(rng) {
+  config_.validate(topo_);
+  per_server_.resize(static_cast<std::size_t>(topo_.server_count()));
+  bytes_per_server_.assign(static_cast<std::size_t>(topo_.server_count()), 0);
+}
+
+ServerId BlockStore::random_internal_server() {
+  return ServerId{static_cast<std::int32_t>(
+      rng_.uniform_int(0, topo_.internal_server_count() - 1))};
+}
+
+ServerId BlockStore::random_server_in_rack(RackId rack, ServerId exclude) {
+  const auto members = topo_.servers_in_rack(rack);
+  ensure(members.size() >= 2, "rack too small to pick a distinct server");
+  for (;;) {
+    const auto pick =
+        members[static_cast<std::size_t>(rng_.uniform_int(0, static_cast<std::int64_t>(members.size()) - 1))];
+    if (pick != exclude) return pick;
+  }
+}
+
+ServerId BlockStore::random_server_in_vlan(VlanId vlan) {
+  const std::int32_t first_rack = vlan.value() * topo_.config().racks_per_vlan;
+  const std::int32_t last_rack =
+      std::min(first_rack + topo_.config().racks_per_vlan, topo_.rack_count());
+  const std::int32_t rack = static_cast<std::int32_t>(
+      rng_.uniform_int(first_rack, last_rack - 1));
+  const std::int32_t base = rack * topo_.config().servers_per_rack;
+  return ServerId{static_cast<std::int32_t>(
+      rng_.uniform_int(base, base + topo_.config().servers_per_rack - 1))};
+}
+
+DatasetId BlockStore::create_dataset(Bytes total_bytes) {
+  require(total_bytes > 0, "create_dataset: need positive size");
+  Dataset ds;
+  ds.id = static_cast<DatasetId>(datasets_.size());
+  ds.bytes = total_bytes;
+
+  const bool regional = rng_.bernoulli(config_.home_vlan_bias);
+  if (regional) {
+    ds.home_vlan =
+        VlanId{static_cast<std::int32_t>(rng_.uniform_int(0, topo_.vlan_count() - 1))};
+    const std::int32_t first_rack = ds.home_vlan.value() * topo_.config().racks_per_vlan;
+    const std::int32_t last_rack =
+        std::min(first_rack + topo_.config().racks_per_vlan, topo_.rack_count());
+    ds.home_rack = RackId{static_cast<std::int32_t>(
+        rng_.uniform_int(first_rack, last_rack - 1))};
+  }
+
+  Bytes remaining = total_bytes;
+  while (remaining > 0) {
+    const Bytes size = std::min(remaining, config_.block_size);
+    remaining -= size;
+
+    Block b;
+    b.id = BlockId{static_cast<std::int32_t>(blocks_.size())};
+    b.size = size;
+    b.dataset = ds.id;
+
+    // Replica 1: home rack (mostly) or home VLAN if regional, else anywhere.
+    ServerId r1;
+    if (regional && rng_.bernoulli(config_.home_rack_bias)) {
+      const std::int32_t base = ds.home_rack.value() * topo_.config().servers_per_rack;
+      r1 = ServerId{static_cast<std::int32_t>(
+          rng_.uniform_int(base, base + topo_.config().servers_per_rack - 1))};
+    } else if (regional) {
+      r1 = random_server_in_vlan(ds.home_vlan);
+    } else {
+      r1 = random_internal_server();
+    }
+    b.replicas.push_back(r1);
+    // Replica 2: same rack as replica 1.
+    if (config_.replication >= 2) {
+      b.replicas.push_back(random_server_in_rack(topo_.rack_of(r1), r1));
+    }
+    // Replicas 3+: uniformly, in racks not yet holding the block if possible.
+    while (static_cast<std::int32_t>(b.replicas.size()) < config_.replication) {
+      ServerId pick = random_internal_server();
+      bool rack_clash = false;
+      for (ServerId held : b.replicas) {
+        if (topo_.rack_of(held) == topo_.rack_of(pick) || held == pick) {
+          rack_clash = true;
+          break;
+        }
+      }
+      if (rack_clash && topo_.rack_count() > config_.replication) continue;
+      b.replicas.push_back(pick);
+    }
+
+    for (ServerId s : b.replicas) {
+      per_server_[static_cast<std::size_t>(s.value())].push_back(b.id);
+      bytes_per_server_[static_cast<std::size_t>(s.value())] += size;
+    }
+    ds.blocks.push_back(b.id);
+    blocks_.push_back(std::move(b));
+  }
+
+  datasets_.push_back(std::move(ds));
+  return datasets_.back().id;
+}
+
+const Dataset& BlockStore::dataset(DatasetId d) const {
+  require(d >= 0 && d < dataset_count(), "dataset: id out of range");
+  return datasets_[static_cast<std::size_t>(d)];
+}
+
+const Block& BlockStore::block(BlockId b) const {
+  require(b.valid() && b.value() < block_count(), "block: id out of range");
+  return blocks_[static_cast<std::size_t>(b.value())];
+}
+
+const std::vector<BlockId>& BlockStore::blocks_on(ServerId server) const {
+  require(server.valid() && server.value() < topo_.server_count(),
+          "blocks_on: server out of range");
+  return per_server_[static_cast<std::size_t>(server.value())];
+}
+
+Bytes BlockStore::bytes_on(ServerId server) const {
+  require(server.valid() && server.value() < topo_.server_count(),
+          "bytes_on: server out of range");
+  return bytes_per_server_[static_cast<std::size_t>(server.value())];
+}
+
+ServerId BlockStore::closest_replica(BlockId b, ServerId reader) const {
+  const Block& blk = block(b);
+  ensure(!blk.replicas.empty(), "block has no replicas");
+  ServerId best = blk.replicas.front();
+  int best_score = 5;
+  for (ServerId r : blk.replicas) {
+    int score = 4;
+    if (r == reader) {
+      score = 0;
+    } else if (topo_.same_rack(r, reader)) {
+      score = 1;
+    } else if (topo_.same_vlan(r, reader)) {
+      score = 2;
+    } else if (!topo_.is_external(r)) {
+      score = 3;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = r;
+    }
+  }
+  return best;
+}
+
+bool BlockStore::has_replica(BlockId b, ServerId server) const {
+  const Block& blk = block(b);
+  return std::find(blk.replicas.begin(), blk.replicas.end(), server) != blk.replicas.end();
+}
+
+void BlockStore::move_replica(BlockId b, ServerId from, ServerId to) {
+  require(has_replica(b, from), "move_replica: `from` does not hold the block");
+  require(!has_replica(b, to), "move_replica: `to` already holds the block");
+  Block& blk = blocks_[static_cast<std::size_t>(b.value())];
+  *std::find(blk.replicas.begin(), blk.replicas.end(), from) = to;
+
+  auto& from_list = per_server_[static_cast<std::size_t>(from.value())];
+  from_list.erase(std::find(from_list.begin(), from_list.end(), b));
+  per_server_[static_cast<std::size_t>(to.value())].push_back(b);
+  bytes_per_server_[static_cast<std::size_t>(from.value())] -= blk.size;
+  bytes_per_server_[static_cast<std::size_t>(to.value())] += blk.size;
+}
+
+ServerId BlockStore::pick_evacuation_target(BlockId b, ServerId from) {
+  const Block& blk = block(b);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const ServerId pick = random_internal_server();
+    if (pick == from || has_replica(b, pick)) continue;
+    bool rack_clash = false;
+    for (ServerId held : blk.replicas) {
+      if (held != from && topo_.rack_of(held) == topo_.rack_of(pick)) {
+        rack_clash = true;
+        break;
+      }
+    }
+    if (!rack_clash || attempt >= 32) return pick;
+  }
+  // Dense store fallback: any non-holder.
+  for (std::int32_t s = 0; s < topo_.internal_server_count(); ++s) {
+    const ServerId cand{s};
+    if (cand != from && !has_replica(b, cand)) return cand;
+  }
+  ensure(false, "pick_evacuation_target: no eligible server");
+  return ServerId{};
+}
+
+DatasetId BlockStore::register_output(
+    const std::vector<std::pair<ServerId, Bytes>>& parts,
+    std::vector<std::vector<ServerId>>* placements) {
+  require(!parts.empty(), "register_output: need at least one part");
+  Dataset ds;
+  ds.id = static_cast<DatasetId>(datasets_.size());
+  if (placements) placements->clear();
+  for (const auto& [writer, bytes] : parts) {
+    require(bytes > 0, "register_output: parts must be non-empty");
+    Bytes remaining = bytes;
+    while (remaining > 0) {
+      const Bytes size = std::min(remaining, config_.block_size);
+      remaining -= size;
+      Block b;
+      b.id = BlockId{static_cast<std::int32_t>(blocks_.size())};
+      b.size = size;
+      b.dataset = ds.id;
+      b.replicas = place_output_block(writer);
+      for (ServerId s : b.replicas) {
+        per_server_[static_cast<std::size_t>(s.value())].push_back(b.id);
+        bytes_per_server_[static_cast<std::size_t>(s.value())] += size;
+      }
+      if (placements) {
+        std::vector<ServerId> remote(b.replicas.begin() + 1, b.replicas.end());
+        placements->push_back(std::move(remote));
+      }
+      ds.blocks.push_back(b.id);
+      ds.bytes += size;
+      blocks_.push_back(std::move(b));
+    }
+  }
+  datasets_.push_back(std::move(ds));
+  return datasets_.back().id;
+}
+
+std::vector<ServerId> BlockStore::place_output_block(ServerId writer) {
+  require(!topo_.is_external(writer), "place_output_block: writer must be internal");
+  std::vector<ServerId> out;
+  out.push_back(writer);
+  if (config_.replication >= 2) {
+    out.push_back(random_server_in_rack(topo_.rack_of(writer), writer));
+  }
+  while (static_cast<std::int32_t>(out.size()) < config_.replication) {
+    const ServerId pick = random_internal_server();
+    if (topo_.rack_of(pick) == topo_.rack_of(writer)) continue;
+    if (std::find(out.begin(), out.end(), pick) != out.end()) continue;
+    out.push_back(pick);
+  }
+  return out;
+}
+
+}  // namespace dct

@@ -1,0 +1,124 @@
+// Replicated distributed block store (the paper's Cosmos substrate).
+//
+// All job inputs and outputs live in a reliable replicated block store
+// implemented on the same commodity servers that do computation.  Datasets
+// are split into fixed-size blocks ("chunking" — the reason the paper sees
+// no super-large flows), each replicated GFS-style: the first replica in the
+// dataset's home region, the second in the same rack as the first, the third
+// in a different rack.  Because later jobs read where earlier outputs were
+// written, data placement is what anchors jobs to regions of the cluster —
+// the root cause of the work-seeks-bandwidth pattern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "topology/topology.h"
+
+namespace dct {
+
+struct BlockStoreConfig {
+  Bytes block_size = 256 * kMB;    ///< chunk size; caps every transfer
+  std::int32_t replication = 3;    ///< replicas per block
+  /// Probability that a new dataset's first replicas concentrate in a home
+  /// VLAN (vs. spreading cluster-wide).  Regional data is what makes jobs
+  /// seek bandwidth near their input.
+  double home_vlan_bias = 0.85;
+  /// Within a regional dataset, probability a block's first replica lands
+  /// in the dataset's home *rack* rather than elsewhere in the home VLAN.
+  /// Rack concentration is what produces the rack-sized diagonal squares of
+  /// the paper's Fig. 2.
+  double home_rack_bias = 0.7;
+
+  void validate(const Topology& topo) const;
+};
+
+/// Index of a dataset within the store.
+using DatasetId = std::int32_t;
+
+/// One replicated block.
+struct Block {
+  BlockId id;
+  Bytes size = 0;
+  DatasetId dataset = -1;
+  std::vector<ServerId> replicas;  ///< replication-order list of holders
+};
+
+/// One dataset: an ordered list of blocks.
+struct Dataset {
+  DatasetId id = -1;
+  Bytes bytes = 0;
+  VlanId home_vlan;                ///< invalid if the dataset is spread
+  RackId home_rack;                ///< invalid if the dataset is spread
+  std::vector<BlockId> blocks;
+};
+
+/// The block store.  Mutation is deterministic given the seed.
+class BlockStore {
+ public:
+  BlockStore(const Topology& topo, BlockStoreConfig config, Rng rng);
+
+  /// Creates a dataset of `total_bytes`, split into block_size chunks and
+  /// placed per the replication policy.  Returns its id.
+  DatasetId create_dataset(Bytes total_bytes);
+
+  [[nodiscard]] const BlockStoreConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Dataset& dataset(DatasetId d) const;
+  [[nodiscard]] const Block& block(BlockId b) const;
+  [[nodiscard]] std::int32_t dataset_count() const noexcept {
+    return static_cast<std::int32_t>(datasets_.size());
+  }
+  [[nodiscard]] std::int32_t block_count() const noexcept {
+    return static_cast<std::int32_t>(blocks_.size());
+  }
+
+  /// Blocks with a replica on `server` (the evacuation work-list).
+  [[nodiscard]] const std::vector<BlockId>& blocks_on(ServerId server) const;
+  /// Bytes stored on `server` across all replicas.
+  [[nodiscard]] Bytes bytes_on(ServerId server) const;
+
+  /// The replica of `b` topologically closest to `reader`
+  /// (same server > same rack > same VLAN > any), ties broken deterministically.
+  [[nodiscard]] ServerId closest_replica(BlockId b, ServerId reader) const;
+
+  /// True if some replica of `b` lives on `server`.
+  [[nodiscard]] bool has_replica(BlockId b, ServerId server) const;
+
+  /// Moves the replica of `b` held by `from` onto `to` (evacuation).
+  /// Requires `from` to hold a replica and `to` not to.
+  void move_replica(BlockId b, ServerId from, ServerId to);
+
+  /// Picks a replacement server for a replica leaving `from`: a server in a
+  /// different rack than the remaining replicas when possible, never one
+  /// that already holds the block.  Deterministic under the store's RNG.
+  [[nodiscard]] ServerId pick_evacuation_target(BlockId b, ServerId from);
+
+  /// Picks GFS-style replica holders for a *new* block written by `writer`:
+  /// writer itself, a same-rack server, and a different-rack server.
+  [[nodiscard]] std::vector<ServerId> place_output_block(ServerId writer);
+
+  /// Registers a job's output as a dataset: one block per (writer, bytes)
+  /// pair, each placed with place_output_block.  Returns the dataset id and,
+  /// through `placements`, the non-local replica holders per block (the
+  /// targets of the replica-write flows the executor must inject).
+  DatasetId register_output(const std::vector<std::pair<ServerId, Bytes>>& parts,
+                            std::vector<std::vector<ServerId>>* placements = nullptr);
+
+ private:
+  [[nodiscard]] ServerId random_internal_server();
+  [[nodiscard]] ServerId random_server_in_rack(RackId rack, ServerId exclude);
+  [[nodiscard]] ServerId random_server_in_vlan(VlanId vlan);
+
+  const Topology& topo_;
+  BlockStoreConfig config_;
+  Rng rng_;
+  std::vector<Dataset> datasets_;
+  std::vector<Block> blocks_;
+  std::vector<std::vector<BlockId>> per_server_;  // server -> blocks held
+  std::vector<Bytes> bytes_per_server_;
+};
+
+}  // namespace dct

@@ -1,0 +1,1019 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numbers>
+
+#include "common/require.h"
+
+namespace dct {
+
+void WorkloadConfig::validate() const {
+  require(jobs_per_second >= 0, "WorkloadConfig: jobs_per_second must be >= 0");
+  require(max_concurrent_jobs >= 1, "WorkloadConfig: max_concurrent_jobs must be >= 1");
+  require(diurnal_amplitude >= 0 && diurnal_amplitude <= 1,
+          "WorkloadConfig: diurnal_amplitude must be in [0,1]");
+  require(diurnal_period > 0, "WorkloadConfig: diurnal_period must be > 0");
+  require(cores_per_server >= 1, "WorkloadConfig: cores_per_server must be >= 1");
+  require(blocks_per_extract_vertex >= 1,
+          "WorkloadConfig: blocks_per_extract_vertex must be >= 1");
+  require(max_fetch_connections >= 1,
+          "WorkloadConfig: max_fetch_connections must be >= 1");
+  require(fetch_gap >= 0, "WorkloadConfig: fetch_gap must be >= 0");
+  require(disk_read_rate > 0 && compute_rate > 0,
+          "WorkloadConfig: disk/compute rates must be > 0");
+  require(vertex_startup_min >= 0 && vertex_startup_max >= vertex_startup_min,
+          "WorkloadConfig: bad vertex startup range");
+  require(max_read_retries >= 0, "WorkloadConfig: max_read_retries must be >= 0");
+  require(aggregate_home_bias >= 0 && aggregate_home_bias <= 1,
+          "WorkloadConfig: aggregate_home_bias must be in [0,1]");
+  require(initial_datasets >= 1, "WorkloadConfig: need at least one initial dataset");
+  require(evacuation_concurrency >= 1 && ingest_concurrency >= 1 &&
+              egress_concurrency >= 1,
+          "WorkloadConfig: concurrencies must be >= 1");
+}
+
+namespace {
+/// One bounded-size shuffle/combine fetch.
+struct FetchItem {
+  ServerId src;
+  Bytes bytes = 0;
+  FlowKind kind = FlowKind::kShuffle;
+  PhaseId phase;
+};
+}  // namespace
+
+/// Execution state of one job.
+struct WorkloadDriver::JobExec {
+  JobSpec spec;
+  ServerId manager;          ///< server running the job manager (control flows)
+  TimeSec start_time = 0;
+  bool failed = false;
+  bool finished = false;
+
+  PhaseId extract_phase;
+  PhaseId aggregate_phase;
+  PhaseId combine_phase;     ///< invalid unless the job joins a second input
+  PhaseId output_phase;
+
+  struct ExtractVertex {
+    std::vector<BlockId> blocks;
+    std::size_t next_block = 0;
+    ServerId server;
+    std::int32_t retries_left = 0;
+    Bytes bytes_read = 0;
+    Bytes map_output = 0;
+    bool closed = false;  ///< core released & pending decremented
+  };
+  std::vector<ExtractVertex> extracts;
+  std::size_t extracts_pending = 0;
+  TimeSec extract_start = 0;
+  Bytes extract_bytes_in = 0;
+
+  struct AggVertex {
+    ServerId server;
+    std::vector<FetchItem> fetches;
+    std::size_t next_fetch = 0;
+    std::int32_t in_flight = 0;
+    std::int32_t retries_left = 0;
+    Bytes bytes_fetched = 0;
+    bool in_combine = false;   ///< currently reading the second input
+    bool closed = false;       ///< core released & pending decremented
+  };
+  std::vector<AggVertex> aggs;
+  std::size_t aggs_pending = 0;
+  TimeSec aggregate_start = 0;
+  TimeSec combine_start = -1;
+  Bytes shuffle_bytes = 0;
+  Bytes combine_bytes = 0;
+
+  TimeSec output_start = 0;
+  std::size_t output_writes_pending = 0;
+  Bytes output_bytes = 0;
+  DatasetId output_dataset = -1;
+};
+
+WorkloadDriver::~WorkloadDriver() = default;
+
+WorkloadDriver::WorkloadDriver(const Topology& topo, FlowSim& sim, ClusterTrace& trace,
+                               WorkloadConfig config, std::uint64_t seed)
+    : topo_(topo),
+      sim_(sim),
+      trace_(trace),
+      config_(config),
+      rng_(seed),
+      store_(topo, BlockStoreConfig{}, rng_.fork(1)),
+      resources_(topo, config.cores_per_server),
+      placer_(topo, resources_, rng_.fork(2), config.locality_enabled),
+      core_waiters_(static_cast<std::size_t>(topo.server_count())) {
+  config_.validate();
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+bool WorkloadDriver::horizon_reached() const {
+  return sim_.now() >= sim_.config().end_time;
+}
+
+PhaseId WorkloadDriver::new_phase() { return PhaseId{next_phase_++}; }
+
+TimeSec WorkloadDriver::startup_delay() {
+  return rng_.uniform(config_.vertex_startup_min, config_.vertex_startup_max);
+}
+
+TimeSec WorkloadDriver::compute_delay(Bytes bytes) {
+  // +-20% jitter around bytes / per-core rate.
+  const double base = static_cast<double>(bytes) / config_.compute_rate;
+  return base * rng_.uniform(0.8, 1.2);
+}
+
+void WorkloadDriver::acquire_core(ServerId server, std::function<void()> fn) {
+  if (resources_.try_acquire(server)) {
+    fn();
+    return;
+  }
+  core_waiters_[static_cast<std::size_t>(server.value())].push_back(std::move(fn));
+}
+
+void WorkloadDriver::release_core(ServerId server) {
+  resources_.release(server);
+  auto& q = core_waiters_[static_cast<std::size_t>(server.value())];
+  if (q.empty()) return;
+  auto fn = std::move(q.front());
+  q.pop_front();
+  const bool ok = resources_.try_acquire(server);
+  ensure(ok, "core handoff failed");
+  fn();
+}
+
+bool WorkloadDriver::close_extract_vertex(JobExec& job, std::size_t vertex_index) {
+  auto& v = job.extracts[vertex_index];
+  if (v.closed) return false;
+  v.closed = true;
+  release_core(v.server);
+  --job.extracts_pending;
+  return true;
+}
+
+bool WorkloadDriver::close_agg_vertex(JobExec& job, std::size_t vertex_index) {
+  auto& v = job.aggs[vertex_index];
+  if (v.closed) return false;
+  v.closed = true;
+  release_core(v.server);
+  --job.aggs_pending;
+  return true;
+}
+
+void WorkloadDriver::control_flow(ServerId from, ServerId to, JobId job, PhaseId phase) {
+  if (from == to) return;
+  FlowSpec spec;
+  spec.src = from;
+  spec.dst = to;
+  spec.bytes = rng_.uniform_int(config_.control_flow_min, config_.control_flow_max);
+  spec.job = job;
+  spec.phase = phase;
+  spec.kind = FlowKind::kControl;
+  sim_.start_flow(spec);
+}
+
+// ---------------------------------------------------------------------------
+// Installation
+// ---------------------------------------------------------------------------
+
+void WorkloadDriver::install() {
+  require(sim_.now() == 0, "install: must be called before the simulation starts");
+
+  // Pre-populate the store so day-0 jobs have data to read.  Sizes come
+  // from the job mix: sample a class, then its input-size distribution.
+  const double weights[3] = {config_.short_jobs.weight, config_.medium_jobs.weight,
+                             config_.production_jobs.weight};
+  for (std::int32_t i = 0; i < config_.initial_datasets; ++i) {
+    const std::size_t cls = rng_.weighted_index(weights);
+    const JobClassParams& p = cls == 0   ? config_.short_jobs
+                              : cls == 1 ? config_.medium_jobs
+                                         : config_.production_jobs;
+    const Bytes size = std::clamp<Bytes>(
+        static_cast<Bytes>(rng_.lognormal(p.input_log_mu, p.input_log_sigma)),
+        p.input_min, p.input_max);
+    available_datasets_.push_back(store_.create_dataset(size));
+  }
+
+  schedule_next_job_arrival();
+  if (config_.evacuations_per_hour > 0) schedule_next_evacuation();
+  if (topo_.config().external_servers > 0 && config_.ingest_interval_mean > 0) {
+    schedule_next_ingest();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Job sampling & arrival process
+// ---------------------------------------------------------------------------
+
+JobSpec WorkloadDriver::sample_job() {
+  const double weights[3] = {config_.short_jobs.weight, config_.medium_jobs.weight,
+                             config_.production_jobs.weight};
+  const std::size_t cls_idx = rng_.weighted_index(weights);
+  const JobClassParams& p = cls_idx == 0   ? config_.short_jobs
+                            : cls_idx == 1 ? config_.medium_jobs
+                                           : config_.production_jobs;
+  JobSpec spec;
+  spec.cls = cls_idx == 0   ? JobClass::kShortInteractive
+             : cls_idx == 1 ? JobClass::kMediumBatch
+                            : JobClass::kLongProduction;
+  // Target size from the class, then the closest existing dataset.
+  const Bytes target = std::clamp<Bytes>(
+      static_cast<Bytes>(rng_.lognormal(p.input_log_mu, p.input_log_sigma)), p.input_min,
+      p.input_max);
+  if (!available_datasets_.empty()) {
+    DatasetId best = available_datasets_.front();
+    Bytes best_gap = std::numeric_limits<Bytes>::max();
+    for (DatasetId d : available_datasets_) {
+      const Bytes gap = std::llabs(store_.dataset(d).bytes - target);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = d;
+      }
+    }
+    spec.input = best;
+  }
+  spec.reducers = static_cast<std::int32_t>(rng_.uniform_int(p.reducers_min, p.reducers_max));
+  spec.shuffle_selectivity =
+      rng_.uniform(p.shuffle_selectivity_min, p.shuffle_selectivity_max);
+  spec.output_selectivity =
+      rng_.uniform(p.output_selectivity_min, p.output_selectivity_max);
+  if (rng_.bernoulli(p.combine_probability) && available_datasets_.size() >= 2) {
+    // Related datasets co-locate: prefer a second input homed in the same
+    // VLAN as the first.
+    const VlanId home =
+        spec.input >= 0 ? store_.dataset(spec.input).home_vlan : VlanId{};
+    DatasetId pick = -1;
+    if (home.valid() && rng_.bernoulli(config_.second_input_locality)) {
+      for (int attempt = 0; attempt < 16 && pick < 0; ++attempt) {
+        const DatasetId cand = available_datasets_[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(available_datasets_.size()) - 1))];
+        if (cand != spec.input && store_.dataset(cand).home_vlan == home) pick = cand;
+      }
+    }
+    if (pick < 0) {
+      pick = available_datasets_[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(available_datasets_.size()) - 1))];
+    }
+    spec.second_input = pick;
+  }
+  spec.egress = rng_.bernoulli(p.egress_probability) && topo_.config().external_servers > 0;
+  return spec;
+}
+
+void WorkloadDriver::schedule_next_job_arrival() {
+  if (config_.jobs_per_second <= 0) return;
+  // Thinning for the (optionally) time-varying rate: draw at the peak rate,
+  // then accept with probability rate(t)/peak — an exact nonhomogeneous
+  // Poisson sampler.
+  const double peak = config_.jobs_per_second * (1.0 + config_.diurnal_amplitude);
+  const TimeSec t = sim_.now() + rng_.exponential(1.0 / peak);
+  if (t >= sim_.config().end_time) return;
+  sim_.at(t, [this, peak](FlowSim&) {
+    double rate_now = config_.jobs_per_second;
+    if (config_.diurnal_amplitude > 0) {
+      rate_now *= 1.0 + config_.diurnal_amplitude *
+                            std::sin(2.0 * std::numbers::pi * sim_.now() /
+                                     config_.diurnal_period);
+    }
+    if (rng_.bernoulli(std::clamp(rate_now / peak, 0.0, 1.0))) {
+      JobSpec spec = sample_job();
+      spec.id = JobId{next_job_++};
+      spec.submit_time = sim_.now();
+      job_queue_.push_back(std::move(spec));
+      try_admit();
+    }
+    schedule_next_job_arrival();
+  });
+}
+
+void WorkloadDriver::try_admit() {
+  while (running_jobs_ < config_.max_concurrent_jobs && !job_queue_.empty() &&
+         !horizon_reached()) {
+    JobSpec spec = std::move(job_queue_.front());
+    job_queue_.pop_front();
+    ++running_jobs_;
+    submit_job(std::move(spec));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Extract (+ pipelined Partition)
+// ---------------------------------------------------------------------------
+
+void WorkloadDriver::submit_job(JobSpec spec) {
+  require(spec.input >= 0, "submit_job: job needs an input dataset");
+  ++stats_.jobs_submitted;
+  auto exec = std::make_unique<JobExec>();
+  JobExec& job = *exec;
+  job.spec = std::move(spec);
+  // The job manager runs where the job was scheduled: in its input data's
+  // home rack for regional datasets (keeping control chatter mostly local).
+  const Dataset& input_ds = store_.dataset(job.spec.input);
+  if (input_ds.home_rack.valid()) {
+    const std::int32_t first = input_ds.home_rack.value() *
+                               topo_.config().servers_per_rack;
+    const std::int32_t last =
+        std::min(first + topo_.config().servers_per_rack, topo_.internal_server_count());
+    job.manager = ServerId{static_cast<std::int32_t>(rng_.uniform_int(first, last - 1))};
+  } else {
+    job.manager = ServerId{static_cast<std::int32_t>(
+        rng_.uniform_int(0, topo_.internal_server_count() - 1))};
+  }
+  job.start_time = sim_.now();
+  job.extract_phase = new_phase();
+  job.aggregate_phase = new_phase();
+  if (job.spec.second_input >= 0) job.combine_phase = new_phase();
+  job.output_phase = new_phase();
+  job.extract_start = sim_.now();
+
+  // Group input blocks into extract vertices.
+  const Dataset& ds = store_.dataset(job.spec.input);
+  const std::size_t per_vertex = static_cast<std::size_t>(config_.blocks_per_extract_vertex);
+  for (std::size_t i = 0; i < ds.blocks.size(); i += per_vertex) {
+    JobExec::ExtractVertex v;
+    for (std::size_t j = i; j < std::min(i + per_vertex, ds.blocks.size()); ++j) {
+      v.blocks.push_back(ds.blocks[j]);
+    }
+    v.retries_left = config_.max_read_retries;
+    job.extracts.push_back(std::move(v));
+  }
+  job.extracts_pending = job.extracts.size();
+
+  jobs_.push_back(std::move(exec));
+  JobExec* jp = jobs_.back().get();
+  for (std::size_t vi = 0; vi < jp->extracts.size(); ++vi) {
+    launch_extract_vertex(*jp, vi);
+  }
+}
+
+void WorkloadDriver::launch_extract_vertex(JobExec& job, std::size_t vertex_index) {
+  auto& v = job.extracts[vertex_index];
+  // Home: the replica holder of the first block with the most free cores.
+  const Block& first = store_.block(v.blocks.front());
+  ServerId home = first.replicas.front();
+  std::int32_t best_free = -1;
+  for (ServerId r : first.replicas) {
+    const std::int32_t free_cores = resources_.available(r);
+    if (free_cores > best_free) {
+      best_free = free_cores;
+      home = r;
+    }
+  }
+  const PlacementDecision d = placer_.place_near(home);
+  ++stats_.placement_tier[std::clamp(d.tier, 0, 3)];
+  v.server = d.server;
+
+  JobExec* jp = &job;
+  acquire_core(v.server, [this, jp, vertex_index] {
+    auto& vertex = jp->extracts[vertex_index];
+    if (jp->failed || horizon_reached()) {
+      close_extract_vertex(*jp, vertex_index);
+      return;
+    }
+    const TimeSec t = sim_.now() + startup_delay();
+    if (t >= sim_.config().end_time) {
+      close_extract_vertex(*jp, vertex_index);
+      return;
+    }
+    sim_.at(t, [this, jp, vertex_index](FlowSim&) {
+      control_flow(jp->manager, jp->extracts[vertex_index].server, jp->spec.id,
+                   jp->extract_phase);
+      extract_read_next(*jp, vertex_index);
+    });
+  });
+}
+
+void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
+  auto& v = job.extracts[vertex_index];
+  if (job.failed || horizon_reached()) {
+    close_extract_vertex(job, vertex_index);
+    return;
+  }
+  if (v.next_block == v.blocks.size()) {
+    extract_vertex_done(job, vertex_index);
+    return;
+  }
+  const BlockId bid = v.blocks[v.next_block];
+  const Block& blk = store_.block(bid);
+  const ServerId replica = store_.closest_replica(bid, v.server);
+  JobExec* jp = &job;
+
+  if (replica == v.server) {
+    // Local read: disk + pipelined extract/partition compute; no socket.
+    ++stats_.extract_reads_local;
+    const TimeSec done = sim_.now() +
+                         static_cast<double>(blk.size) / config_.disk_read_rate +
+                         compute_delay(blk.size);
+    v.bytes_read += blk.size;
+    ++v.next_block;
+    if (done >= sim_.config().end_time) {
+      close_extract_vertex(job, vertex_index);
+      return;
+    }
+    sim_.at(done, [this, jp, vertex_index](FlowSim&) {
+      extract_read_next(*jp, vertex_index);
+    });
+    return;
+  }
+
+  // Remote read over the network.
+  ++stats_.extract_reads_remote;
+  FlowSpec fs;
+  fs.src = replica;
+  fs.dst = v.server;
+  fs.bytes = blk.size;
+  fs.job = job.spec.id;
+  fs.phase = job.extract_phase;
+  fs.kind = FlowKind::kBlockRead;
+  sim_.start_flow(fs, [this, jp, vertex_index, replica](FlowSim&, const FlowRecord& rec) {
+    auto& vertex = jp->extracts[vertex_index];
+    if (jp->failed || horizon_reached()) {
+      close_extract_vertex(*jp, vertex_index);
+      return;
+    }
+    const bool read_failed =
+        rec.failed || rng_.bernoulli(config_.spontaneous_read_failure_prob);
+    if (read_failed) {
+      ++stats_.read_failures;
+      ReadFailureRecord rf;
+      rf.time = sim_.now();
+      rf.job = jp->spec.id;
+      rf.phase = jp->extract_phase;
+      rf.reader = vertex.server;
+      rf.source = replica;
+      rf.fatal = vertex.retries_left == 0;
+      trace_.record_read_failure(rf);
+      if (vertex.retries_left-- > 0) {
+        // Back off briefly and retry (the replica choice re-runs and may
+        // select a different holder if the load changed).
+        const TimeSec t = sim_.now() + rng_.uniform(0.5, 2.0);
+        if (t >= sim_.config().end_time) {
+          close_extract_vertex(*jp, vertex_index);
+          return;
+        }
+        sim_.at(t, [this, jp, vertex_index](FlowSim&) {
+          extract_read_next(*jp, vertex_index);
+        });
+      } else {
+        close_extract_vertex(*jp, vertex_index);
+        fail_job(*jp);
+      }
+      return;
+    }
+    vertex.bytes_read += rec.bytes_sent;
+    ++vertex.next_block;
+    const TimeSec done = sim_.now() + compute_delay(rec.bytes_sent);
+    if (done >= sim_.config().end_time) {
+      close_extract_vertex(*jp, vertex_index);
+      return;
+    }
+    sim_.at(done, [this, jp, vertex_index](FlowSim&) {
+      extract_read_next(*jp, vertex_index);
+    });
+  });
+}
+
+void WorkloadDriver::extract_vertex_done(JobExec& job, std::size_t vertex_index) {
+  auto& v = job.extracts[vertex_index];
+  v.map_output = static_cast<Bytes>(static_cast<double>(v.bytes_read) *
+                                    job.spec.shuffle_selectivity);
+  job.extract_bytes_in += v.bytes_read;
+  job.shuffle_bytes += v.map_output;
+  if (!close_extract_vertex(job, vertex_index)) return;
+  control_flow(v.server, job.manager, job.spec.id, job.extract_phase);
+  if (job.extracts_pending == 0 && !job.failed && !horizon_reached()) {
+    PhaseLogRecord p;
+    p.job = job.spec.id;
+    p.phase = job.extract_phase;
+    p.kind = PhaseKind::kExtract;
+    p.start = job.extract_start;
+    p.end = sim_.now();
+    p.vertices = static_cast<std::int32_t>(job.extracts.size());
+    p.bytes_in = job.extract_bytes_in;
+    p.bytes_out = job.shuffle_bytes;
+    trace_.record_phase(p);
+    start_aggregate_phase(job);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate (shuffle) + optional Combine
+// ---------------------------------------------------------------------------
+
+void WorkloadDriver::start_aggregate_phase(JobExec& job) {
+  job.aggregate_start = sim_.now();
+  const std::int32_t r_count = std::max<std::int32_t>(1, job.spec.reducers);
+  const Dataset& in = store_.dataset(job.spec.input);
+
+  job.aggs.resize(static_cast<std::size_t>(r_count));
+  for (auto& agg : job.aggs) {
+    // Placement: mostly near the job's home region (work-seeks-bandwidth),
+    // sometimes spread across the cluster (scatter-gather).
+    PlacementDecision d{};
+    if (in.home_vlan.valid() && rng_.bernoulli(config_.aggregate_home_bias)) {
+      // Mostly the dataset's home rack, sometimes elsewhere in its VLAN —
+      // the same concentration the block store used for the input.
+      std::int32_t rack = in.home_rack.value();
+      if (!rng_.bernoulli(store_.config().home_rack_bias)) {
+        const std::int32_t first_rack =
+            in.home_vlan.value() * topo_.config().racks_per_vlan;
+        rack = std::min(topo_.rack_count() - 1,
+                        static_cast<std::int32_t>(rng_.uniform_int(
+                            first_rack, first_rack + topo_.config().racks_per_vlan - 1)));
+      }
+      const std::int32_t base = rack * topo_.config().servers_per_rack;
+      const ServerId near{static_cast<std::int32_t>(
+          rng_.uniform_int(base, base + topo_.config().servers_per_rack - 1))};
+      d = placer_.place_near(near);
+    } else {
+      d = placer_.place_anywhere();
+    }
+    ++stats_.placement_tier[std::clamp(d.tier, 0, 3)];
+    agg.server = d.server;
+    agg.retries_left = config_.max_read_retries;
+
+    // Each reducer pulls 1/R of every map vertex's output.
+    for (const auto& ev : job.extracts) {
+      if (ev.map_output <= 0) continue;
+      Bytes part = std::max<Bytes>(ev.map_output / r_count, 512);
+      const Bytes chunk = config_.chunked_transfers ? store_.config().block_size : part;
+      Bytes remaining = part;
+      while (remaining > 0) {
+        const Bytes piece = std::min(remaining, std::max<Bytes>(chunk, 512));
+        remaining -= piece;
+        agg.fetches.push_back(
+            FetchItem{ev.server, piece, FlowKind::kShuffle, job.aggregate_phase});
+      }
+    }
+    // Randomize fetch order so sources interleave.
+    const auto perm = rng_.permutation(agg.fetches.size());
+    std::vector<FetchItem> shuffled(agg.fetches.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) shuffled[i] = agg.fetches[perm[i]];
+    agg.fetches = std::move(shuffled);
+  }
+  job.aggs_pending = job.aggs.size();
+  for (std::size_t vi = 0; vi < job.aggs.size(); ++vi) {
+    launch_aggregate_vertex(job, vi);
+  }
+}
+
+void WorkloadDriver::launch_aggregate_vertex(JobExec& job, std::size_t vertex_index) {
+  JobExec* jp = &job;
+  const ServerId server = job.aggs[vertex_index].server;
+  acquire_core(server, [this, jp, vertex_index, server] {
+    if (jp->failed || horizon_reached()) {
+      close_agg_vertex(*jp, vertex_index);
+      return;
+    }
+    const TimeSec t = sim_.now() + startup_delay();
+    if (t >= sim_.config().end_time) {
+      close_agg_vertex(*jp, vertex_index);
+      return;
+    }
+    sim_.at(t, [this, jp, vertex_index](FlowSim&) {
+      control_flow(jp->manager, jp->aggs[vertex_index].server, jp->spec.id,
+                   jp->aggregate_phase);
+      aggregate_fetch_next(*jp, vertex_index);
+    });
+  });
+}
+
+void WorkloadDriver::aggregate_fetch_next(JobExec& job, std::size_t vertex_index) {
+  auto& v = job.aggs[vertex_index];
+  if (job.failed || horizon_reached()) {
+    if (v.in_flight == 0) {
+      close_agg_vertex(job, vertex_index);
+    }
+    return;
+  }
+  // All fetches issued and drained?
+  if (v.next_fetch >= v.fetches.size() && v.in_flight == 0) {
+    if (!v.in_combine && job.spec.second_input >= 0) {
+      start_combine_reads(job, vertex_index);
+      return;
+    }
+    // Reduce compute, then done.
+    JobExec* jp = &job;
+    const TimeSec done = sim_.now() + compute_delay(v.bytes_fetched);
+    if (done >= sim_.config().end_time) {
+      close_agg_vertex(job, vertex_index);
+      return;
+    }
+    sim_.at(done, [this, jp, vertex_index](FlowSim&) {
+      aggregate_vertex_done(*jp, vertex_index);
+    });
+    return;
+  }
+
+  JobExec* jp = &job;
+  while (v.in_flight < config_.max_fetch_connections && v.next_fetch < v.fetches.size()) {
+    // A connection failure invokes its handler synchronously and may kill
+    // the job mid-loop; stop issuing work for it.
+    if (jp->failed || v.closed) break;
+    const FetchItem item = v.fetches[v.next_fetch++];
+    ++v.in_flight;
+    ++stats_.shuffle_fetches;
+
+    if (item.src == v.server) {
+      // Mapper colocated with this reducer: a local disk read.
+      const TimeSec done =
+          sim_.now() + static_cast<double>(item.bytes) / config_.disk_read_rate;
+      if (done >= sim_.config().end_time) {
+        --v.in_flight;
+        if (v.in_flight == 0) {
+          close_agg_vertex(job, vertex_index);
+        }
+        return;
+      }
+      sim_.at(done, [this, jp, vertex_index, item](FlowSim&) {
+        auto& vv = jp->aggs[vertex_index];
+        vv.bytes_fetched += item.bytes;
+        --vv.in_flight;
+        aggregate_fetch_next(*jp, vertex_index);
+      });
+      continue;
+    }
+
+    FlowSpec fs;
+    fs.src = item.src;
+    fs.dst = v.server;
+    fs.bytes = item.bytes;
+    fs.job = job.spec.id;
+    fs.phase = item.phase;
+    fs.kind = item.kind;
+    sim_.start_flow(fs, [this, jp, vertex_index, item](FlowSim&, const FlowRecord& rec) {
+      auto& vv = jp->aggs[vertex_index];
+      --vv.in_flight;
+      if (jp->failed || horizon_reached()) {
+        if (vv.in_flight == 0) {
+          close_agg_vertex(*jp, vertex_index);
+        }
+        return;
+      }
+      const bool read_failed =
+          rec.failed || rng_.bernoulli(config_.spontaneous_read_failure_prob);
+      if (read_failed) {
+        ++stats_.read_failures;
+        ReadFailureRecord rf;
+        rf.time = sim_.now();
+        rf.job = jp->spec.id;
+        rf.phase = item.phase;
+        rf.reader = vv.server;
+        rf.source = item.src;
+        rf.fatal = vv.retries_left == 0;
+        trace_.record_read_failure(rf);
+        if (vv.retries_left-- > 0) {
+          vv.fetches.push_back(item);  // re-queue at the tail
+        } else {
+          if (vv.in_flight == 0) {
+            close_agg_vertex(*jp, vertex_index);
+          }
+          fail_job(*jp);
+          return;
+        }
+      } else {
+        vv.bytes_fetched += rec.bytes_sent;
+        if (vv.in_combine) {
+          jp->combine_bytes += rec.bytes_sent;
+        }
+      }
+      // Stop-and-go: pause before opening the next connection.
+      const TimeSec t = sim_.now() + config_.fetch_gap;
+      if (t >= sim_.config().end_time) {
+        if (vv.in_flight == 0) {
+          close_agg_vertex(*jp, vertex_index);
+        }
+        return;
+      }
+      sim_.at(t, [this, jp, vertex_index](FlowSim&) {
+        aggregate_fetch_next(*jp, vertex_index);
+      });
+    });
+  }
+}
+
+void WorkloadDriver::start_combine_reads(JobExec& job, std::size_t vertex_index) {
+  auto& v = job.aggs[vertex_index];
+  v.in_combine = true;
+  if (job.combine_start < 0) job.combine_start = sim_.now();
+  const Dataset& ds2 = store_.dataset(job.spec.second_input);
+  const auto r_count = static_cast<std::size_t>(job.aggs.size());
+  v.fetches.clear();
+  v.next_fetch = 0;
+  // Reducer k joins against blocks j with j % R == k.
+  for (std::size_t j = vertex_index; j < ds2.blocks.size(); j += r_count) {
+    const Block& blk = store_.block(ds2.blocks[j]);
+    const ServerId src = store_.closest_replica(blk.id, v.server);
+    if (src == v.server) {
+      v.bytes_fetched += blk.size;  // local join input
+      job.combine_bytes += blk.size;
+      continue;
+    }
+    v.fetches.push_back(FetchItem{src, blk.size, FlowKind::kBlockRead, job.combine_phase});
+  }
+  aggregate_fetch_next(job, vertex_index);
+}
+
+void WorkloadDriver::aggregate_vertex_done(JobExec& job, std::size_t vertex_index) {
+  auto& v = job.aggs[vertex_index];
+  if (!close_agg_vertex(job, vertex_index)) return;
+  control_flow(v.server, job.manager, job.spec.id, job.aggregate_phase);
+  if (job.aggs_pending == 0 && !job.failed && !horizon_reached()) {
+    PhaseLogRecord p;
+    p.job = job.spec.id;
+    p.phase = job.aggregate_phase;
+    p.kind = PhaseKind::kAggregate;
+    p.start = job.aggregate_start;
+    p.end = sim_.now();
+    p.vertices = static_cast<std::int32_t>(job.aggs.size());
+    p.bytes_in = job.shuffle_bytes;
+    p.bytes_out = job.shuffle_bytes;
+    trace_.record_phase(p);
+    if (job.spec.second_input >= 0 && job.combine_start >= 0) {
+      PhaseLogRecord c;
+      c.job = job.spec.id;
+      c.phase = job.combine_phase;
+      c.kind = PhaseKind::kCombine;
+      c.start = job.combine_start;
+      c.end = sim_.now();
+      c.vertices = static_cast<std::int32_t>(job.aggs.size());
+      c.bytes_in = job.combine_bytes;
+      c.bytes_out = job.combine_bytes;
+      trace_.record_phase(c);
+    }
+    start_output_phase(job);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Output (replicated writes), job completion, egress
+// ---------------------------------------------------------------------------
+
+void WorkloadDriver::start_output_phase(JobExec& job) {
+  job.output_start = sim_.now();
+  std::vector<std::pair<ServerId, Bytes>> parts;
+  for (const auto& v : job.aggs) {
+    const Bytes out = static_cast<Bytes>(static_cast<double>(v.bytes_fetched) *
+                                         job.spec.output_selectivity);
+    if (out > 0) parts.emplace_back(v.server, out);
+    job.output_bytes += out;
+  }
+  if (parts.empty()) {
+    finish_job(job, /*failed=*/false);
+    return;
+  }
+  job.output_dataset = store_.register_output(parts);
+  const Dataset& out_ds = store_.dataset(job.output_dataset);
+
+  // Replica-write chains: writer -> same-rack replica -> off-rack replica.
+  JobExec* jp = &job;
+  job.output_writes_pending = out_ds.blocks.size();
+  for (BlockId bid : out_ds.blocks) {
+    const Block& blk = store_.block(bid);
+    const ServerId writer = blk.replicas.front();
+    // Build the chain of (from, to) hops.
+    auto advance = std::make_shared<std::function<void(std::size_t)>>();
+    *advance = [this, jp, blk, writer, advance](std::size_t hop) {
+      if (hop + 1 >= blk.replicas.size() || jp->failed || horizon_reached()) {
+        if (--jp->output_writes_pending == 0 && !jp->failed && !horizon_reached()) {
+          PhaseLogRecord p;
+          p.job = jp->spec.id;
+          p.phase = jp->output_phase;
+          p.kind = PhaseKind::kOutput;
+          p.start = jp->output_start;
+          p.end = sim_.now();
+          p.vertices = static_cast<std::int32_t>(jp->aggs.size());
+          p.bytes_in = jp->output_bytes;
+          p.bytes_out = jp->output_bytes;
+          trace_.record_phase(p);
+          finish_job(*jp, /*failed=*/false);
+        }
+        return;
+      }
+      FlowSpec fs;
+      fs.src = blk.replicas[hop];
+      fs.dst = blk.replicas[hop + 1];
+      fs.bytes = blk.size;
+      fs.job = jp->spec.id;
+      fs.phase = jp->output_phase;
+      fs.kind = FlowKind::kReplicaWrite;
+      sim_.start_flow(fs, [advance, hop](FlowSim&, const FlowRecord&) {
+        (*advance)(hop + 1);
+      });
+    };
+    (void)writer;
+    (*advance)(0);
+  }
+}
+
+void WorkloadDriver::finish_job(JobExec& job, bool failed) {
+  if (job.finished) return;
+  job.finished = true;
+  --running_jobs_;
+  if (failed) {
+    ++stats_.jobs_failed;
+  } else {
+    ++stats_.jobs_completed;
+    // Freshly written outputs become candidate inputs for later jobs.
+    if (job.output_dataset >= 0) available_datasets_.push_back(job.output_dataset);
+  }
+  JobLogRecord rec;
+  rec.job = job.spec.id;
+  rec.submit = job.spec.submit_time;
+  rec.start = job.start_time;
+  rec.end = sim_.now();
+  rec.completed = !failed;
+  rec.failed = failed;
+  rec.phases = job.spec.second_input >= 0 ? 4 : 3;
+  rec.input_bytes = store_.dataset(job.spec.input).bytes;
+  trace_.record_job(rec);
+
+  if (!failed && job.spec.egress && job.output_dataset >= 0) start_egress(job);
+  try_admit();
+}
+
+void WorkloadDriver::start_egress(JobExec& job) {
+  const Dataset& out = store_.dataset(job.output_dataset);
+  const std::int32_t first_ext = topo_.internal_server_count();
+  const ServerId ext{static_cast<std::int32_t>(
+      rng_.uniform_int(first_ext, topo_.server_count() - 1))};
+
+  // Pull output blocks with bounded concurrency.
+  auto state = std::make_shared<std::pair<std::size_t, std::int32_t>>(0, 0);
+  auto pump = std::make_shared<std::function<void()>>();
+  const std::vector<BlockId> blocks = out.blocks;
+  JobExec* jp = &job;
+  *pump = [this, jp, blocks, ext, state, pump] {
+    while (state->second < config_.egress_concurrency && state->first < blocks.size()) {
+      const Block& blk = store_.block(blocks[state->first++]);
+      ++state->second;
+      FlowSpec fs;
+      fs.src = store_.closest_replica(blk.id, ext);
+      fs.dst = ext;
+      fs.bytes = blk.size;
+      fs.job = jp->spec.id;
+      fs.kind = FlowKind::kEgress;
+      sim_.start_flow(fs, [state, pump](FlowSim&, const FlowRecord&) {
+        --state->second;
+        (*pump)();
+      });
+    }
+  };
+  (*pump)();
+}
+
+void WorkloadDriver::fail_job(JobExec& job) {
+  if (job.failed || job.finished) return;
+  job.failed = true;
+  finish_job(job, /*failed=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Evacuations
+// ---------------------------------------------------------------------------
+
+void WorkloadDriver::schedule_next_evacuation() {
+  const double mean_gap = 3600.0 / config_.evacuations_per_hour;
+  const TimeSec t = sim_.now() + rng_.exponential(mean_gap);
+  if (t >= sim_.config().end_time) return;
+  sim_.at(t, [this](FlowSim&) {
+    const ServerId victim{static_cast<std::int32_t>(
+        rng_.uniform_int(0, topo_.internal_server_count() - 1))};
+    run_evacuation(victim);
+    schedule_next_evacuation();
+  });
+}
+
+void WorkloadDriver::run_evacuation(ServerId victim) {
+  std::vector<BlockId> blocks = store_.blocks_on(victim);
+  if (blocks.empty()) return;
+  if (static_cast<std::int32_t>(blocks.size()) > config_.evacuation_max_blocks) {
+    blocks.resize(static_cast<std::size_t>(config_.evacuation_max_blocks));
+  }
+  ++stats_.evacuations;
+
+  struct EvacState {
+    std::vector<BlockId> blocks;
+    std::size_t next = 0;
+    std::int32_t in_flight = 0;
+    Bytes moved = 0;
+    std::int32_t count = 0;
+    TimeSec start = 0;
+  };
+  auto st = std::make_shared<EvacState>();
+  st->blocks = std::move(blocks);
+  st->start = sim_.now();
+
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, victim, st, pump] {
+    while (st->in_flight < config_.evacuation_concurrency &&
+           st->next < st->blocks.size()) {
+      const BlockId bid = st->blocks[st->next++];
+      if (!store_.has_replica(bid, victim)) continue;  // already moved elsewhere
+      const ServerId target = store_.pick_evacuation_target(bid, victim);
+      ++st->in_flight;
+      FlowSpec fs;
+      fs.src = victim;
+      fs.dst = target;
+      fs.bytes = store_.block(bid).size;
+      fs.kind = FlowKind::kEvacuation;
+      sim_.start_flow(fs, [this, victim, bid, target, st, pump](FlowSim&,
+                                                                const FlowRecord& rec) {
+        --st->in_flight;
+        if (!rec.failed && store_.has_replica(bid, victim) &&
+            !store_.has_replica(bid, target)) {
+          store_.move_replica(bid, victim, target);
+          st->moved += rec.bytes_sent;
+          ++st->count;
+        }
+        (*pump)();
+      });
+    }
+    if (st->in_flight == 0 && st->next == st->blocks.size()) {
+      EvacuationRecord er;
+      er.start = st->start;
+      er.end = sim_.now();
+      er.server = victim;
+      er.bytes_moved = st->moved;
+      er.blocks_moved = st->count;
+      trace_.record_evacuation(er);
+      st->next = st->blocks.size() + 1;  // make the record idempotent
+    }
+  };
+  (*pump)();
+}
+
+// ---------------------------------------------------------------------------
+// Ingest
+// ---------------------------------------------------------------------------
+
+void WorkloadDriver::schedule_next_ingest() {
+  const TimeSec t = sim_.now() + rng_.exponential(config_.ingest_interval_mean);
+  if (t >= sim_.config().end_time) return;
+  sim_.at(t, [this](FlowSim&) {
+    run_ingest();
+    schedule_next_ingest();
+  });
+}
+
+void WorkloadDriver::run_ingest() {
+  ++stats_.ingest_sessions;
+  const JobClassParams& p = config_.medium_jobs;
+  const Bytes size = std::clamp<Bytes>(
+      static_cast<Bytes>(rng_.lognormal(p.input_log_mu, p.input_log_sigma)), p.input_min,
+      p.input_max);
+  const DatasetId ds = store_.create_dataset(size);
+  const std::int32_t first_ext = topo_.internal_server_count();
+  const ServerId ext{static_cast<std::int32_t>(
+      rng_.uniform_int(first_ext, topo_.server_count() - 1))};
+
+  struct IngestState {
+    std::vector<BlockId> blocks;
+    std::size_t next = 0;
+    std::int32_t in_flight = 0;
+  };
+  auto st = std::make_shared<IngestState>();
+  st->blocks = store_.dataset(ds).blocks;
+
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, ds, ext, st, pump] {
+    while (st->in_flight < config_.ingest_concurrency && st->next < st->blocks.size()) {
+      const BlockId bid = st->blocks[st->next++];
+      ++st->in_flight;
+      const Block& blk = store_.block(bid);
+      // Chain: external -> replica0 -> replica1 -> replica2.
+      auto hop = std::make_shared<std::function<void(std::size_t)>>();
+      *hop = [this, st, pump, bid, ext, hop](std::size_t i) {
+        const Block& b = store_.block(bid);
+        const ServerId from = i == 0 ? ext : b.replicas[i - 1];
+        if (i >= b.replicas.size()) {
+          --st->in_flight;
+          (*pump)();
+          return;
+        }
+        FlowSpec fs;
+        fs.src = from;
+        fs.dst = b.replicas[i];
+        fs.bytes = b.size;
+        fs.kind = i == 0 ? FlowKind::kIngest : FlowKind::kReplicaWrite;
+        sim_.start_flow(fs, [hop, i](FlowSim&, const FlowRecord&) { (*hop)(i + 1); });
+      };
+      (void)blk;
+      (*hop)(0);
+    }
+    if (st->in_flight == 0 && st->next == st->blocks.size()) {
+      available_datasets_.push_back(ds);
+      st->next = st->blocks.size() + 1;
+    }
+  };
+  (*pump)();
+}
+
+}  // namespace dct

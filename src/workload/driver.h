@@ -1,0 +1,230 @@
+// WorkloadDriver: runs the cluster's application mix on the flow simulator.
+//
+// The driver reproduces every traffic-generating mechanism the paper
+// identifies:
+//   * MapReduce-style jobs (Extract -> Partition -> Aggregate [-> Combine]
+//     -> Output) with locality-seeking placement — the work-seeks-bandwidth
+//     pattern — and cross-cluster shuffles — the scatter-gather pattern.
+//   * Connection-capped, stop-and-go shuffle fetches (§4.4's engineering
+//     decisions; the source of the ~15 ms inter-arrival modes of Fig. 11).
+//   * Chunked transfers (block-store chunking bounds flow sizes; §7 "flow
+//     sizes being determined largely by chunking considerations").
+//   * Read failures: a flow starved below the stall floor is killed by the
+//     simulator; the vertex retries, and a second failure kills the job —
+//     §4.2's congestion/read-failure coupling (Fig. 8).
+//   * Infrastructure traffic: external ingest and egress, replica writes,
+//     server evacuations (§4.2's "unexpected sources of congestion"),
+//     and small control flows.
+//
+// Everything is deterministic given (topology, config, seed).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "flowsim/flowsim.h"
+#include "topology/topology.h"
+#include "trace/cluster_trace.h"
+#include "workload/blockstore.h"
+#include "workload/job.h"
+#include "workload/placement.h"
+
+namespace dct {
+
+/// All workload knobs.  Defaults give the canonical scaled scenario; the
+/// ablation benches flip `locality_enabled`, `chunked_transfers` and
+/// `max_fetch_connections`.
+struct WorkloadConfig {
+  // --- Job mix --------------------------------------------------------------
+  double jobs_per_second = 2.5;
+  /// Cluster scheduler admission: at most this many jobs run concurrently;
+  /// later submissions wait in the job queue (the paper's application logs
+  /// include job queues; submit time != start time under load).
+  std::int32_t max_concurrent_jobs = 64;
+  /// Optional sinusoidal load modulation: the arrival rate becomes
+  /// jobs_per_second * (1 + amplitude * sin(2*pi*t/period)).  Amplitude 0
+  /// disables.  Long traces use this to show the slow swings of Fig. 10 on
+  /// top of the fast churn.
+  double diurnal_amplitude = 0.0;
+  TimeSec diurnal_period = 3600.0;
+  JobClassParams short_jobs{
+      .weight = 0.62,
+      .input_log_mu = 19.5,  // exp(19.5) ~ 0.3 GB
+      .input_log_sigma = 0.8,
+      .input_min = 64 * kMB,
+      .input_max = 4 * kGB,
+      .reducers_min = 2,
+      .reducers_max = 4,
+      .combine_probability = 0.10,
+      .egress_probability = 0.10};
+  JobClassParams medium_jobs{
+      .weight = 0.30,
+      .input_log_mu = 21.5,  // ~ 2.2 GB
+      .input_log_sigma = 0.7,
+      .input_min = 256 * kMB,
+      .input_max = 16 * kGB,
+      .reducers_min = 3,
+      .reducers_max = 8,
+      .combine_probability = 0.25,
+      .egress_probability = 0.15};
+  JobClassParams production_jobs{
+      .weight = 0.08,
+      .input_log_mu = 23.0,  // ~ 9.7 GB
+      .input_log_sigma = 0.6,
+      .input_min = 2 * kGB,
+      .input_max = 64 * kGB,
+      .reducers_min = 6,
+      .reducers_max = 16,
+      .combine_probability = 0.35,
+      .egress_probability = 0.40};
+
+  // --- Execution model --------------------------------------------------------
+  std::int32_t cores_per_server = 2;
+  std::int32_t blocks_per_extract_vertex = 1;
+  /// §4.4: "applications limit their simultaneously open connections to a
+  /// small number" — the shuffle fetch window per aggregate vertex.
+  std::int32_t max_fetch_connections = 2;
+  /// Stop-and-go pause before launching the next fetch after one completes
+  /// (rate-limits flow creation; Fig. 11's periodic inter-arrival modes).
+  TimeSec fetch_gap = 0.015;
+  BytesPerSec disk_read_rate = 200.0e6;   ///< local block read, bytes/s
+  BytesPerSec compute_rate = 250.0e6;     ///< record processing, bytes/s/core
+  TimeSec vertex_startup_min = 0.02;      ///< scheduling+process launch delay
+  TimeSec vertex_startup_max = 0.25;
+  std::int32_t max_read_retries = 1;      ///< retries before a fatal read failure
+  /// Baseline probability that a network read fails for non-network reasons
+  /// (unresponsive machine, bad software, bad disk sectors — §4.2 notes not
+  /// all read failures are congestion).  Gives Fig. 8 its clear-day floor.
+  double spontaneous_read_failure_prob = 0.004;
+  Bytes control_flow_min = 1 * kKB;       ///< job-manager chatter sizes
+  Bytes control_flow_max = 24 * kKB;
+  bool locality_enabled = true;           ///< ablation: random placement
+  bool chunked_transfers = true;          ///< ablation: unchunked shuffles
+
+  // --- Placement biases --------------------------------------------------------
+  /// Probability an aggregate vertex of a regional job is placed near the
+  /// job's home VLAN (the rest spread cluster-wide: scatter-gather).
+  double aggregate_home_bias = 0.85;
+  /// Probability a Combine job's second input is drawn from datasets homed
+  /// in the same VLAN as the first input (related datasets co-locate).
+  double second_input_locality = 0.8;
+
+  // --- Infrastructure traffic ---------------------------------------------------
+  double evacuations_per_hour = 6.0;
+  std::int32_t evacuation_max_blocks = 150;
+  std::int32_t evacuation_concurrency = 4;
+  double ingest_interval_mean = 150.0;  ///< seconds between ingest sessions
+  std::int32_t ingest_concurrency = 2;
+  std::int32_t egress_concurrency = 2;
+
+  // --- Pre-population -------------------------------------------------------------
+  std::int32_t initial_datasets = 48;
+
+  void validate() const;
+};
+
+/// Post-run workload statistics (placement tiers, read locality, failures).
+struct WorkloadStats {
+  std::int64_t jobs_submitted = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t jobs_failed = 0;
+  std::int64_t extract_reads_local = 0;
+  std::int64_t extract_reads_remote = 0;
+  std::int64_t shuffle_fetches = 0;
+  std::int64_t read_failures = 0;
+  std::int64_t evacuations = 0;
+  std::int64_t ingest_sessions = 0;
+  std::int64_t placement_tier[4] = {0, 0, 0, 0};
+
+  [[nodiscard]] double remote_read_fraction() const noexcept {
+    const double total =
+        static_cast<double>(extract_reads_local + extract_reads_remote);
+    return total > 0 ? static_cast<double>(extract_reads_remote) / total : 0.0;
+  }
+};
+
+/// Drives the workload on a FlowSim.  Construct, call install(), then run
+/// the simulator; the trace fills as a side effect.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(const Topology& topo, FlowSim& sim, ClusterTrace& trace,
+                 WorkloadConfig config, std::uint64_t seed);
+  ~WorkloadDriver();  // out-of-line: JobExec is an implementation detail
+  WorkloadDriver(const WorkloadDriver&) = delete;
+  WorkloadDriver& operator=(const WorkloadDriver&) = delete;
+
+  /// Pre-populates the block store and schedules job arrivals, ingest and
+  /// evacuation processes onto the simulator.  Call exactly once, before
+  /// FlowSim::run().
+  void install();
+
+  [[nodiscard]] const WorkloadStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const BlockStore& block_store() const noexcept { return store_; }
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+
+ private:
+  struct JobExec;
+
+  // --- Job lifecycle ------------------------------------------------------------
+  JobSpec sample_job();
+  /// Starts queued jobs while admission slots are free.
+  void try_admit();
+  void submit_job(JobSpec spec);
+  void launch_extract_vertex(JobExec& job, std::size_t vertex_index);
+  void extract_read_next(JobExec& job, std::size_t vertex_index);
+  void extract_vertex_done(JobExec& job, std::size_t vertex_index);
+  void start_aggregate_phase(JobExec& job);
+  void launch_aggregate_vertex(JobExec& job, std::size_t vertex_index);
+  void aggregate_fetch_next(JobExec& job, std::size_t vertex_index);
+  void aggregate_vertex_done(JobExec& job, std::size_t vertex_index);
+  void start_combine_reads(JobExec& job, std::size_t vertex_index);
+  void start_output_phase(JobExec& job);
+  void finish_job(JobExec& job, bool failed);
+  void start_egress(JobExec& job);
+  void fail_job(JobExec& job);
+
+  // --- Infrastructure processes ---------------------------------------------------
+  void schedule_next_job_arrival();
+  void schedule_next_evacuation();
+  void run_evacuation(ServerId victim);
+  void schedule_next_ingest();
+  void run_ingest();
+
+  // --- Helpers -------------------------------------------------------------------
+  void acquire_core(ServerId server, std::function<void()> fn);
+  void release_core(ServerId server);
+  /// Idempotently releases a vertex's core and decrements the phase's
+  /// pending count.  Returns false when the vertex was already closed —
+  /// the guard that makes concurrent completion callbacks safe.
+  bool close_extract_vertex(JobExec& job, std::size_t vertex_index);
+  bool close_agg_vertex(JobExec& job, std::size_t vertex_index);
+  void control_flow(ServerId from, ServerId to, JobId job, PhaseId phase);
+  [[nodiscard]] TimeSec startup_delay();
+  [[nodiscard]] TimeSec compute_delay(Bytes bytes);
+  [[nodiscard]] PhaseId new_phase();
+  [[nodiscard]] bool horizon_reached() const;
+
+  const Topology& topo_;
+  FlowSim& sim_;
+  ClusterTrace& trace_;
+  WorkloadConfig config_;
+  Rng rng_;
+  BlockStore store_;
+  ServerResources resources_;
+  Placer placer_;
+  WorkloadStats stats_;
+
+  std::vector<DatasetId> available_datasets_;
+  std::vector<std::unique_ptr<JobExec>> jobs_;
+  std::vector<std::deque<std::function<void()>>> core_waiters_;
+  std::deque<JobSpec> job_queue_;  ///< submitted, waiting for admission
+  std::int32_t running_jobs_ = 0;
+  std::int32_t next_phase_ = 0;
+  std::int32_t next_job_ = 0;
+};
+
+}  // namespace dct

@@ -1,0 +1,66 @@
+// Job specifications for the Scope/Dryad-style workload (§3 of the paper).
+//
+// A Scope job compiles into a workflow of phases: Extract parses raw data
+// blocks into records, Partition divides the stream into hash buckets
+// (pipelined with Extract), Aggregate reduces — a barrier phase that must
+// see every partition's output — and Combine joins two streams.  Inputs and
+// outputs live in the replicated block store.  Jobs "range over a broad
+// spectrum from short interactive programs ... to long running, highly
+// optimized, production jobs".
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "workload/blockstore.h"
+
+namespace dct {
+
+/// Broad job classes of the paper's job spectrum.
+enum class JobClass : std::uint8_t {
+  kShortInteractive,  ///< quick algorithm evaluations on small slices
+  kMediumBatch,       ///< routine business/engineering analyses
+  kLongProduction     ///< index builds and other optimized pipelines
+};
+
+[[nodiscard]] constexpr std::string_view to_string(JobClass c) noexcept {
+  switch (c) {
+    case JobClass::kShortInteractive: return "short";
+    case JobClass::kMediumBatch: return "medium";
+    case JobClass::kLongProduction: return "production";
+  }
+  return "unknown";
+}
+
+/// Sampling parameters for one job class.
+struct JobClassParams {
+  double weight = 1.0;          ///< mix share (normalized across classes)
+  double input_log_mu = 0.0;    ///< lognormal of input size (bytes)
+  double input_log_sigma = 1.0;
+  Bytes input_min = 64 * kMB;
+  Bytes input_max = 64 * kGB;
+  std::int32_t reducers_min = 2;   ///< aggregate fan-in buckets (R)
+  std::int32_t reducers_max = 8;
+  double shuffle_selectivity_min = 0.2;  ///< shuffle bytes / input bytes
+  double shuffle_selectivity_max = 1.0;
+  double output_selectivity_min = 0.05;  ///< output bytes / shuffle bytes
+  double output_selectivity_max = 0.5;
+  double combine_probability = 0.2;      ///< job joins a second dataset
+  double egress_probability = 0.15;      ///< results pulled by external node
+};
+
+/// A fully sampled job, ready for execution.
+struct JobSpec {
+  JobId id;
+  JobClass cls = JobClass::kShortInteractive;
+  TimeSec submit_time = 0;
+  DatasetId input = -1;
+  DatasetId second_input = -1;  ///< -1 unless the job has a Combine phase
+  std::int32_t reducers = 1;
+  double shuffle_selectivity = 0.5;
+  double output_selectivity = 0.2;
+  bool egress = false;
+};
+
+}  // namespace dct

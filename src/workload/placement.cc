@@ -1,0 +1,107 @@
+#include "workload/placement.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace dct {
+
+ServerResources::ServerResources(const Topology& topo, std::int32_t cores_per_server)
+    : topo_(topo), cores_(cores_per_server) {
+  require(cores_per_server >= 1, "ServerResources: need at least one core");
+  in_use_.assign(static_cast<std::size_t>(topo.server_count()), 0);
+}
+
+bool ServerResources::try_acquire(ServerId s) {
+  require(s.valid() && s.value() < topo_.server_count(), "try_acquire: out of range");
+  auto& used = in_use_[static_cast<std::size_t>(s.value())];
+  if (used >= cores_) return false;
+  ++used;
+  ++total_in_use_;
+  return true;
+}
+
+void ServerResources::release(ServerId s) {
+  require(s.valid() && s.value() < topo_.server_count(), "release: out of range");
+  auto& used = in_use_[static_cast<std::size_t>(s.value())];
+  require(used > 0, "release: no core in use on this server");
+  --used;
+  --total_in_use_;
+}
+
+std::int32_t ServerResources::in_use(ServerId s) const {
+  require(s.valid() && s.value() < topo_.server_count(), "in_use: out of range");
+  return in_use_[static_cast<std::size_t>(s.value())];
+}
+
+std::int32_t ServerResources::available(ServerId s) const {
+  return cores_ - in_use(s);
+}
+
+Placer::Placer(const Topology& topo, const ServerResources& resources, Rng rng,
+               bool locality_enabled)
+    : topo_(topo), resources_(resources), rng_(rng), locality_enabled_(locality_enabled) {}
+
+ServerId Placer::random_free_in(std::int32_t first, std::int32_t last, ServerId exclude,
+                                bool* found) {
+  // Samples a handful of candidates rather than scanning the whole range:
+  // O(1) and mirrors the sampled scheduling real job managers do.
+  const std::int32_t span = last - first;
+  ensure(span >= 1, "random_free_in: empty range");
+  const int attempts = std::min<std::int32_t>(8, span * 2);
+  for (int i = 0; i < attempts; ++i) {
+    const ServerId cand{static_cast<std::int32_t>(rng_.uniform_int(first, last - 1))};
+    if (cand == exclude) continue;
+    if (resources_.available(cand) > 0) {
+      *found = true;
+      return cand;
+    }
+  }
+  *found = false;
+  return ServerId{};
+}
+
+PlacementDecision Placer::place_near(ServerId home) {
+  require(home.valid() && home.value() < topo_.internal_server_count(),
+          "place_near: home must be an internal server");
+  if (!locality_enabled_) return place_anywhere();
+
+  // Tier 0: the data's own server.
+  if (resources_.available(home) > 0) return {home, 0};
+
+  bool found = false;
+  // Tier 1: same rack.
+  const RackId rack = topo_.rack_of(home);
+  const std::int32_t rack_first = rack.value() * topo_.config().servers_per_rack;
+  const std::int32_t rack_last = rack_first + topo_.config().servers_per_rack;
+  ServerId pick = random_free_in(rack_first, rack_last, home, &found);
+  if (found) return {pick, 1};
+
+  // Tier 2: same VLAN.
+  const VlanId vlan = topo_.vlan_of(rack);
+  const std::int32_t vlan_first =
+      vlan.value() * topo_.config().racks_per_vlan * topo_.config().servers_per_rack;
+  const std::int32_t vlan_last =
+      std::min(vlan_first + topo_.config().racks_per_vlan * topo_.config().servers_per_rack,
+               topo_.internal_server_count());
+  pick = random_free_in(vlan_first, vlan_last, home, &found);
+  if (found) return {pick, 2};
+
+  // Tier 3: anywhere in the cluster.
+  pick = random_free_in(0, topo_.internal_server_count(), home, &found);
+  if (found) return {pick, 3};
+
+  // Everything sampled is busy: fall back to home and let the caller queue.
+  return {home, 3};
+}
+
+PlacementDecision Placer::place_anywhere() {
+  bool found = false;
+  const ServerId pick = random_free_in(0, topo_.internal_server_count(), ServerId{}, &found);
+  if (found) return {pick, 3};
+  return {ServerId{static_cast<std::int32_t>(
+              rng_.uniform_int(0, topo_.internal_server_count() - 1))},
+          3};
+}
+
+}  // namespace dct

@@ -1,0 +1,83 @@
+// Compute-resource tracking and locality-seeking vertex placement.
+//
+// "Writers of data center applications prefer placing jobs that rely on
+// heavy traffic exchanges with each other in areas where high network
+// bandwidth is available ... within the same server, within servers on the
+// same rack or within servers in the same VLAN and so on with decreasing
+// order of preference" (§4.1).  `Placer` implements exactly that ladder,
+// subject to core availability — and its fallback (cores busy => place
+// farther away and read over the network) is the paper's explanation for
+// extract traffic appearing on highly utilized links.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "topology/topology.h"
+
+namespace dct {
+
+/// Per-server core accounting.  Vertices occupy one core while running.
+class ServerResources {
+ public:
+  ServerResources(const Topology& topo, std::int32_t cores_per_server);
+
+  /// Acquires a core on `s`; returns false when all cores are busy.
+  bool try_acquire(ServerId s);
+  /// Releases a core previously acquired on `s`.
+  void release(ServerId s);
+
+  [[nodiscard]] std::int32_t cores_per_server() const noexcept { return cores_; }
+  [[nodiscard]] std::int32_t in_use(ServerId s) const;
+  [[nodiscard]] std::int32_t available(ServerId s) const;
+  /// Total busy cores across the cluster (load introspection).
+  [[nodiscard]] std::int64_t total_in_use() const noexcept { return total_in_use_; }
+
+ private:
+  const Topology& topo_;
+  std::int32_t cores_;
+  std::vector<std::int32_t> in_use_;
+  std::int64_t total_in_use_ = 0;
+};
+
+/// Result of a placement decision.
+struct PlacementDecision {
+  ServerId server;
+  /// Locality tier achieved: 0 same server, 1 same rack, 2 same VLAN,
+  /// 3 elsewhere.  Used by tests and the placement-ablation bench.
+  std::int32_t tier = 3;
+};
+
+/// Locality-ladder placement.  Does NOT acquire cores itself; callers
+/// acquire on the returned server (placement and admission are separate so
+/// the executor can queue when the whole cluster is busy).
+class Placer {
+ public:
+  /// `locality_enabled` = false gives the random-placement ablation.
+  Placer(const Topology& topo, const ServerResources& resources, Rng rng,
+         bool locality_enabled = true);
+
+  /// Places a vertex that wants to be near `home` (the server holding its
+  /// input).  Walks the ladder: home itself, then a random free-core server
+  /// in home's rack, then in home's VLAN, then anywhere; if nothing has a
+  /// free core, returns `home` with tier 3 (the caller will queue).
+  [[nodiscard]] PlacementDecision place_near(ServerId home);
+
+  /// Places a vertex with no data affinity (e.g. an aggregate for a spread
+  /// dataset): a random internal server with a free core, or a uniformly
+  /// random one if everything is busy.
+  [[nodiscard]] PlacementDecision place_anywhere();
+
+ private:
+  [[nodiscard]] ServerId random_free_in(std::int32_t first, std::int32_t last,
+                                        ServerId exclude, bool* found);
+
+  const Topology& topo_;
+  const ServerResources& resources_;
+  Rng rng_;
+  bool locality_enabled_;
+};
+
+}  // namespace dct

@@ -1,0 +1,91 @@
+#include "workload/replay.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace dct {
+
+ReplaySchedule::ReplaySchedule(std::vector<ReplayEntry> entries)
+    : entries_(std::move(entries)) {
+  normalize();
+}
+
+ReplaySchedule ReplaySchedule::from_trace(const ClusterTrace& trace) {
+  std::vector<ReplayEntry> entries;
+  entries.reserve(trace.flow_count());
+  for (const SocketFlowLog& f : trace.flows()) {
+    if (f.bytes_requested <= 0 || f.local == f.peer) continue;
+    ReplayEntry e;
+    e.start = f.start;
+    e.src = f.local;
+    e.dst = f.peer;
+    e.bytes = f.bytes_requested;
+    e.kind = f.kind;
+    entries.push_back(e);
+  }
+  return ReplaySchedule(std::move(entries));
+}
+
+void ReplaySchedule::normalize() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const ReplayEntry& a, const ReplayEntry& b) {
+                     return a.start < b.start;
+                   });
+}
+
+TimeSec ReplaySchedule::horizon() const noexcept {
+  return entries_.empty() ? 0.0 : entries_.back().start;
+}
+
+Bytes ReplaySchedule::total_bytes() const noexcept {
+  Bytes total = 0;
+  for (const auto& e : entries_) total += e.bytes;
+  return total;
+}
+
+ClusterTrace replay(const ReplaySchedule& schedule, const Topology& topo,
+                    FlowSimConfig sim_config,
+                    std::vector<BinnedSeries>* link_utilization) {
+  for (const auto& e : schedule.entries()) {
+    require(e.src.valid() && e.src.value() < topo.server_count(),
+            "replay: entry source not on this topology");
+    require(e.dst.valid() && e.dst.value() < topo.server_count(),
+            "replay: entry destination not on this topology");
+    require(e.start >= 0, "replay: negative start time");
+    require(e.bytes > 0, "replay: entries must carry bytes");
+  }
+  if (sim_config.end_time <= schedule.horizon()) {
+    // Give the tail flows room to finish: a slack of 60 s past the last
+    // scheduled start (callers can override by passing a larger horizon).
+    sim_config.end_time = schedule.horizon() + 60.0;
+  }
+  sim_config.keep_records = false;
+
+  FlowSim sim(topo, sim_config);
+  ClusterTrace trace(topo.server_count(), sim_config.end_time);
+  TraceCollector collector(sim, trace);
+
+  for (const auto& e : schedule.entries()) {
+    sim.at(e.start, [e](FlowSim& s) {
+      FlowSpec fs;
+      fs.src = e.src;
+      fs.dst = e.dst;
+      fs.bytes = e.bytes;
+      fs.kind = e.kind;
+      s.start_flow(fs);
+    });
+  }
+  sim.run();
+  trace.build_indices();
+  if (link_utilization) {
+    link_utilization->clear();
+    link_utilization->reserve(static_cast<std::size_t>(topo.link_count()));
+    for (std::int32_t l = 0; l < topo.link_count(); ++l) {
+      link_utilization->push_back(sim.link_utilization(LinkId{l}));
+    }
+  }
+  return trace;
+}
+
+}  // namespace dct

@@ -1,0 +1,70 @@
+// Trace replay: drive the flow simulator from a recorded (or synthetic)
+// flow schedule instead of the full MapReduce executor.
+//
+// Two use-cases the paper's methodology enables:
+//   * replay a previously measured ClusterTrace against a *different*
+//     topology ("would this traffic have congested a full-bisection
+//     fabric?") — the trace supplies who-talks-to-whom-when; the simulator
+//     re-derives rates, durations and link utilization under the new
+//     network;
+//   * replay a TrafficModel-generated synthetic schedule, closing the
+//     measure -> model -> generate -> simulate loop.
+//
+// The replay is open-loop: flow start times and byte counts come from the
+// schedule; completion times are whatever the simulated network yields.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "flowsim/flowsim.h"
+#include "topology/topology.h"
+#include "trace/cluster_trace.h"
+
+namespace dct {
+
+/// One scheduled transfer.
+struct ReplayEntry {
+  TimeSec start = 0;
+  ServerId src;
+  ServerId dst;
+  Bytes bytes = 0;
+  FlowKind kind = FlowKind::kOther;
+};
+
+/// A replayable schedule (start-time ordered after normalize()).
+class ReplaySchedule {
+ public:
+  ReplaySchedule() = default;
+  explicit ReplaySchedule(std::vector<ReplayEntry> entries);
+
+  /// Builds a schedule from a measured trace's socket logs (sender-side
+  /// records; loopback and zero-byte flows are skipped).
+  static ReplaySchedule from_trace(const ClusterTrace& trace);
+
+  /// Sorts by start time; called by the constructor/factory.
+  void normalize();
+
+  [[nodiscard]] const std::vector<ReplayEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] TimeSec horizon() const noexcept;
+  [[nodiscard]] Bytes total_bytes() const noexcept;
+
+ private:
+  std::vector<ReplayEntry> entries_;
+};
+
+/// Replays `schedule` on `topo` and returns the resulting trace (the same
+/// measurement product a live run yields).  Endpoints must be valid server
+/// ids on `topo`; entries violating that are rejected up front.  When
+/// `link_utilization` is given, it receives the simulator's exact per-link
+/// utilization series (indexed by LinkId value), suitable for constructing
+/// a LinkUtilizationMap.
+[[nodiscard]] ClusterTrace replay(const ReplaySchedule& schedule, const Topology& topo,
+                                  FlowSimConfig sim_config,
+                                  std::vector<BinnedSeries>* link_utilization = nullptr);
+
+}  // namespace dct

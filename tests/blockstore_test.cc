@@ -1,0 +1,199 @@
+#include "workload/blockstore.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/require.h"
+#include "common/rng.h"
+
+namespace dct {
+namespace {
+
+TopologyConfig topo_config() {
+  TopologyConfig cfg;
+  cfg.racks = 6;
+  cfg.servers_per_rack = 8;
+  cfg.racks_per_vlan = 2;
+  cfg.agg_switches = 2;
+  cfg.external_servers = 2;
+  return cfg;
+}
+
+TEST(BlockStore, DatasetSplitsIntoBlocks) {
+  Topology topo(topo_config());
+  BlockStoreConfig cfg;
+  cfg.block_size = 100;
+  BlockStore store(topo, cfg, Rng(1));
+  const DatasetId d = store.create_dataset(250);
+  const Dataset& ds = store.dataset(d);
+  ASSERT_EQ(ds.blocks.size(), 3u);
+  EXPECT_EQ(ds.bytes, 250);
+  EXPECT_EQ(store.block(ds.blocks[0]).size, 100);
+  EXPECT_EQ(store.block(ds.blocks[2]).size, 50);
+  EXPECT_THROW(store.create_dataset(0), Error);
+}
+
+TEST(BlockStore, ReplicationInvariants) {
+  Topology topo(topo_config());
+  BlockStoreConfig cfg;
+  cfg.block_size = 64;
+  BlockStore store(topo, cfg, Rng(7));
+  const DatasetId d = store.create_dataset(64 * 50);
+  for (BlockId bid : store.dataset(d).blocks) {
+    const Block& b = store.block(bid);
+    ASSERT_EQ(b.replicas.size(), 3u);
+    // Replicas are distinct servers, all internal.
+    std::set<std::int32_t> uniq;
+    for (ServerId r : b.replicas) {
+      uniq.insert(r.value());
+      EXPECT_FALSE(topo.is_external(r));
+    }
+    EXPECT_EQ(uniq.size(), 3u);
+    // Replica 2 shares replica 1's rack; replica 3 is in another rack.
+    EXPECT_TRUE(topo.same_rack(b.replicas[0], b.replicas[1]));
+    EXPECT_FALSE(topo.same_rack(b.replicas[0], b.replicas[2]));
+  }
+}
+
+TEST(BlockStore, RegionalDatasetsConcentrateInHomeVlan) {
+  Topology topo(topo_config());
+  BlockStoreConfig cfg;
+  cfg.block_size = 64;
+  cfg.home_vlan_bias = 1.0;  // force regional
+  cfg.home_rack_bias = 1.0;  // force rack concentration
+  BlockStore store(topo, cfg, Rng(3));
+  const DatasetId d = store.create_dataset(64 * 30);
+  const Dataset& ds = store.dataset(d);
+  ASSERT_TRUE(ds.home_vlan.valid());
+  ASSERT_TRUE(ds.home_rack.valid());
+  for (BlockId bid : ds.blocks) {
+    const Block& b = store.block(bid);
+    EXPECT_EQ(topo.rack_of(b.replicas[0]), ds.home_rack);
+  }
+}
+
+TEST(BlockStore, PerServerAccountingTracksPlacement) {
+  Topology topo(topo_config());
+  BlockStoreConfig cfg;
+  cfg.block_size = 128;
+  BlockStore store(topo, cfg, Rng(5));
+  store.create_dataset(128 * 40);
+  Bytes total = 0;
+  std::size_t block_refs = 0;
+  for (std::int32_t s = 0; s < topo.server_count(); ++s) {
+    total += store.bytes_on(ServerId{s});
+    block_refs += store.blocks_on(ServerId{s}).size();
+  }
+  EXPECT_EQ(total, 128 * 40 * 3);  // three replicas of every byte
+  EXPECT_EQ(block_refs, 40u * 3u);
+}
+
+TEST(BlockStore, ClosestReplicaPrefersLocality) {
+  Topology topo(topo_config());
+  BlockStore store(topo, BlockStoreConfig{}, Rng(5));
+  const DatasetId d = store.create_dataset(1);
+  const Block& b = store.block(store.dataset(d).blocks[0]);
+  // Reading from a replica holder itself.
+  EXPECT_EQ(store.closest_replica(b.id, b.replicas[0]), b.replicas[0]);
+  // Reading from a same-rack neighbor of replica 1.
+  for (ServerId neighbor : topo.servers_in_rack(topo.rack_of(b.replicas[0]))) {
+    if (neighbor == b.replicas[0] || neighbor == b.replicas[1]) continue;
+    const ServerId got = store.closest_replica(b.id, neighbor);
+    EXPECT_TRUE(got == b.replicas[0] || got == b.replicas[1]);
+    break;
+  }
+}
+
+TEST(BlockStore, MoveReplicaUpdatesIndexes) {
+  Topology topo(topo_config());
+  BlockStore store(topo, BlockStoreConfig{}, Rng(9));
+  const DatasetId d = store.create_dataset(1000);
+  const BlockId bid = store.dataset(d).blocks[0];
+  const ServerId from = store.block(bid).replicas[0];
+  const ServerId to = store.pick_evacuation_target(bid, from);
+  EXPECT_FALSE(store.has_replica(bid, to));
+  const Bytes before_from = store.bytes_on(from);
+  const Bytes before_to = store.bytes_on(to);
+  store.move_replica(bid, from, to);
+  EXPECT_FALSE(store.has_replica(bid, from));
+  EXPECT_TRUE(store.has_replica(bid, to));
+  EXPECT_EQ(store.bytes_on(from), before_from - store.block(bid).size);
+  EXPECT_EQ(store.bytes_on(to), before_to + store.block(bid).size);
+  EXPECT_THROW(store.move_replica(bid, from, to), Error);
+}
+
+TEST(BlockStore, EvacuationTargetAvoidsHoldersAndRackClashes) {
+  Topology topo(topo_config());
+  BlockStore store(topo, BlockStoreConfig{}, Rng(13));
+  const DatasetId d = store.create_dataset(5000);
+  for (BlockId bid : store.dataset(d).blocks) {
+    const Block& b = store.block(bid);
+    const ServerId from = b.replicas[0];
+    const ServerId target = store.pick_evacuation_target(bid, from);
+    EXPECT_FALSE(store.has_replica(bid, target));
+    EXPECT_NE(target, from);
+    EXPECT_FALSE(topo.is_external(target));
+  }
+}
+
+TEST(BlockStore, RegisterOutputPlacesWriterFirst) {
+  Topology topo(topo_config());
+  BlockStoreConfig cfg;
+  cfg.block_size = 100;
+  BlockStore store(topo, cfg, Rng(17));
+  std::vector<std::vector<ServerId>> placements;
+  const DatasetId d = store.register_output({{ServerId{5}, 250}, {ServerId{9}, 90}},
+                                            &placements);
+  const Dataset& ds = store.dataset(d);
+  ASSERT_EQ(ds.blocks.size(), 4u);  // 3 blocks from part 1, 1 from part 2
+  EXPECT_EQ(ds.bytes, 340);
+  ASSERT_EQ(placements.size(), 4u);
+  EXPECT_EQ(store.block(ds.blocks[0]).replicas[0], ServerId{5});
+  EXPECT_EQ(store.block(ds.blocks[3]).replicas[0], ServerId{9});
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    EXPECT_EQ(placements[i].size(), 2u);  // the two non-local replicas
+    const Block& b = store.block(ds.blocks[i]);
+    EXPECT_TRUE(topo.same_rack(b.replicas[0], b.replicas[1]));
+    EXPECT_FALSE(topo.same_rack(b.replicas[0], b.replicas[2]));
+  }
+  EXPECT_THROW(store.register_output({}), Error);
+  EXPECT_THROW(store.register_output({{ServerId{5}, 0}}), Error);
+}
+
+TEST(BlockStore, ValidationCatchesBadConfig) {
+  Topology topo(topo_config());
+  BlockStoreConfig cfg;
+  cfg.block_size = 0;
+  EXPECT_THROW(BlockStore(topo, cfg, Rng(1)), Error);
+  cfg = BlockStoreConfig{};
+  cfg.replication = 0;
+  EXPECT_THROW(BlockStore(topo, cfg, Rng(1)), Error);
+  cfg = BlockStoreConfig{};
+  cfg.home_vlan_bias = 1.5;
+  EXPECT_THROW(BlockStore(topo, cfg, Rng(1)), Error);
+}
+
+// Property sweep over replication factors.
+class ReplicationSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(ReplicationSweep, DistinctReplicaHolders) {
+  Topology topo(topo_config());
+  BlockStoreConfig cfg;
+  cfg.block_size = 64;
+  cfg.replication = GetParam();
+  BlockStore store(topo, cfg, Rng(21));
+  const DatasetId d = store.create_dataset(64 * 20);
+  for (BlockId bid : store.dataset(d).blocks) {
+    const Block& b = store.block(bid);
+    ASSERT_EQ(static_cast<std::int32_t>(b.replicas.size()), GetParam());
+    std::set<std::int32_t> uniq;
+    for (ServerId r : b.replicas) uniq.insert(r.value());
+    EXPECT_EQ(uniq.size(), b.replicas.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ReplicationSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dct

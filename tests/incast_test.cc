@@ -1,0 +1,107 @@
+#include "analysis/incast.h"
+
+#include <gtest/gtest.h>
+
+#include "common/require.h"
+#include "core/experiment.h"
+
+namespace dct {
+namespace {
+
+TopologyConfig topo_config() {
+  TopologyConfig cfg;
+  cfg.racks = 4;
+  cfg.servers_per_rack = 4;
+  cfg.racks_per_vlan = 2;
+  cfg.agg_switches = 2;
+  cfg.external_servers = 0;
+  return cfg;
+}
+
+FlowRecord rec(std::int32_t src, std::int32_t dst, TimeSec start, TimeSec end) {
+  FlowRecord r;
+  r.src = ServerId{src};
+  r.dst = ServerId{dst};
+  r.bytes_requested = r.bytes_sent = 1000;
+  r.start = start;
+  r.end = end;
+  return r;
+}
+
+TEST(Incast, DetectsSynchronizedFanIn) {
+  Topology topo(topo_config());
+  ClusterTrace trace(topo.server_count(), 10.0);
+  // 20 senders converge on server 0 within 1 ms: a classic incast burst.
+  for (int i = 1; i <= 20; ++i) {
+    trace.record_flow(rec(i % 15 + 1, 0, 1.0 + i * 0.00004, 2.0));
+  }
+  // A lone flow elsewhere.
+  trace.record_flow(rec(4, 5, 5.0, 6.0));
+  const auto report = incast_preconditions(trace, topo, 0.002, 16);
+  EXPECT_DOUBLE_EQ(report.max_fanin_burst, 20.0);
+  EXPECT_EQ(report.dangerous_bursts, 1u);
+}
+
+TEST(Incast, SpreadArrivalsFormNoBurst) {
+  Topology topo(topo_config());
+  ClusterTrace trace(topo.server_count(), 100.0);
+  // 20 flows to server 0 spaced 1 s apart: never synchronized.
+  for (int i = 0; i < 20; ++i) {
+    trace.record_flow(rec(1 + i % 5, 0, i * 1.0, i * 1.0 + 0.1));
+  }
+  const auto report = incast_preconditions(trace, topo, 0.002, 16);
+  EXPECT_DOUBLE_EQ(report.max_fanin_burst, 1.0);
+  EXPECT_EQ(report.dangerous_bursts, 0u);
+  // Non-overlapping flows: at most one concurrent on the downlink.
+  EXPECT_DOUBLE_EQ(report.concurrent_on_downlink.quantile(1.0), 1.0);
+}
+
+TEST(Incast, ConcurrencySweepCountsOverlaps) {
+  Topology topo(topo_config());
+  ClusterTrace trace(topo.server_count(), 10.0);
+  // Three long overlapping flows into server 0, staggered starts.
+  trace.record_flow(rec(1, 0, 0.0, 9.0));
+  trace.record_flow(rec(2, 0, 1.0, 9.0));
+  trace.record_flow(rec(3, 0, 2.0, 9.0));
+  const auto report = incast_preconditions(trace, topo, 0.002, 16);
+  EXPECT_DOUBLE_EQ(report.concurrent_on_downlink.quantile(1.0), 3.0);
+}
+
+TEST(Incast, LocalityFractions) {
+  Topology topo(topo_config());
+  ClusterTrace trace(topo.server_count(), 10.0);
+  trace.record_flow(rec(0, 1, 0, 1));   // same rack
+  trace.record_flow(rec(0, 5, 0, 1));   // same vlan
+  trace.record_flow(rec(0, 9, 0, 1));   // cross vlan
+  trace.record_flow(rec(0, 13, 0, 1));  // cross vlan
+  const auto report = incast_preconditions(trace, topo);
+  EXPECT_DOUBLE_EQ(report.frac_flows_same_rack, 0.25);
+  EXPECT_DOUBLE_EQ(report.frac_flows_same_vlan, 0.5);
+}
+
+TEST(Incast, UncappedAblationRaisesFanIn) {
+  // The §4.4 claim, end-to-end: removing the connection cap makes
+  // synchronized fan-in bursts far larger.
+  ClusterExperiment capped(scenarios::tiny(120.0, 23));
+  capped.run();
+  ScenarioConfig cfg = scenarios::tiny(120.0, 23);
+  cfg.workload.max_fetch_connections = 64;
+  cfg.workload.fetch_gap = 0.0;
+  ClusterExperiment uncapped(cfg);
+  uncapped.run();
+  const auto r_capped =
+      incast_preconditions(capped.trace(), capped.topology(), 0.005, 16);
+  const auto r_uncapped =
+      incast_preconditions(uncapped.trace(), uncapped.topology(), 0.005, 16);
+  EXPECT_GT(r_uncapped.max_fanin_burst, r_capped.max_fanin_burst);
+}
+
+TEST(Incast, RejectsBadArguments) {
+  Topology topo(topo_config());
+  ClusterTrace trace(topo.server_count(), 10.0);
+  EXPECT_THROW(incast_preconditions(trace, topo, 0.0), Error);
+  EXPECT_THROW(incast_preconditions(trace, topo, 0.01, 1), Error);
+}
+
+}  // namespace
+}  // namespace dct

@@ -1,0 +1,210 @@
+// Cross-cutting property and failure-injection tests: invariants that must
+// hold for any workload, seed or configuration.
+#include <gtest/gtest.h>
+
+#include "analysis/congestion.h"
+#include "analysis/traffic_matrix.h"
+#include "common/require.h"
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "trace/codec.h"
+
+namespace dct {
+namespace {
+
+// --- Physical invariants of the fluid simulator -----------------------------
+
+class CapacitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CapacitySweep, LinkUtilizationNeverExceedsCapacity) {
+  ScenarioConfig cfg = scenarios::tiny(90.0, GetParam());
+  cfg.workload.jobs_per_second = 1.0;  // push hard
+  ClusterExperiment exp(cfg);
+  exp.run();
+  const auto& util = exp.utilization();
+  for (std::int32_t l = 0; l < exp.topology().link_count(); ++l) {
+    const auto& series = util.of(LinkId{l});
+    for (std::size_t b = 0; b < series.bin_count(); ++b) {
+      // Allow a sliver of slack for the batched-recompute approximation.
+      EXPECT_LE(series.value(b), 1.02)
+          << "link " << l << " bin " << b << " exceeds capacity";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CapacitySweep, ::testing::Values(11, 29, 47));
+
+class RateCapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateCapSweep, NoFlowBeatsThePerFlowCap) {
+  TopologyConfig tcfg;
+  tcfg.racks = 3;
+  tcfg.servers_per_rack = 4;
+  tcfg.racks_per_vlan = 3;
+  tcfg.external_servers = 0;
+  Topology topo(tcfg);
+  FlowSimConfig cfg;
+  cfg.end_time = 60.0;
+  cfg.recompute_interval = 0.0;
+  cfg.connect_share_floor = 0.0;
+  cfg.per_flow_rate_cap = GetParam();
+  FlowSim sim(topo, cfg);
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    FlowSpec fs;
+    fs.src = ServerId{static_cast<std::int32_t>(rng.uniform_int(0, 11))};
+    fs.dst = ServerId{static_cast<std::int32_t>((fs.src.value() + 5) % 12)};
+    fs.bytes = rng.uniform_int(1'000'000, 40'000'000);
+    sim.start_flow(fs);
+  }
+  sim.run();
+  for (const auto& r : sim.records()) {
+    if (r.duration() <= 0) continue;
+    EXPECT_LE(r.mean_rate(), GetParam() * 1.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, RateCapSweep, ::testing::Values(4e6, 16e6, 64e6));
+
+// --- Trace <-> TM consistency -------------------------------------------------
+
+TEST(Consistency, TmSeriesConservesTraceBytes) {
+  ClusterExperiment exp(scenarios::tiny(120.0, 31));
+  exp.run();
+  for (double window : {1.0, 7.0, 30.0}) {
+    const auto tms =
+        build_tm_series(exp.trace(), exp.topology(), window, TmScope::kServer);
+    double total = 0;
+    for (const auto& tm : tms) total += tm.total();
+    EXPECT_NEAR(total, static_cast<double>(exp.trace().total_bytes()),
+                0.02 * static_cast<double>(exp.trace().total_bytes()) + 1.0)
+        << "window " << window;
+  }
+}
+
+TEST(Consistency, TraceUtilizationApproximatesSimUtilization) {
+  // The socket-log reconstruction (uniform-rate spreading) must agree with
+  // the simulator's exact accounting on total carried bytes per link.
+  ClusterExperiment exp(scenarios::tiny(90.0, 37));
+  exp.run();
+  const auto approx = utilization_from_trace(exp.trace(), exp.topology(), 1.0);
+  const auto& exact = exp.utilization();
+  for (LinkId l : exp.topology().inter_switch_links()) {
+    double a = 0, e = 0;
+    const auto& sa = approx.of(l);
+    const auto& se = exact.of(l);
+    for (std::size_t b = 0; b < sa.bin_count(); ++b) a += sa.value(b);
+    for (std::size_t b = 0; b < se.bin_count(); ++b) e += se.value(b);
+    EXPECT_NEAR(a, e, 0.05 * std::max(e, 1.0)) << "link " << l.value();
+  }
+}
+
+// --- Codec robustness (failure injection) -------------------------------------
+
+TEST(CodecFuzz, TruncatedInputsThrowCleanly) {
+  ClusterTrace trace(4, 10.0);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    FlowRecord r;
+    r.id = FlowId{i};
+    r.src = ServerId{static_cast<std::int32_t>(rng.uniform_int(0, 3))};
+    r.dst = ServerId{static_cast<std::int32_t>((r.src.value() + 1) % 4)};
+    r.bytes_requested = r.bytes_sent = rng.uniform_int(1, 1'000'000);
+    r.start = rng.uniform(0, 5);
+    r.end = r.start + rng.uniform(0, 4);
+    trace.record_flow(r);
+  }
+  const auto encoded = encode_trace(trace);
+  // Every strict prefix must throw dct::Error (or decode successfully if it
+  // happens to be self-delimiting) — never crash or hang.
+  for (std::size_t len = 0; len < encoded.size(); len += 7) {
+    std::span<const std::uint8_t> prefix(encoded.data(), len);
+    try {
+      (void)decode_trace(prefix);
+    } catch (const Error&) {
+      // expected
+    } catch (const std::logic_error&) {
+      // also acceptable: internal invariant caught the corruption
+    }
+  }
+  SUCCEED();
+}
+
+TEST(CodecFuzz, BitFlippedInputsNeverCrash) {
+  ClusterTrace trace(3, 10.0);
+  for (int i = 0; i < 20; ++i) {
+    FlowRecord r;
+    r.id = FlowId{i};
+    r.src = ServerId{i % 3};
+    r.dst = ServerId{(i + 1) % 3};
+    r.bytes_requested = r.bytes_sent = 1000 + i;
+    r.start = i;
+    r.end = i + 0.5;
+    trace.record_flow(r);
+  }
+  auto encoded = encode_trace(trace);
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = encoded;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(corrupted.size()) - 1));
+    corrupted[pos] ^= static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+    try {
+      (void)decode_trace(corrupted);
+    } catch (const Error&) {
+    } catch (const std::logic_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+// --- Scheduler admission queue -------------------------------------------------
+
+TEST(Admission, QueueDelaysStartUnderLoad) {
+  ScenarioConfig cfg = scenarios::tiny(150.0, 41);
+  cfg.workload.jobs_per_second = 2.0;     // far beyond tiny-cluster capacity
+  cfg.workload.max_concurrent_jobs = 3;   // tight admission
+  ClusterExperiment exp(cfg);
+  exp.run();
+  std::size_t delayed = 0;
+  for (const auto& j : exp.trace().jobs()) {
+    EXPECT_GE(j.start, j.submit);
+    if (j.start > j.submit + 1e-9) ++delayed;
+  }
+  EXPECT_GT(delayed, 0u) << "admission control never queued a job";
+}
+
+TEST(Admission, GenerousLimitNeverQueues) {
+  ScenarioConfig cfg = scenarios::tiny(60.0, 43);
+  cfg.workload.max_concurrent_jobs = 100000;
+  ClusterExperiment exp(cfg);
+  exp.run();
+  for (const auto& j : exp.trace().jobs()) {
+    EXPECT_NEAR(j.start, j.submit, 1e-9);
+  }
+}
+
+TEST(Admission, ValidatesConfig) {
+  WorkloadConfig cfg;
+  cfg.max_concurrent_jobs = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+// --- Utilization summary --------------------------------------------------------
+
+TEST(UtilizationSummary, CoversAllTiersWithSaneValues) {
+  ClusterExperiment exp(scenarios::tiny(90.0, 53));
+  exp.run();
+  const auto summary = utilization_summary(exp.utilization(), exp.topology());
+  EXPECT_GE(summary.tiers.size(), 4u);  // server up/down, tor up/down at least
+  for (const auto& tier : summary.tiers) {
+    EXPECT_GE(tier.mean, 0.0);
+    EXPECT_LE(tier.mean, 1.05);
+    EXPECT_LE(tier.p50, tier.p99 + 1e-12);
+    EXPECT_GE(tier.frac_bins_idle, 0.0);
+    EXPECT_LE(tier.frac_bins_idle + tier.frac_bins_above_half, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dct

@@ -1,0 +1,158 @@
+#include "model/traffic_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/flowstats.h"
+#include "analysis/traffic_matrix.h"
+#include "common/require.h"
+#include "core/experiment.h"
+
+namespace dct {
+namespace {
+
+// A deterministic fitted model shared across tests.
+struct Fitted {
+  Fitted() : exp(scenarios::tiny(150.0, 17)) {
+    exp.run();
+    model = std::make_unique<TrafficModel>(
+        TrafficModel::fit(exp.trace(), exp.topology()));
+  }
+  ClusterExperiment exp;
+  std::unique_ptr<TrafficModel> model;
+};
+
+Fitted& fitted() {
+  static Fitted f;
+  return f;
+}
+
+TEST(ClassifyLocality, AllClasses) {
+  TopologyConfig cfg;
+  cfg.racks = 4;
+  cfg.servers_per_rack = 4;
+  cfg.racks_per_vlan = 2;
+  cfg.external_servers = 1;
+  Topology topo(cfg);
+  EXPECT_EQ(classify_locality(topo, ServerId{0}, ServerId{1}), FlowLocality::kSameRack);
+  EXPECT_EQ(classify_locality(topo, ServerId{0}, ServerId{5}), FlowLocality::kSameVlan);
+  EXPECT_EQ(classify_locality(topo, ServerId{0}, ServerId{9}), FlowLocality::kCrossVlan);
+  EXPECT_EQ(classify_locality(topo, ServerId{0}, ServerId{16}), FlowLocality::kExternal);
+  EXPECT_EQ(to_string(FlowLocality::kSameVlan), "same_vlan");
+}
+
+TEST(TrafficModel, FitExtractsSaneParameters) {
+  auto& f = fitted();
+  const TrafficModel& m = *f.model;
+  EXPECT_GT(m.flows_per_second(), 0.0);
+  double mix_sum = 0;
+  for (double p : m.locality_mix()) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    mix_sum += p;
+  }
+  EXPECT_NEAR(mix_sum, 1.0, 1e-9);
+  EXPECT_EQ(m.rack_activity().size(),
+            static_cast<std::size_t>(f.exp.topology().rack_count()));
+  EXPECT_GT(m.flow_bytes().quantile(0.99), m.flow_bytes().quantile(0.5));
+}
+
+TEST(TrafficModel, FitRejectsTinyTraces) {
+  TopologyConfig cfg;
+  cfg.racks = 2;
+  cfg.servers_per_rack = 2;
+  cfg.external_servers = 0;
+  Topology topo(cfg);
+  ClusterTrace trace(topo.server_count(), 10.0);
+  EXPECT_THROW(TrafficModel::fit(trace, topo), Error);
+}
+
+TEST(TrafficModel, GenerateMatchesArrivalRate) {
+  auto& f = fitted();
+  const auto synthetic = f.model->generate(f.exp.topology(), 100.0, Rng(3));
+  const double measured_rate = static_cast<double>(synthetic.flow_count()) / 100.0;
+  EXPECT_NEAR(measured_rate, f.model->flows_per_second(),
+              0.25 * f.model->flows_per_second());
+}
+
+TEST(TrafficModel, GenerateMatchesSizeDistribution) {
+  auto& f = fitted();
+  const auto synthetic = f.model->generate(f.exp.topology(), 100.0, Rng(5));
+  const auto sizes = flow_size_stats(synthetic);
+  const double fitted_p50 = f.model->flow_bytes().quantile(0.5);
+  EXPECT_GT(sizes.p50, fitted_p50 * 0.4);
+  EXPECT_LT(sizes.p50, fitted_p50 * 2.5);
+  // Whole-distribution agreement: KS distance against the fitted trace.
+  const auto measured_sizes = flow_size_stats(f.exp.trace());
+  EXPECT_LT(ks_distance(measured_sizes.bytes, sizes.bytes), 0.15);
+}
+
+TEST(TrafficModel, GenerateMatchesLocalityMix) {
+  auto& f = fitted();
+  const auto& topo = f.exp.topology();
+  const auto synthetic = f.model->generate(topo, 150.0, Rng(7));
+  std::array<double, 4> mix{};
+  for (const auto& flow : synthetic.flows()) {
+    mix[static_cast<std::size_t>(classify_locality(topo, flow.local, flow.peer))] += 1.0;
+  }
+  const double total = static_cast<double>(synthetic.flow_count());
+  ASSERT_GT(total, 50);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(mix[k] / total, f.model->locality_mix()[k], 0.1)
+        << "locality class " << k;
+  }
+}
+
+TEST(TrafficModel, GenerateIsDeterministic) {
+  auto& f = fitted();
+  const auto a = f.model->generate(f.exp.topology(), 50.0, Rng(9));
+  const auto b = f.model->generate(f.exp.topology(), 50.0, Rng(9));
+  EXPECT_EQ(a.flow_count(), b.flow_count());
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+}
+
+TEST(TrafficModel, GenerateOntoDifferentTopology) {
+  auto& f = fitted();
+  TopologyConfig bigger;
+  bigger.racks = 10;
+  bigger.servers_per_rack = 10;
+  bigger.racks_per_vlan = 5;
+  bigger.agg_switches = 2;
+  bigger.external_servers = 4;
+  Topology topo2(bigger);
+  const auto synthetic = f.model->generate(topo2, 60.0, Rng(11));
+  EXPECT_GT(synthetic.flow_count(), 0u);
+  for (const auto& flow : synthetic.flows()) {
+    EXPECT_LT(flow.local.value(), topo2.server_count());
+    EXPECT_LT(flow.peer.value(), topo2.server_count());
+    EXPECT_NE(flow.local, flow.peer);
+  }
+}
+
+TEST(TrafficModel, FlowsFitInsideDuration) {
+  auto& f = fitted();
+  const auto synthetic = f.model->generate(f.exp.topology(), 40.0, Rng(13));
+  for (const auto& flow : synthetic.flows()) {
+    EXPECT_GE(flow.start, 0.0);
+    EXPECT_LE(flow.end, 40.0 + 1e-9);
+    EXPECT_GE(flow.end, flow.start);
+  }
+}
+
+TEST(TrafficModel, DescribePrintsParameters) {
+  auto& f = fitted();
+  std::ostringstream os;
+  f.model->describe(os);
+  EXPECT_NE(os.str().find("flow arrival rate"), std::string::npos);
+  EXPECT_NE(os.str().find("P(same rack)"), std::string::npos);
+}
+
+TEST(TrafficModel, GenerateRejectsBadArgs) {
+  auto& f = fitted();
+  EXPECT_THROW(f.model->generate(f.exp.topology(), 0.0, Rng(1)), Error);
+}
+
+}  // namespace
+}  // namespace dct

@@ -1,0 +1,121 @@
+#include "workload/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/flowstats.h"
+#include "common/require.h"
+#include "core/experiment.h"
+#include "model/traffic_model.h"
+
+namespace dct {
+namespace {
+
+TopologyConfig topo_config() {
+  TopologyConfig cfg;
+  cfg.racks = 3;
+  cfg.servers_per_rack = 4;
+  cfg.racks_per_vlan = 3;
+  cfg.agg_switches = 1;
+  cfg.external_servers = 1;
+  return cfg;
+}
+
+FlowSimConfig sim_config() {
+  FlowSimConfig cfg;
+  cfg.recompute_interval = 0.0;
+  cfg.connect_share_floor = 0.0;
+  cfg.per_flow_rate_cap = 0.0;  // let single flows reach line rate
+  return cfg;
+}
+
+TEST(ReplaySchedule, NormalizesAndSummarizes) {
+  ReplaySchedule sched({{5.0, ServerId{0}, ServerId{1}, 100, FlowKind::kOther},
+                        {1.0, ServerId{2}, ServerId{3}, 200, FlowKind::kShuffle}});
+  ASSERT_EQ(sched.size(), 2u);
+  EXPECT_DOUBLE_EQ(sched.entries()[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(sched.horizon(), 5.0);
+  EXPECT_EQ(sched.total_bytes(), 300);
+}
+
+TEST(ReplaySchedule, FromTraceSkipsDegenerates) {
+  ClusterTrace trace(4, 10.0);
+  FlowRecord a;
+  a.src = ServerId{0};
+  a.dst = ServerId{1};
+  a.bytes_requested = a.bytes_sent = 500;
+  a.start = 1;
+  a.end = 2;
+  trace.record_flow(a);
+  a.dst = ServerId{0};  // loopback: never recorded by the trace either
+  trace.record_flow(a);
+  const auto sched = ReplaySchedule::from_trace(trace);
+  EXPECT_EQ(sched.size(), 1u);
+  EXPECT_EQ(sched.entries()[0].bytes, 500);
+}
+
+TEST(Replay, DeliversAllScheduledBytes) {
+  Topology topo(topo_config());
+  ReplaySchedule sched({{0.0, ServerId{0}, ServerId{5}, 10'000'000, FlowKind::kOther},
+                        {1.0, ServerId{1}, ServerId{9}, 5'000'000, FlowKind::kShuffle}});
+  const auto trace = replay(sched, topo, sim_config());
+  EXPECT_EQ(trace.flow_count(), 2u);
+  EXPECT_EQ(trace.total_bytes(), 15'000'000);
+  for (const auto& f : trace.flows()) {
+    EXPECT_FALSE(f.truncated);
+    EXPECT_FALSE(f.failed);
+  }
+}
+
+TEST(Replay, ExportsLinkUtilization) {
+  Topology topo(topo_config());
+  ReplaySchedule sched({{0.0, ServerId{0}, ServerId{5}, 125'000'000, FlowKind::kOther}});
+  std::vector<BinnedSeries> util;
+  const auto trace = replay(sched, topo, sim_config(), &util);
+  (void)trace;
+  ASSERT_EQ(util.size(), static_cast<std::size_t>(topo.link_count()));
+  // The source's uplink carried ~1 second at full utilization.
+  double peak = 0;
+  const auto& up = util[static_cast<std::size_t>(topo.server_up_link(ServerId{0}).value())];
+  for (std::size_t b = 0; b < up.bin_count(); ++b) peak = std::max(peak, up.value(b));
+  EXPECT_NEAR(peak, 1.0, 0.05);
+}
+
+TEST(Replay, RejectsForeignEndpoints) {
+  Topology topo(topo_config());
+  ReplaySchedule sched({{0.0, ServerId{0}, ServerId{999}, 100, FlowKind::kOther}});
+  EXPECT_THROW(replay(sched, topo, sim_config()), Error);
+}
+
+TEST(Replay, MeasuredTraceReplaysOntoBiggerFabric) {
+  // Measure on the tiny cluster, replay the same schedule on a topology
+  // with fatter uplinks; total bytes are preserved.
+  ClusterExperiment exp(scenarios::tiny(60.0, 3));
+  exp.run();
+  const auto sched = ReplaySchedule::from_trace(exp.trace());
+  ASSERT_GT(sched.size(), 0u);
+
+  TopologyConfig big = exp.scenario().topology;
+  big.tor_uplink_capacity = big.server_link_capacity * big.servers_per_rack;
+  big.agg_uplink_capacity = big.tor_uplink_capacity * big.racks;
+  Topology fat(big);
+  const auto replayed = replay(sched, fat, sim_config());
+  EXPECT_EQ(replayed.flow_count(), sched.size());
+  EXPECT_EQ(replayed.total_bytes(), sched.total_bytes());
+}
+
+TEST(Replay, ClosesModelGenerateSimulateLoop) {
+  ClusterExperiment exp(scenarios::tiny(120.0, 7));
+  exp.run();
+  const auto model = TrafficModel::fit(exp.trace(), exp.topology());
+  const auto synthetic = model.generate(exp.topology(), 60.0, Rng(5));
+  const auto sched = ReplaySchedule::from_trace(synthetic);
+  ASSERT_GT(sched.size(), 0u);
+  const auto replayed = replay(sched, exp.topology(), sim_config());
+  EXPECT_EQ(replayed.flow_count(), sched.size());
+  // The replayed trace is analyzable like any measurement.
+  const auto stats = flow_duration_stats(replayed);
+  EXPECT_GT(stats.by_count.sample_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dct

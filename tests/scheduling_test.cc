@@ -1,0 +1,86 @@
+#include "analysis/scheduling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/require.h"
+
+namespace dct {
+namespace {
+
+TopologyConfig topo_config() {
+  TopologyConfig cfg;
+  cfg.racks = 2;
+  cfg.servers_per_rack = 4;
+  cfg.external_servers = 0;
+  return cfg;
+}
+
+FlowRecord rec(TimeSec start, TimeSec end, Bytes bytes) {
+  FlowRecord r;
+  r.src = ServerId{0};
+  r.dst = ServerId{5};
+  r.bytes_requested = r.bytes_sent = bytes;
+  r.start = start;
+  r.end = end;
+  return r;
+}
+
+TEST(Scheduling, DecisionRatesFromTrace) {
+  Topology topo(topo_config());
+  ClusterTrace trace(topo.server_count(), 100.0);
+  for (int i = 0; i < 200; ++i) trace.record_flow(rec(i * 0.5, i * 0.5 + 1, 1000));
+  JobLogRecord j;
+  j.job = JobId{0};
+  trace.record_job(j);
+  trace.record_job(j);
+  const auto feas = scheduling_feasibility(trace, {0.01});
+  EXPECT_DOUBLE_EQ(feas.flow_decisions_per_sec, 2.0);
+  EXPECT_DOUBLE_EQ(feas.job_decisions_per_sec, 0.02);
+}
+
+TEST(Scheduling, LagDominanceGrowsWithLatency) {
+  Topology topo(topo_config());
+  ClusterTrace trace(topo.server_count(), 1000.0);
+  // Half the flows last 0.05 s, half last 50 s; long flows carry the bytes.
+  for (int i = 0; i < 100; ++i) trace.record_flow(rec(i, i + 0.05, 10));
+  for (int i = 0; i < 100; ++i) trace.record_flow(rec(i, i + 50.0, 1'000'000));
+  const auto feas = scheduling_feasibility(trace, {0.001, 0.1, 10.0});
+  ASSERT_EQ(feas.latency_points.size(), 3u);
+  // 1 ms latency: nothing lag-dominated (cutoff 0.01 s < 0.05 s).
+  EXPECT_DOUBLE_EQ(feas.latency_points[0].frac_flows_lag_dominated, 0.0);
+  // 100 ms latency: the short half is dominated (cutoff 1 s).
+  EXPECT_DOUBLE_EQ(feas.latency_points[1].frac_flows_lag_dominated, 0.5);
+  EXPECT_LT(feas.latency_points[1].frac_bytes_lag_dominated, 0.01);
+  // 10 s latency: everything is dominated (cutoff 100 s).
+  EXPECT_DOUBLE_EQ(feas.latency_points[2].frac_flows_lag_dominated, 1.0);
+  // Monotone in latency.
+  EXPECT_LE(feas.latency_points[0].frac_flows_lag_dominated,
+            feas.latency_points[1].frac_flows_lag_dominated);
+}
+
+TEST(Scheduling, ElephantCutoffSplitsBytes) {
+  Topology topo(topo_config());
+  ClusterTrace trace(topo.server_count(), 1000.0);
+  trace.record_flow(rec(0, 5.0, 400));    // short flow, 400 bytes
+  trace.record_flow(rec(0, 50.0, 600));   // long flow, 600 bytes
+  const auto feas = scheduling_feasibility(trace, {0.01}, 10.0);
+  EXPECT_NEAR(feas.frac_bytes_in_long_flows, 0.6, 1e-12);
+}
+
+TEST(Scheduling, RejectsBadArguments) {
+  Topology topo(topo_config());
+  ClusterTrace trace(topo.server_count(), 10.0);
+  EXPECT_THROW(scheduling_feasibility(trace, {0.0}), Error);
+  EXPECT_THROW(scheduling_feasibility(trace, {0.01}, 0.0), Error);
+}
+
+TEST(Scheduling, EmptyTraceIsSafe) {
+  Topology topo(topo_config());
+  ClusterTrace trace(topo.server_count(), 10.0);
+  const auto feas = scheduling_feasibility(trace, {0.01});
+  EXPECT_DOUBLE_EQ(feas.flow_decisions_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(feas.latency_points[0].frac_flows_lag_dominated, 0.0);
+}
+
+}  // namespace
+}  // namespace dct

@@ -1,0 +1,102 @@
+#include "trace/snmp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/require.h"
+
+namespace dct {
+namespace {
+
+TopologyConfig topo_config() {
+  TopologyConfig cfg;
+  cfg.racks = 2;
+  cfg.servers_per_rack = 3;
+  cfg.racks_per_vlan = 2;
+  cfg.agg_switches = 1;
+  cfg.external_servers = 0;
+  return cfg;
+}
+
+FlowSimConfig sim_config(TimeSec horizon) {
+  FlowSimConfig cfg;
+  cfg.end_time = horizon;
+  cfg.recompute_interval = 0.0;
+  cfg.connect_share_floor = 0.0;
+  cfg.per_flow_rate_cap = 0.0;
+  return cfg;
+}
+
+TEST(SnmpCounters, CountersAreMonotoneAndConserveBytes) {
+  Topology topo(topo_config());
+  FlowSim sim(topo, sim_config(20.0));
+  FlowSpec fs;
+  fs.src = ServerId{0};
+  fs.dst = ServerId{4};
+  fs.bytes = 250'000'000;  // 2 s at line rate
+  sim.start_flow(fs);
+  sim.run();
+
+  const auto snmp = SnmpCounters::collect(sim, topo, 5.0);
+  EXPECT_EQ(snmp.poll_count(), 5u);  // t = 0, 5, 10, 15, 20
+  const LinkId up = topo.server_up_link(ServerId{0});
+  double prev = -1;
+  for (std::size_t p = 0; p < snmp.poll_count(); ++p) {
+    EXPECT_GE(snmp.counter(up, p), prev);
+    prev = snmp.counter(up, p);
+  }
+  EXPECT_DOUBLE_EQ(snmp.counter(up, 0), 0.0);
+  EXPECT_NEAR(snmp.counter(up, snmp.poll_count() - 1), 250e6, 1e3);
+  // The flow finished within the first poll interval.
+  EXPECT_NEAR(snmp.counter(up, 1), 250e6, 1e3);
+}
+
+TEST(SnmpCounters, BytesBetweenSnapsToPollGrid) {
+  Topology topo(topo_config());
+  FlowSim sim(topo, sim_config(20.0));
+  // One flow from t=6 to t=8 (125 MB/s x 2 s = 250 MB), injected via at().
+  sim.at(6.0, [](FlowSim& s) {
+    FlowSpec fs;
+    fs.src = ServerId{0};
+    fs.dst = ServerId{4};
+    fs.bytes = 250'000'000;
+    s.start_flow(fs);
+  });
+  sim.run();
+  const auto snmp = SnmpCounters::collect(sim, topo, 5.0);
+  const LinkId up = topo.server_up_link(ServerId{0});
+  // Exact window [6, 8) is not poll-aligned; the counter view reports the
+  // [5, 10) delta.
+  EXPECT_NEAR(snmp.bytes_between(up, 6.0, 8.0), 250e6, 1e3);
+  EXPECT_NEAR(snmp.bytes_between(up, 5.0, 10.0), 250e6, 1e3);
+  EXPECT_NEAR(snmp.bytes_between(up, 0.0, 5.0), 0.0, 1e3);
+  EXPECT_NEAR(snmp.bytes_between(up, 10.0, 20.0), 0.0, 1e3);
+  EXPECT_THROW(snmp.bytes_between(up, 5.0, 1.0), Error);
+}
+
+TEST(SnmpCounters, UtilizationNormalizesByPollWindow) {
+  Topology topo(topo_config());
+  FlowSim sim(topo, sim_config(10.0));
+  FlowSpec fs;
+  fs.src = ServerId{0};
+  fs.dst = ServerId{4};
+  fs.bytes = 125'000'000;  // 1 s at line rate
+  sim.start_flow(fs);
+  sim.run();
+  const auto snmp = SnmpCounters::collect(sim, topo, 5.0);
+  const LinkId up = topo.server_up_link(ServerId{0});
+  // 1 second of line rate smeared over a 5 s poll window = 20% utilization.
+  EXPECT_NEAR(snmp.utilization_between(up, 0.0, 5.0), 0.2, 1e-6);
+}
+
+TEST(SnmpCounters, RejectsBadArguments) {
+  Topology topo(topo_config());
+  FlowSim sim(topo, sim_config(5.0));
+  sim.run();
+  EXPECT_THROW(SnmpCounters::collect(sim, topo, 0.0), Error);
+  const auto snmp = SnmpCounters::collect(sim, topo, 1.0);
+  EXPECT_THROW((void)snmp.counter(LinkId{}, 0), Error);
+  EXPECT_THROW((void)snmp.counter(topo.server_up_link(ServerId{0}), 999), Error);
+}
+
+}  // namespace
+}  // namespace dct

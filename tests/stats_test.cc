@@ -1,0 +1,149 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/require.h"
+#include "common/rng.h"
+
+namespace dct {
+namespace {
+
+TEST(StreamingStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {3.0, -1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  StreamingStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), mean * static_cast<double>(xs.size()), 1e-12);
+}
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, MergeEqualsSequential) {
+  Rng rng(8);
+  StreamingStats whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 7.0);
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingStats, MergeWithEmptySides) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  StreamingStats a_copy = a;
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // empty lhs adopts rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Quantile, KnownValues) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5), Error);
+  EXPECT_THROW((void)quantile(xs, 1.5), Error);
+}
+
+TEST(Quantile, InplaceMultipleProbes) {
+  std::vector<double> xs = {5.0, 1.0, 3.0};
+  const double ps[] = {0.0, 0.5, 1.0};
+  const auto qs = quantiles_inplace(xs, ps);
+  ASSERT_EQ(qs.size(), 3u);
+  EXPECT_DOUBLE_EQ(qs[0], 1.0);
+  EXPECT_DOUBLE_EQ(qs[1], 3.0);
+  EXPECT_DOUBLE_EQ(qs[2], 5.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg(ys.rbegin(), ys.rend());
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSideGivesZero) {
+  const std::vector<double> xs = {1, 1, 1};
+  const std::vector<double> ys = {2, 5, 9};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(std::exp(x));  // monotone, nonlinear
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> xs = {1, 2, 2, 3};
+  const std::vector<double> ys = {10, 20, 20, 30};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(WeightedQuantile, MassFollowsWeights) {
+  const std::vector<double> xs = {1.0, 100.0};
+  const std::vector<double> w_light = {99.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_quantile(xs, w_light, 0.5), 1.0);
+  const std::vector<double> w_heavy = {1.0, 99.0};
+  EXPECT_DOUBLE_EQ(weighted_quantile(xs, w_heavy, 0.5), 100.0);
+}
+
+TEST(WeightedQuantile, RejectsBadInput) {
+  const std::vector<double> xs = {1.0};
+  const std::vector<double> w = {0.0};
+  EXPECT_THROW((void)weighted_quantile(xs, w, 0.5), Error);
+  const std::vector<double> neg = {-1.0};
+  EXPECT_THROW((void)weighted_quantile(xs, neg, 0.5), Error);
+}
+
+// Property: quantile(p) is monotone in p for random samples.
+class QuantileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotone, MonotoneInP) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.lognormal(0, 2));
+  double prev = -1e300;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double q = quantile(xs, p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dct

@@ -1,0 +1,67 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dct {
+namespace {
+
+TEST(TextTable, AlignedOutput) {
+  TextTable t("demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Columns align: "value" and "22" start at the same offset in their lines.
+  std::istringstream is(out);
+  std::string line, header_line, row_line;
+  std::getline(is, line);  // title
+  std::getline(is, header_line);
+  std::getline(is, line);  // separator
+  std::getline(is, line);  // alpha row
+  std::getline(is, row_line);
+  EXPECT_EQ(header_line.find("value"), row_line.find("22"));
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t;
+  t.header({"a", "b"});
+  t.row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, ShortRowsPad) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(0.0), "0");
+  EXPECT_EQ(TextTable::num(3.0), "3");
+  EXPECT_EQ(TextTable::num(3.14159, 3), "3.14");
+  // Large/small magnitudes use scientific notation.
+  EXPECT_NE(TextTable::num(1.23e9).find("e"), std::string::npos);
+  EXPECT_NE(TextTable::num(1.23e-9).find("e"), std::string::npos);
+}
+
+TEST(TextTable, PctFormatting) {
+  EXPECT_EQ(TextTable::pct(0.5), "50.0%");
+  EXPECT_EQ(TextTable::pct(0.123, 2), "12.30%");
+  EXPECT_EQ(TextTable::pct(-0.9, 1), "-90.0%");
+}
+
+}  // namespace
+}  // namespace dct

@@ -1,0 +1,218 @@
+#include "topology/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/require.h"
+
+namespace dct {
+namespace {
+
+TopologyConfig small_config() {
+  TopologyConfig cfg;
+  cfg.racks = 6;
+  cfg.servers_per_rack = 4;
+  cfg.racks_per_vlan = 2;
+  cfg.agg_switches = 2;
+  cfg.external_servers = 3;
+  return cfg;
+}
+
+TEST(Topology, Counts) {
+  Topology topo(small_config());
+  EXPECT_EQ(topo.internal_server_count(), 24);
+  EXPECT_EQ(topo.server_count(), 27);
+  EXPECT_EQ(topo.rack_count(), 6);
+  EXPECT_EQ(topo.vlan_count(), 3);
+  EXPECT_EQ(topo.agg_count(), 2);
+  // Links: 27 servers * 2 + 6 tors * 2 + 2 aggs * 2 = 70.
+  EXPECT_EQ(topo.link_count(), 70);
+  // Inter-switch: 6*2 + 2*2 = 16.
+  EXPECT_EQ(topo.inter_switch_links().size(), 16u);
+}
+
+TEST(Topology, ConfigValidation) {
+  TopologyConfig cfg = small_config();
+  cfg.racks = 0;
+  EXPECT_THROW(Topology{cfg}, Error);
+  cfg = small_config();
+  cfg.server_link_capacity = 0;
+  EXPECT_THROW(Topology{cfg}, Error);
+  cfg = small_config();
+  cfg.external_servers = -1;
+  EXPECT_THROW(Topology{cfg}, Error);
+}
+
+TEST(Topology, LocalityQueries) {
+  Topology topo(small_config());
+  EXPECT_EQ(topo.rack_of(ServerId{0}), RackId{0});
+  EXPECT_EQ(topo.rack_of(ServerId{3}), RackId{0});
+  EXPECT_EQ(topo.rack_of(ServerId{4}), RackId{1});
+  EXPECT_TRUE(topo.same_rack(ServerId{0}, ServerId{3}));
+  EXPECT_FALSE(topo.same_rack(ServerId{0}, ServerId{4}));
+  EXPECT_TRUE(topo.same_vlan(ServerId{0}, ServerId{4}));    // racks 0,1 in vlan 0
+  EXPECT_FALSE(topo.same_vlan(ServerId{0}, ServerId{8}));   // rack 2 in vlan 1
+  EXPECT_FALSE(topo.is_external(ServerId{23}));
+  EXPECT_TRUE(topo.is_external(ServerId{24}));
+  EXPECT_FALSE(topo.rack_of(ServerId{24}).valid());
+  EXPECT_FALSE(topo.same_rack(ServerId{24}, ServerId{25}));
+}
+
+TEST(Topology, ServersInRack) {
+  Topology topo(small_config());
+  const auto servers = topo.servers_in_rack(RackId{1});
+  ASSERT_EQ(servers.size(), 4u);
+  EXPECT_EQ(servers.front().value(), 4);
+  EXPECT_EQ(servers.back().value(), 7);
+}
+
+TEST(Topology, SameRackRoute) {
+  Topology topo(small_config());
+  const auto path = topo.route(ServerId{0}, ServerId{1});
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(topo.link(path[0]).kind, LinkKind::kServerUp);
+  EXPECT_EQ(topo.link(path[1]).kind, LinkKind::kServerDown);
+  EXPECT_EQ(path[0], topo.server_up_link(ServerId{0}));
+  EXPECT_EQ(path[1], topo.server_down_link(ServerId{1}));
+}
+
+TEST(Topology, SameAggRouteSkipsCore) {
+  Topology topo(small_config());
+  // VLAN-aligned agg assignment: vlan0 -> agg0, vlan1 -> agg1, vlan2 -> agg0.
+  EXPECT_EQ(topo.agg_of(RackId{0}), 0);
+  EXPECT_EQ(topo.agg_of(RackId{1}), 0);
+  EXPECT_EQ(topo.agg_of(RackId{2}), 1);
+  EXPECT_EQ(topo.agg_of(RackId{4}), 0);
+  // Rack 0 -> rack 1: same agg, no agg up/down links.
+  const auto path = topo.route(ServerId{0}, ServerId{4});
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(topo.link(path[0]).kind, LinkKind::kServerUp);
+  EXPECT_EQ(topo.link(path[1]).kind, LinkKind::kTorUp);
+  EXPECT_EQ(topo.link(path[2]).kind, LinkKind::kTorDown);
+  EXPECT_EQ(topo.link(path[3]).kind, LinkKind::kServerDown);
+}
+
+TEST(Topology, CrossAggRouteUsesCore) {
+  Topology topo(small_config());
+  // Rack 0 (agg 0) -> rack 2 (agg 1).
+  const auto path = topo.route(ServerId{0}, ServerId{8});
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(topo.link(path[1]).kind, LinkKind::kTorUp);
+  EXPECT_EQ(topo.link(path[2]).kind, LinkKind::kAggUp);
+  EXPECT_EQ(topo.link(path[3]).kind, LinkKind::kAggDown);
+  EXPECT_EQ(topo.link(path[4]).kind, LinkKind::kTorDown);
+}
+
+TEST(Topology, ExternalRoutes) {
+  Topology topo(small_config());
+  const ServerId ext{24};
+  const auto out = topo.route(ServerId{0}, ext);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(topo.link(out[0]).kind, LinkKind::kServerUp);
+  EXPECT_EQ(topo.link(out[1]).kind, LinkKind::kTorUp);
+  EXPECT_EQ(topo.link(out[2]).kind, LinkKind::kAggUp);
+  EXPECT_EQ(topo.link(out[3]).kind, LinkKind::kExternalDown);
+  const auto in = topo.route(ext, ServerId{0});
+  ASSERT_EQ(in.size(), 4u);
+  EXPECT_EQ(topo.link(in[0]).kind, LinkKind::kExternalUp);
+  EXPECT_EQ(topo.link(in[3]).kind, LinkKind::kServerDown);
+  // External to external crosses only the core.
+  const auto e2e = topo.route(ServerId{24}, ServerId{25});
+  ASSERT_EQ(e2e.size(), 2u);
+}
+
+TEST(Topology, LoopbackRouteIsEmpty) {
+  Topology topo(small_config());
+  EXPECT_TRUE(topo.route(ServerId{3}, ServerId{3}).empty());
+}
+
+TEST(Topology, LinkKindNamesAndScope) {
+  EXPECT_EQ(to_string(LinkKind::kTorUp), "tor_up");
+  EXPECT_TRUE(is_inter_switch(LinkKind::kTorUp));
+  EXPECT_TRUE(is_inter_switch(LinkKind::kAggDown));
+  EXPECT_FALSE(is_inter_switch(LinkKind::kServerUp));
+  EXPECT_FALSE(is_inter_switch(LinkKind::kExternalUp));
+}
+
+TEST(Topology, BisectionBandwidth) {
+  TopologyConfig cfg = small_config();
+  cfg.tor_uplink_capacity = gbps(2.0);
+  cfg.agg_uplink_capacity = gbps(5.0);
+  Topology topo(cfg);
+  // min(6 * 2G, 2 * 5G) = 10G.
+  EXPECT_DOUBLE_EQ(topo.bisection_bandwidth(), gbps(10.0));
+}
+
+TEST(Topology, OutOfRangeQueriesThrow) {
+  Topology topo(small_config());
+  EXPECT_THROW((void)topo.rack_of(ServerId{999}), Error);
+  EXPECT_THROW((void)topo.rack_of(ServerId{}), Error);
+  EXPECT_THROW((void)topo.link(LinkId{9999}), Error);
+  EXPECT_THROW(topo.route(ServerId{0}, ServerId{999}), Error);
+  EXPECT_THROW(topo.servers_in_rack(RackId{99}), Error);
+}
+
+// Property sweep over topology shapes: every server pair's route is
+// well-formed (starts at src's uplink, ends at dst's downlink, no duplicate
+// links, crosses the core iff the endpoints' aggregation switches differ).
+struct ShapeParam {
+  std::int32_t racks;
+  std::int32_t per_rack;
+  std::int32_t per_vlan;
+  std::int32_t aggs;
+  std::int32_t externals;
+};
+
+class RouteProperty : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(RouteProperty, AllRoutesWellFormed) {
+  const ShapeParam p = GetParam();
+  TopologyConfig cfg;
+  cfg.racks = p.racks;
+  cfg.servers_per_rack = p.per_rack;
+  cfg.racks_per_vlan = p.per_vlan;
+  cfg.agg_switches = p.aggs;
+  cfg.external_servers = p.externals;
+  Topology topo(cfg);
+
+  std::vector<LinkId> path;
+  for (std::int32_t a = 0; a < topo.server_count(); ++a) {
+    for (std::int32_t b = 0; b < topo.server_count(); ++b) {
+      const ServerId src{a};
+      const ServerId dst{b};
+      topo.route_into(src, dst, path);
+      if (a == b) {
+        EXPECT_TRUE(path.empty());
+        continue;
+      }
+      ASSERT_GE(path.size(), 2u);
+      EXPECT_EQ(path.front(), topo.server_up_link(src));
+      EXPECT_EQ(path.back(), topo.server_down_link(dst));
+      std::set<std::int32_t> uniq;
+      for (LinkId l : path) uniq.insert(l.value());
+      EXPECT_EQ(uniq.size(), path.size()) << "duplicate link on route";
+
+      bool crosses_core = false;
+      for (LinkId l : path) {
+        const LinkKind k = topo.link(l).kind;
+        if (k == LinkKind::kAggUp || k == LinkKind::kAggDown) crosses_core = true;
+      }
+      const bool src_ext = topo.is_external(src);
+      const bool dst_ext = topo.is_external(dst);
+      if (!src_ext && !dst_ext) {
+        const bool same_agg = topo.agg_of(topo.rack_of(src)) == topo.agg_of(topo.rack_of(dst));
+        EXPECT_EQ(crosses_core, !same_agg && !topo.same_rack(src, dst));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RouteProperty,
+    ::testing::Values(ShapeParam{1, 2, 1, 1, 0}, ShapeParam{2, 3, 1, 1, 1},
+                      ShapeParam{5, 4, 2, 2, 2}, ShapeParam{8, 2, 3, 3, 4},
+                      ShapeParam{12, 3, 4, 2, 0}));
+
+}  // namespace
+}  // namespace dct

@@ -1,0 +1,219 @@
+#include "workload/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/require.h"
+#include "core/scenario.h"
+#include "trace/cluster_trace.h"
+
+namespace dct {
+namespace {
+
+// One shared tiny run, reused across assertions (simulation is deterministic).
+struct TinyRun {
+  TinyRun()
+      : cfg(scenarios::tiny(120.0, 7)),
+        topo(cfg.topology),
+        sim(topo, cfg.sim),
+        trace(topo.server_count(), cfg.sim.end_time),
+        collector(sim, trace),
+        driver(topo, sim, trace, cfg.workload, cfg.seed) {
+    driver.install();
+    sim.run();
+    trace.build_indices();
+  }
+  ScenarioConfig cfg;
+  Topology topo;
+  FlowSim sim;
+  ClusterTrace trace;
+  TraceCollector collector;
+  WorkloadDriver driver;
+};
+
+TinyRun& tiny_run() {
+  static TinyRun run;
+  return run;
+}
+
+TEST(Workload, JobsRunToCompletion) {
+  auto& run = tiny_run();
+  const auto& stats = run.driver.stats();
+  EXPECT_GT(stats.jobs_submitted, 5);
+  EXPECT_GT(stats.jobs_completed, 0);
+  EXPECT_LE(stats.jobs_completed + stats.jobs_failed, stats.jobs_submitted);
+  // Completed jobs logged exactly one JobLogRecord each.
+  EXPECT_EQ(run.trace.jobs().size(),
+            static_cast<std::size_t>(stats.jobs_completed + stats.jobs_failed));
+}
+
+TEST(Workload, FlowsHaveValidEndpointsAndTimes) {
+  auto& run = tiny_run();
+  ASSERT_GT(run.trace.flow_count(), 0u);
+  for (const auto& f : run.trace.flows()) {
+    EXPECT_GE(f.local.value(), 0);
+    EXPECT_LT(f.local.value(), run.topo.server_count());
+    EXPECT_GE(f.peer.value(), 0);
+    EXPECT_LT(f.peer.value(), run.topo.server_count());
+    EXPECT_NE(f.local, f.peer);
+    EXPECT_GE(f.start, 0.0);
+    EXPECT_LE(f.end, run.cfg.sim.end_time + 1e-9);
+    EXPECT_GE(f.end, f.start);
+    EXPECT_GE(f.bytes, 0);
+    EXPECT_LE(f.bytes, f.bytes_requested);
+  }
+}
+
+TEST(Workload, PhaseLogsAreOrderedPerJob) {
+  auto& run = tiny_run();
+  ASSERT_GT(run.trace.phase_logs().size(), 0u);
+  // For each job: extract ends before (or when) aggregate ends; output last.
+  std::unordered_map<std::int32_t, TimeSec> extract_end, aggregate_end, output_end;
+  for (const auto& p : run.trace.phase_logs()) {
+    EXPECT_GE(p.end, p.start);
+    EXPECT_GT(p.vertices, 0);
+    switch (p.kind) {
+      case PhaseKind::kExtract: extract_end[p.job.value()] = p.end; break;
+      case PhaseKind::kAggregate: aggregate_end[p.job.value()] = p.end; break;
+      case PhaseKind::kOutput: output_end[p.job.value()] = p.end; break;
+      default: break;
+    }
+  }
+  std::size_t checked = 0;
+  for (const auto& [job, t_agg] : aggregate_end) {
+    auto it = extract_end.find(job);
+    if (it == extract_end.end()) continue;
+    EXPECT_LE(it->second, t_agg + 1e-9);
+    auto out = output_end.find(job);
+    if (out != output_end.end()) {
+      EXPECT_LE(t_agg, out->second + 1e-9);
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Workload, CompletedJobsSpanSubmitToEnd) {
+  auto& run = tiny_run();
+  for (const auto& j : run.trace.jobs()) {
+    EXPECT_GE(j.start, j.submit);
+    EXPECT_GE(j.end, j.start);
+    EXPECT_GT(j.input_bytes, 0);
+    EXPECT_NE(j.completed, j.failed);
+  }
+}
+
+TEST(Workload, ExtractReadsAreMostlyLocal) {
+  auto& run = tiny_run();
+  const auto& stats = run.driver.stats();
+  EXPECT_GT(stats.extract_reads_local, 0);
+  // The locality ladder keeps the remote fraction small (§4.2: a small
+  // fraction of extract instances read over the network).
+  EXPECT_LT(stats.remote_read_fraction(), 0.35);
+}
+
+TEST(Workload, PlacementTiersSkewLocal) {
+  auto& run = tiny_run();
+  const auto& t = run.driver.stats().placement_tier;
+  EXPECT_GT(t[0], 0);
+  // Tier 0 (same server) placements dominate tiers 2+3 combined.
+  EXPECT_GT(t[0], t[2] + t[3]);
+}
+
+TEST(Workload, ControlFlowsAreSmallJobFlowsTagged) {
+  auto& run = tiny_run();
+  std::size_t control = 0;
+  for (const auto& f : run.trace.flows()) {
+    if (f.kind != FlowKind::kControl) continue;
+    ++control;
+    EXPECT_LE(f.bytes_requested, 24 * kKB);
+    EXPECT_TRUE(f.job.valid());
+  }
+  EXPECT_GT(control, 0u);
+}
+
+TEST(Workload, ShuffleFlowsJoinToAggregatePhases) {
+  auto& run = tiny_run();
+  std::size_t shuffles = 0;
+  for (const auto& f : run.trace.flows()) {
+    if (f.kind != FlowKind::kShuffle) continue;
+    ++shuffles;
+    ASSERT_TRUE(f.phase.valid());
+    const auto kind = run.trace.phase_kind(f.phase);
+    // Phases log only on completion; a truncated job's phase may be absent.
+    if (kind.has_value()) {
+      EXPECT_EQ(*kind, PhaseKind::kAggregate);
+    }
+  }
+  EXPECT_GT(shuffles, 0u);
+}
+
+TEST(Workload, ChunkingBoundsFlowSizes) {
+  auto& run = tiny_run();
+  const Bytes cap = run.driver.block_store().config().block_size;
+  for (const auto& f : run.trace.flows()) {
+    EXPECT_LE(f.bytes_requested, cap) << "flow larger than the chunk size";
+  }
+}
+
+TEST(Workload, ReadFailureRecordsAreConsistent) {
+  auto& run = tiny_run();
+  for (const auto& rf : run.trace.read_failures()) {
+    EXPECT_TRUE(rf.job.valid());
+    EXPECT_GE(rf.time, 0.0);
+    EXPECT_NE(rf.reader, rf.source);
+  }
+  // Stats counter matches the log.
+  EXPECT_EQ(static_cast<std::size_t>(run.driver.stats().read_failures),
+            run.trace.read_failures().size());
+}
+
+TEST(Workload, ConfigValidation) {
+  WorkloadConfig cfg;
+  cfg.jobs_per_second = -1;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = WorkloadConfig{};
+  cfg.max_fetch_connections = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = WorkloadConfig{};
+  cfg.vertex_startup_max = cfg.vertex_startup_min - 0.01;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = WorkloadConfig{};
+  cfg.initial_datasets = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(Workload, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    ScenarioConfig cfg = scenarios::tiny(60.0, 11);
+    Topology topo(cfg.topology);
+    FlowSim sim(topo, cfg.sim);
+    ClusterTrace trace(topo.server_count(), cfg.sim.end_time);
+    TraceCollector collector(sim, trace);
+    WorkloadDriver driver(topo, sim, trace, cfg.workload, cfg.seed);
+    driver.install();
+    sim.run();
+    return std::make_pair(trace.flow_count(), trace.total_bytes());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Workload, DifferentSeedsProduceDifferentTraffic) {
+  auto run_once = [](std::uint64_t seed) {
+    ScenarioConfig cfg = scenarios::tiny(60.0, seed);
+    Topology topo(cfg.topology);
+    FlowSim sim(topo, cfg.sim);
+    ClusterTrace trace(topo.server_count(), cfg.sim.end_time);
+    TraceCollector collector(sim, trace);
+    WorkloadDriver driver(topo, sim, trace, cfg.workload, seed);
+    driver.install();
+    sim.run();
+    return trace.total_bytes();
+  };
+  EXPECT_NE(run_once(1), run_once(2));
+}
+
+}  // namespace
+}  // namespace dct
