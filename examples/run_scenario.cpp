@@ -34,7 +34,8 @@ struct Options {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: run_scenario [--scenario canonical|weekend|heavy|no_locality|"
-               "uncapped_connections|unchunked|full_bisection|paper_scale|tiny]\n"
+               "uncapped_connections|unchunked|full_bisection|paper_scale|"
+               "fault_storm|tiny]\n"
                "                    [--duration S] [--seed N] [--jobs-per-second R]\n"
                "                    [--racks N] [--servers-per-rack N]\n"
                "                    [--csv-flows PATH] [--csv-links PATH]\n";
@@ -90,6 +91,8 @@ dct::ScenarioConfig make_config(const Options& opt) {
     cfg = dct::scenarios::full_bisection(opt.duration, opt.seed);
   } else if (opt.scenario == "paper_scale") {
     cfg = dct::scenarios::paper_scale(opt.duration, opt.seed);
+  } else if (opt.scenario == "fault_storm") {
+    cfg = dct::scenarios::fault_storm(opt.duration, opt.seed);
   } else if (opt.scenario == "tiny") {
     cfg = dct::scenarios::tiny(opt.duration, opt.seed);
   } else {
@@ -125,6 +128,16 @@ int main(int argc, char** argv) {
   report.row({"remote extract reads", dct::TextTable::pct(stats.remote_read_fraction())});
   report.row({"read failures", std::to_string(trace.read_failures().size())});
   report.row({"evacuations", std::to_string(trace.evacuations().size())});
+  if (!trace.device_failures().empty()) {
+    report.row({"device failures", std::to_string(trace.device_failures().size())});
+    report.row({"flows killed / rerouted by faults",
+                std::to_string(exp.sim().fault_killed_flow_count()) + " / " +
+                    std::to_string(exp.sim().fault_rerouted_flow_count())});
+    report.row({"server crashes / vertices re-executed / blocks re-replicated",
+                std::to_string(stats.server_crashes) + " / " +
+                    std::to_string(stats.vertices_reexecuted) + " / " +
+                    std::to_string(stats.blocks_rereplicated)});
+  }
 
   const auto durations = dct::flow_duration_stats(trace);
   report.row({"flows < 10 s", dct::TextTable::pct(durations.frac_flows_under_10s)});

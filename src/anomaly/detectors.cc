@@ -231,4 +231,14 @@ std::vector<TruthWindow> evacuation_windows(const ClusterTrace& trace) {
   return out;
 }
 
+std::vector<TruthWindow> failure_windows(const ClusterTrace& trace) {
+  std::vector<TruthWindow> out;
+  for (const auto& f : trace.device_failures()) {
+    // Repair times routinely land past the horizon; clip so recall is
+    // measured only over the observed interval.
+    out.push_back({f.start, std::min(f.end, trace.duration())});
+  }
+  return out;
+}
+
 }  // namespace dct

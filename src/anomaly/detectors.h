@@ -112,4 +112,9 @@ struct TruthWindow {
 /// Convenience: truth windows from a trace's evacuation log.
 [[nodiscard]] std::vector<TruthWindow> evacuation_windows(const ClusterTrace& trace);
 
+/// Truth windows from a trace's device-failure log (fault injection runs).
+/// Each window is clipped to the trace horizon — repairs often land past
+/// the end of the run.
+[[nodiscard]] std::vector<TruthWindow> failure_windows(const ClusterTrace& trace);
+
 }  // namespace dct

@@ -16,14 +16,28 @@ ScenarioConfig with_streamed_records(ScenarioConfig c) {
 ClusterExperiment::ClusterExperiment(ScenarioConfig config)
     : config_(with_streamed_records(std::move(config))),
       topo_(config_.topology),
+      net_(topo_),
       sim_(topo_, config_.sim),
       trace_(topo_.server_count(), config_.sim.end_time),
       collector_(sim_, trace_),
-      driver_(topo_, sim_, trace_, config_.workload, config_.seed) {}
+      driver_(topo_, sim_, trace_, config_.workload, config_.seed) {
+  // The overlay is always installed; while every device is up it delegates
+  // to the immutable topology, so a fault-free run is unchanged.
+  sim_.set_network_state(&net_);
+}
 
 void ClusterExperiment::run() {
   if (ran_) return;
   driver_.install();
+  if (!config_.faults.empty()) {
+    injector_ = std::make_unique<FaultInjector>(sim_, net_, &trace_);
+    injector_->set_server_crash_handler(
+        [this](ServerId s) { driver_.handle_server_crash(s); });
+    injector_->set_server_recovery_handler(
+        [this](ServerId s) { driver_.handle_server_recovery(s); });
+    injector_->install(
+        generate_fault_schedule(topo_, config_.faults, config_.sim.end_time));
+  }
   sim_.run();
   trace_.build_indices();
   ran_ = true;

@@ -16,7 +16,9 @@
 
 #include "analysis/congestion.h"
 #include "core/scenario.h"
+#include "faults/injector.h"
 #include "flowsim/flowsim.h"
+#include "topology/network_state.h"
 #include "topology/topology.h"
 #include "trace/cluster_trace.h"
 #include "workload/driver.h"
@@ -53,13 +55,23 @@ class ClusterExperiment {
   /// Exact per-link utilization from the simulator (computed once, cached).
   [[nodiscard]] const LinkUtilizationMap& utilization();
 
+  /// Live/down state of every device; all-up unless the scenario's
+  /// FaultConfig is non-empty.
+  [[nodiscard]] const NetworkState& network_state() const noexcept { return net_; }
+  /// The injector, or nullptr when the scenario has no faults.
+  [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
+    return injector_.get();
+  }
+
  private:
   ScenarioConfig config_;
   Topology topo_;
+  NetworkState net_;
   FlowSim sim_;
   ClusterTrace trace_;
   TraceCollector collector_;
   WorkloadDriver driver_;
+  std::unique_ptr<FaultInjector> injector_;
   bool ran_ = false;
   std::unique_ptr<LinkUtilizationMap> util_cache_;
 };

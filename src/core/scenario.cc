@@ -84,6 +84,24 @@ ScenarioConfig full_bisection(TimeSec duration, std::uint64_t seed) {
   return cfg;
 }
 
+ScenarioConfig fault_storm(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = canonical(duration, seed);
+  cfg.name = "fault_storm";
+  // Give the fabric something to fail over to.
+  cfg.topology.redundant_tor_uplinks = true;
+  // Rates are per device per hour, far above production reality so a ten
+  // minute run sees a healthy sample of every fault class.
+  cfg.faults.link_flap_rate = 1.0;
+  cfg.faults.link_flap_mean_duration = 20.0;
+  cfg.faults.server_crash_rate = 0.25;
+  cfg.faults.server_mean_repair = 120.0;
+  cfg.faults.tor_crash_rate = 0.5;
+  cfg.faults.tor_mean_repair = 60.0;
+  cfg.faults.agg_crash_rate = 0.25;
+  cfg.faults.agg_mean_repair = 45.0;
+  return cfg;
+}
+
 ScenarioConfig tiny(TimeSec duration, std::uint64_t seed) {
   ScenarioConfig cfg;
   cfg.name = "tiny";

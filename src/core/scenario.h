@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/units.h"
+#include "faults/fault_schedule.h"
 #include "flowsim/flowsim.h"
 #include "topology/topology.h"
 #include "workload/driver.h"
@@ -23,6 +24,10 @@ struct ScenarioConfig {
   TopologyConfig topology;
   WorkloadConfig workload;
   FlowSimConfig sim;
+  /// Device-failure process; empty (all rates zero) by default, in which
+  /// case no injector is built and the run is byte-identical to a build
+  /// without the faults subsystem.
+  FaultConfig faults;
   std::uint64_t seed = 42;
 };
 
@@ -61,6 +66,13 @@ namespace scenarios {
 /// 600 s run takes a few minutes of wall clock and several GB of memory;
 /// use for final-fidelity reproductions, not for iteration.
 [[nodiscard]] ScenarioConfig paper_scale(TimeSec duration = 600.0,
+                                         std::uint64_t seed = 42);
+
+/// Robustness study: the canonical cluster with redundant ToR uplinks and
+/// an aggressive device-failure process — link flaps, server crashes and
+/// occasional ToR / aggregation switch outages.  Exercises rerouting,
+/// vertex re-execution and block re-replication all at once.
+[[nodiscard]] ScenarioConfig fault_storm(TimeSec duration = 600.0,
                                          std::uint64_t seed = 42);
 
 /// A very small, fast configuration for unit tests (4 racks, exact-mode

@@ -1,0 +1,95 @@
+#include "faults/fault_schedule.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/require.h"
+#include "common/rng.h"
+
+namespace dct {
+
+void FaultConfig::validate() const {
+  require(link_flap_rate >= 0, "FaultConfig: link_flap_rate must be >= 0");
+  require(server_crash_rate >= 0, "FaultConfig: server_crash_rate must be >= 0");
+  require(tor_crash_rate >= 0, "FaultConfig: tor_crash_rate must be >= 0");
+  require(agg_crash_rate >= 0, "FaultConfig: agg_crash_rate must be >= 0");
+  require(link_flap_mean_duration > 0, "FaultConfig: link flap duration must be > 0");
+  require(server_mean_repair > 0, "FaultConfig: server repair time must be > 0");
+  require(tor_mean_repair > 0, "FaultConfig: ToR repair time must be > 0");
+  require(agg_mean_repair > 0, "FaultConfig: agg repair time must be > 0");
+}
+
+namespace {
+
+// Substream spacing: one stream per (device kind, entity) pair.
+constexpr std::uint64_t kStreamStride = 1u << 20;
+
+// Renewal process for one device: exponential up-times at `rate` per hour,
+// exponential outages with mean `mean_duration`.
+void emit_device(const Rng& base, std::uint64_t stream, double rate_per_hour,
+                 TimeSec mean_duration, TimeSec horizon, DeviceKind device,
+                 std::int32_t entity, std::vector<FaultEvent>& out) {
+  Rng rng = base.fork(stream);
+  const double mean_gap = 3600.0 / rate_per_hour;
+  TimeSec t = rng.exponential(mean_gap);
+  while (t < horizon) {
+    // Floor the outage at 1 ms so every event has a strictly positive
+    // duration (an exponential draw can round to zero).
+    const TimeSec duration = std::max(1e-3, rng.exponential(mean_duration));
+    FaultEvent e;
+    e.start = t;
+    e.end = t + duration;
+    e.device = device;
+    e.entity = entity;
+    out.push_back(e);
+    t = e.end + rng.exponential(mean_gap);
+  }
+}
+
+}  // namespace
+
+std::vector<FaultEvent> generate_fault_schedule(const Topology& topo,
+                                                const FaultConfig& config,
+                                                TimeSec horizon) {
+  config.validate();
+  require(horizon > 0, "generate_fault_schedule: horizon must be > 0");
+  std::vector<FaultEvent> out;
+  if (config.empty()) return out;
+
+  const Rng base(config.seed);
+  if (config.link_flap_rate > 0) {
+    for (LinkId l : topo.inter_switch_links()) {
+      emit_device(base, 0 * kStreamStride + static_cast<std::uint64_t>(l.value()),
+                  config.link_flap_rate, config.link_flap_mean_duration, horizon,
+                  DeviceKind::kLink, l.value(), out);
+    }
+  }
+  if (config.server_crash_rate > 0) {
+    for (std::int32_t s = 0; s < topo.internal_server_count(); ++s) {
+      emit_device(base, 1 * kStreamStride + static_cast<std::uint64_t>(s),
+                  config.server_crash_rate, config.server_mean_repair, horizon,
+                  DeviceKind::kServer, s, out);
+    }
+  }
+  if (config.tor_crash_rate > 0) {
+    for (std::int32_t r = 0; r < topo.rack_count(); ++r) {
+      emit_device(base, 2 * kStreamStride + static_cast<std::uint64_t>(r),
+                  config.tor_crash_rate, config.tor_mean_repair, horizon,
+                  DeviceKind::kTor, r, out);
+    }
+  }
+  if (config.agg_crash_rate > 0) {
+    for (std::int32_t a = 0; a < topo.agg_count(); ++a) {
+      emit_device(base, 3 * kStreamStride + static_cast<std::uint64_t>(a),
+                  config.agg_crash_rate, config.agg_mean_repair, horizon,
+                  DeviceKind::kAgg, a, out);
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    return std::tie(a.start, a.device, a.entity) < std::tie(b.start, b.device, b.entity);
+  });
+  return out;
+}
+
+}  // namespace dct

@@ -1,0 +1,76 @@
+// Seeded generation of device-failure schedules.
+//
+// The paper's measured cluster lives with real outages: flaky servers get
+// evacuated (§4.2), and link/switch failures produce long epochs where
+// traffic reroutes or simply fails.  This header turns per-device-hour
+// failure rates into a concrete, deterministic schedule of FaultEvents —
+// link flaps, ToR / aggregation switch crashes and server crashes, each
+// with an exponentially distributed repair time — that the FaultInjector
+// replays onto a running simulation.
+//
+// The schedule is a pure function of (topology, FaultConfig, horizon):
+// every device draws from its own forked rng substream, so adding racks or
+// tweaking one rate never perturbs another device's fault times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "topology/topology.h"
+#include "trace/events.h"
+
+namespace dct {
+
+/// Failure-process knobs.  Rates are events per device per hour; repair /
+/// outage durations are exponential with the given mean.  All rates default
+/// to zero: the subsystem is strictly opt-in.
+struct FaultConfig {
+  /// Flaps per *inter-switch* link per hour (server access links fail via
+  /// server or ToR crashes instead).
+  double link_flap_rate = 0.0;
+  TimeSec link_flap_mean_duration = 15.0;
+
+  /// Crashes per internal server per hour; the workload layer re-executes
+  /// the victim's vertices and re-replicates its blocks.
+  double server_crash_rate = 0.0;
+  TimeSec server_mean_repair = 180.0;
+
+  /// Crashes per ToR per hour; the whole rack drops off the network.
+  double tor_crash_rate = 0.0;
+  TimeSec tor_mean_repair = 300.0;
+
+  /// Crashes per aggregation switch per hour; with redundant ToR uplinks
+  /// the affected racks fail over to their backup aggregation switch.
+  double agg_crash_rate = 0.0;
+  TimeSec agg_mean_repair = 300.0;
+
+  /// Seed of the fault stream, independent of the workload/simulator seeds.
+  std::uint64_t seed = 0xFA17ULL;
+
+  /// True when every rate is zero — no schedule, no injector, no overlay.
+  [[nodiscard]] bool empty() const noexcept {
+    return link_flap_rate <= 0 && server_crash_rate <= 0 && tor_crash_rate <= 0 &&
+           agg_crash_rate <= 0;
+  }
+
+  void validate() const;
+};
+
+/// One failure epoch of one device.  `entity` is a link id for kLink, a
+/// server id for kServer, a rack id for kTor, an agg index for kAgg.
+struct FaultEvent {
+  TimeSec start = 0;
+  TimeSec end = 0;  ///< repair time (may exceed the simulation horizon)
+  DeviceKind device = DeviceKind::kServer;
+  std::int32_t entity = -1;
+};
+
+/// Generates all fault events with start < `horizon`, sorted by start time
+/// (ties broken by device kind, then entity).  Within one device the epochs
+/// never overlap; across devices they may.
+[[nodiscard]] std::vector<FaultEvent> generate_fault_schedule(const Topology& topo,
+                                                              const FaultConfig& config,
+                                                              TimeSec horizon);
+
+}  // namespace dct

@@ -1,0 +1,77 @@
+#include "faults/injector.h"
+
+#include "common/require.h"
+
+namespace dct {
+
+FaultInjector::FaultInjector(FlowSim& sim, NetworkState& net, ClusterTrace* trace)
+    : sim_(sim), net_(net), trace_(trace) {}
+
+bool FaultInjector::device_down(const FaultEvent& e) const {
+  switch (e.device) {
+    case DeviceKind::kServer: return !net_.server_up(ServerId{e.entity});
+    case DeviceKind::kTor: return !net_.tor_up(RackId{e.entity});
+    case DeviceKind::kAgg: return !net_.agg_up(e.entity);
+    case DeviceKind::kLink: return !net_.link_up(LinkId{e.entity});
+  }
+  return false;
+}
+
+void FaultInjector::set_device_up(const FaultEvent& e, bool up) {
+  switch (e.device) {
+    case DeviceKind::kServer: net_.set_server_up(ServerId{e.entity}, up); return;
+    case DeviceKind::kTor: net_.set_tor_up(RackId{e.entity}, up); return;
+    case DeviceKind::kAgg: net_.set_agg_up(e.entity, up); return;
+    case DeviceKind::kLink: net_.set_link_up(LinkId{e.entity}, up); return;
+  }
+}
+
+void FaultInjector::inject(const FaultEvent& e) {
+  // An overlapping schedule entry on an already-down device is dropped
+  // whole: applying it would double-book the repair.
+  if (device_down(e)) {
+    ++skipped_;
+    return;
+  }
+  set_device_up(e, false);
+  // Workload reacts first (epoch bumps, re-execution, re-replication) so
+  // its recovery flows route around the fault; then the simulator sweeps
+  // in-flight flows whose path died.
+  if (e.device == DeviceKind::kServer && on_server_crash_) {
+    on_server_crash_(ServerId{e.entity});
+  }
+  const FlowSim::NetworkChangeStats stats = sim_.handle_network_change();
+  if (trace_ != nullptr) {
+    DeviceFailureRecord rec;
+    rec.start = e.start;
+    rec.end = e.end;
+    rec.device = e.device;
+    rec.entity = e.entity;
+    rec.flows_killed = stats.flows_killed;
+    rec.flows_rerouted = stats.flows_rerouted;
+    trace_->record_device_failure(rec);
+  }
+  ++injected_;
+  sim_.at(e.end, [this, e](FlowSim&) { repair(e); });
+}
+
+void FaultInjector::repair(const FaultEvent& e) {
+  set_device_up(e, true);
+  if (e.device == DeviceKind::kServer && on_server_recovery_) {
+    on_server_recovery_(ServerId{e.entity});
+  }
+  // Repairs never sever a live path, so no sweep is needed: flows that
+  // failed over stay on their backup path, new flows prefer the restored
+  // primary at the next route computation.
+}
+
+void FaultInjector::install(std::vector<FaultEvent> schedule) {
+  const TimeSec horizon = sim_.config().end_time;
+  for (const FaultEvent& e : schedule) {
+    require(e.end > e.start, "FaultInjector: event with non-positive duration");
+    if (e.start >= horizon) continue;
+    sim_.at(e.start, [this, e](FlowSim&) { inject(e); });
+  }
+}
+
+}  // namespace dct

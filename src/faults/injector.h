@@ -1,0 +1,69 @@
+// FaultInjector: replays a fault schedule onto a running simulation.
+//
+// At each event's start time the injector marks the device down in the
+// NetworkState, notifies the workload layer (server crashes only — the
+// workload re-executes vertices and re-replicates blocks via the handlers
+// wired up by ClusterExperiment), asks the flow simulator to kill or
+// reroute in-flight flows whose path died, and appends a
+// DeviceFailureRecord to the trace with the observed blast radius.  At the
+// event's end time the device is repaired and, for servers, the recovery
+// handler fires.
+//
+// The injector is decoupled from dct_workload by design: it only knows
+// std::function handlers, so the dependency chain stays acyclic
+// (faults -> {topology, flowsim, trace}; core wires faults <-> workload).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "faults/fault_schedule.h"
+#include "flowsim/flowsim.h"
+#include "topology/network_state.h"
+#include "trace/cluster_trace.h"
+
+namespace dct {
+
+class FaultInjector {
+ public:
+  using ServerHandler = std::function<void(ServerId)>;
+
+  /// `trace` may be null (no failure records kept).  All references must
+  /// outlive the simulation run.
+  FaultInjector(FlowSim& sim, NetworkState& net, ClusterTrace* trace);
+
+  /// Called right after a server is marked down and before in-flight flows
+  /// are killed; the workload re-executes the victim's vertices and starts
+  /// re-replication.
+  void set_server_crash_handler(ServerHandler h) { on_server_crash_ = std::move(h); }
+  /// Called right after a server is repaired and marked up.
+  void set_server_recovery_handler(ServerHandler h) {
+    on_server_recovery_ = std::move(h);
+  }
+
+  /// Schedules every event onto the simulator.  Call once, before
+  /// FlowSim::run().  Events starting at or after the horizon never fire.
+  void install(std::vector<FaultEvent> schedule);
+
+  /// Faults actually applied (excludes overlaps on already-down devices).
+  [[nodiscard]] std::size_t injected() const noexcept { return injected_; }
+  /// Faults skipped because the device was already down when they fired.
+  [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+
+ private:
+  void inject(const FaultEvent& e);
+  void repair(const FaultEvent& e);
+  [[nodiscard]] bool device_down(const FaultEvent& e) const;
+  void set_device_up(const FaultEvent& e, bool up);
+
+  FlowSim& sim_;
+  NetworkState& net_;
+  ClusterTrace* trace_;
+  ServerHandler on_server_crash_;
+  ServerHandler on_server_recovery_;
+  std::size_t injected_ = 0;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace dct

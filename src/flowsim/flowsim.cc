@@ -79,11 +79,40 @@ FlowId FlowSim::start_flow(const FlowSpec& spec, CompletionCallback on_complete)
   ActiveFlow f;
   f.id = id;
   f.spec = spec;
-  topo_.route_into(spec.src, spec.dst, f.path);
+  bool routed = true;
+  if (net_ != nullptr) {
+    routed = net_->route_into(spec.src, spec.dst, f.path);
+  } else {
+    topo_.route_into(spec.src, spec.dst, f.path);
+  }
   f.remaining = static_cast<double>(spec.bytes);
   f.start = now_;
   f.last_deposit = now_;
   f.on_complete = std::move(on_complete);
+
+  // A severed path (device failure) fails the connection outright, before
+  // the probabilistic congestion model — and without an rng draw, so the
+  // no-fault stream of coin flips is untouched.
+  if (!routed) {
+    FlowRecord rec;
+    rec.id = id;
+    rec.src = spec.src;
+    rec.dst = spec.dst;
+    rec.bytes_requested = spec.bytes;
+    rec.bytes_sent = 0;
+    rec.start = now_;
+    rec.end = now_;
+    rec.failed = true;
+    rec.job = spec.job;
+    rec.phase = spec.phase;
+    rec.kind = spec.kind;
+    ++failed_;
+    ++fault_killed_;
+    if (config_.keep_records) records_.push_back(rec);
+    if (record_sink_) record_sink_(rec);
+    if (f.on_complete && now_ < config_.end_time) f.on_complete(*this, rec);
+    return id;
+  }
 
   // Connection-establishment failure: if the prospective fair share on the
   // bottleneck link is under the floor, the attempt may fail outright
@@ -419,6 +448,46 @@ void FlowSim::run() {
   drain_horizon();
   running_ = false;
   ran_ = true;
+}
+
+FlowSim::NetworkChangeStats FlowSim::handle_network_change() {
+  NetworkChangeStats stats;
+  if (net_ == nullptr || active_.empty()) return stats;
+
+  // Snapshot the ids first: killing a flow swap-removes from active_.
+  std::vector<std::int32_t> ids;
+  ids.reserve(active_.size());
+  for (const auto& f : active_) ids.push_back(f.id.value());
+
+  std::vector<LinkId> fresh;
+  for (std::int32_t id : ids) {
+    const std::ptrdiff_t slot = slot_of(id);
+    if (slot < 0) continue;
+    ActiveFlow& f = active_[static_cast<std::size_t>(slot)];
+    if (net_->path_alive(f.spec.src, f.spec.dst, f.path)) continue;
+    deposit(f, now_);  // account bytes moved on the old path up to the fault
+    if (net_->route_into(f.spec.src, f.spec.dst, fresh) && !fresh.empty()) {
+      for (LinkId l : f.path) --link_active_[static_cast<std::size_t>(l.value())];
+      f.path = fresh;
+      for (LinkId l : f.path) ++link_active_[static_cast<std::size_t>(l.value())];
+      // Invalidate completion events queued at the old rate; the next
+      // recompute reassigns a rate on the new path and re-arms them.
+      ++f.generation;
+      ++fault_rerouted_;
+      ++stats.flows_rerouted;
+    } else {
+      ++fault_killed_;
+      ++stats.flows_killed;
+      finalize_flow(static_cast<std::size_t>(slot), /*failed=*/true,
+                    /*truncated=*/false);
+    }
+  }
+
+  if (stats.flows_killed > 0 || stats.flows_rerouted > 0) {
+    dirty_ = true;
+    if (now_ < config_.end_time) schedule_recompute();
+  }
+  return stats;
 }
 
 void FlowSim::drain_horizon() {

@@ -34,6 +34,7 @@
 #include "common/rng.h"
 #include "common/timeseries.h"
 #include "common/units.h"
+#include "topology/network_state.h"
 #include "topology/topology.h"
 
 namespace dct {
@@ -141,6 +142,25 @@ class FlowSim {
   /// (in addition to, or instead of, the in-memory `records()` vector).
   void set_record_sink(RecordSink sink) { record_sink_ = std::move(sink); }
 
+  /// Installs a failure-aware routing overlay.  New flows route through it
+  /// (an unreachable destination fails the connection immediately), and
+  /// `handle_network_change()` re-validates in-flight flows against it.
+  /// While the overlay is fault-free the simulator behaves bit-identically
+  /// to having no overlay at all.  The pointer must outlive the simulator.
+  void set_network_state(const NetworkState* net) noexcept { net_ = net; }
+
+  /// Outcome of re-validating the active set after a fault or repair.
+  struct NetworkChangeStats {
+    std::int32_t flows_killed = 0;    ///< no surviving path: failed records
+    std::int32_t flows_rerouted = 0;  ///< moved onto a live alternate path
+  };
+
+  /// Re-checks every active flow against the installed NetworkState: flows
+  /// whose path died are rerouted when a live alternate exists (secondary
+  /// ToR uplinks) and killed as failed otherwise.  Call after every
+  /// NetworkState transition; a no-op without an overlay.
+  NetworkChangeStats handle_network_change();
+
   /// Runs until the event queue drains and no flows remain, or until the
   /// configured horizon, whichever is earlier.  Idempotent: returns
   /// immediately if already run.
@@ -167,6 +187,15 @@ class FlowSim {
   [[nodiscard]] std::size_t started_flow_count() const noexcept { return started_; }
   /// Number of flows killed by the stall detector.
   [[nodiscard]] std::size_t failed_flow_count() const noexcept { return failed_; }
+  /// Flows killed because a device failure severed their only path (a
+  /// subset of `failed_flow_count()`).
+  [[nodiscard]] std::size_t fault_killed_flow_count() const noexcept {
+    return fault_killed_;
+  }
+  /// Flows moved onto an alternate path after a device failure.
+  [[nodiscard]] std::size_t fault_rerouted_flow_count() const noexcept {
+    return fault_rerouted_;
+  }
   /// Count of max-min recomputations performed (performance introspection).
   [[nodiscard]] std::size_t recompute_count() const noexcept { return recomputes_; }
 
@@ -226,7 +255,10 @@ class FlowSim {
   std::vector<BinnedSeries> link_series_;
   std::size_t started_ = 0;
   std::size_t failed_ = 0;
+  std::size_t fault_killed_ = 0;
+  std::size_t fault_rerouted_ = 0;
   std::size_t recomputes_ = 0;
+  const NetworkState* net_ = nullptr;
 
   std::vector<std::int32_t> slot_by_flow_;  // flow id -> active_ slot, -1 if gone
   std::vector<std::int32_t> link_active_;   // active flows per link (connect model)

@@ -1,0 +1,186 @@
+#include "topology/network_state.h"
+
+#include "common/require.h"
+
+namespace dct {
+
+NetworkState::NetworkState(const Topology& topo) : topo_(topo) {
+  link_up_.assign(static_cast<std::size_t>(topo.link_count()), 1);
+  server_up_.assign(static_cast<std::size_t>(topo.server_count()), 1);
+  tor_up_.assign(static_cast<std::size_t>(topo.rack_count()), 1);
+  agg_up_.assign(static_cast<std::size_t>(topo.agg_count()), 1);
+}
+
+bool NetworkState::link_up(LinkId l) const {
+  require(l.valid() && l.value() < topo_.link_count(), "link_up: id out of range");
+  return link_up_[static_cast<std::size_t>(l.value())] != 0;
+}
+bool NetworkState::server_up(ServerId s) const {
+  require(s.valid() && s.value() < topo_.server_count(), "server_up: id out of range");
+  return server_up_[static_cast<std::size_t>(s.value())] != 0;
+}
+bool NetworkState::tor_up(RackId r) const {
+  require(r.valid() && r.value() < topo_.rack_count(), "tor_up: id out of range");
+  return tor_up_[static_cast<std::size_t>(r.value())] != 0;
+}
+bool NetworkState::agg_up(std::int32_t agg) const {
+  require(agg >= 0 && agg < topo_.agg_count(), "agg_up: id out of range");
+  return agg_up_[static_cast<std::size_t>(agg)] != 0;
+}
+
+void NetworkState::mark(std::vector<std::uint8_t>& v, std::size_t i, bool up) {
+  if (static_cast<bool>(v[i]) == up) return;  // idempotent: repeats are no-ops
+  v[i] = up ? 1 : 0;
+  down_count_ += up ? -1 : 1;
+}
+
+void NetworkState::set_link_up(LinkId l, bool up) {
+  require(l.valid() && l.value() < topo_.link_count(), "set_link_up: id out of range");
+  mark(link_up_, static_cast<std::size_t>(l.value()), up);
+}
+void NetworkState::set_server_up(ServerId s, bool up) {
+  require(s.valid() && s.value() < topo_.server_count(),
+          "set_server_up: id out of range");
+  mark(server_up_, static_cast<std::size_t>(s.value()), up);
+}
+void NetworkState::set_tor_up(RackId r, bool up) {
+  require(r.valid() && r.value() < topo_.rack_count(), "set_tor_up: id out of range");
+  mark(tor_up_, static_cast<std::size_t>(r.value()), up);
+}
+void NetworkState::set_agg_up(std::int32_t agg, bool up) {
+  require(agg >= 0 && agg < topo_.agg_count(), "set_agg_up: id out of range");
+  mark(agg_up_, static_cast<std::size_t>(agg), up);
+}
+
+std::size_t NetworkState::uplink_choices(RackId r, bool upward,
+                                         UplinkChoice out[2]) const {
+  std::size_t n = 0;
+  if (!tor_up(r)) return 0;
+  const std::int32_t primary = topo_.agg_of(r);
+  const LinkId pl = upward ? topo_.tor_up_link(r) : topo_.tor_down_link(r);
+  if (agg_up(primary) && link_up(pl)) out[n++] = UplinkChoice{pl, primary};
+  if (topo_.has_redundant_uplinks()) {
+    const std::int32_t backup = topo_.backup_agg_of(r);
+    const LinkId bl = upward ? topo_.tor_up2_link(r) : topo_.tor_down2_link(r);
+    if (agg_up(backup) && link_up(bl)) out[n++] = UplinkChoice{bl, backup};
+  }
+  return n;
+}
+
+bool NetworkState::link_usable(LinkId l) const {
+  if (!link_up(l)) return false;
+  const Link& link = topo_.link(l);
+  switch (link.kind) {
+    case LinkKind::kServerUp:
+    case LinkKind::kServerDown:
+      return tor_up(topo_.rack_of(ServerId{link.entity}));
+    case LinkKind::kTorUp: {
+      const RackId r{link.entity};
+      if (!tor_up(r)) return false;
+      const bool primary = l == topo_.tor_up_link(r);
+      return agg_up(primary ? topo_.agg_of(r) : topo_.backup_agg_of(r));
+    }
+    case LinkKind::kTorDown: {
+      const RackId r{link.entity};
+      if (!tor_up(r)) return false;
+      const bool primary = l == topo_.tor_down_link(r);
+      return agg_up(primary ? topo_.agg_of(r) : topo_.backup_agg_of(r));
+    }
+    case LinkKind::kAggUp:
+    case LinkKind::kAggDown:
+      return agg_up(link.entity);
+    case LinkKind::kExternalUp:
+    case LinkKind::kExternalDown:
+      return true;  // attaches straight to the (immortal) core router
+  }
+  return false;
+}
+
+bool NetworkState::path_alive(ServerId src, ServerId dst,
+                              const std::vector<LinkId>& path) const {
+  if (fault_free()) return true;
+  if (!server_up(src) || !server_up(dst)) return false;
+  for (LinkId l : path) {
+    if (!link_usable(l)) return false;
+  }
+  return true;
+}
+
+bool NetworkState::route_into(ServerId src, ServerId dst,
+                              std::vector<LinkId>& out) const {
+  if (fault_free()) {
+    // Bit-identical to the immutable topology while everything is healthy.
+    topo_.route_into(src, dst, out);
+    return true;
+  }
+  out.clear();
+  require(src.valid() && src.value() < topo_.server_count(), "route: src out of range");
+  require(dst.valid() && dst.value() < topo_.server_count(), "route: dst out of range");
+  if (!server_up(src) || !server_up(dst)) return false;
+  if (src == dst) return true;  // loopback: never touches the network
+
+  const bool src_ext = topo_.is_external(src);
+  const bool dst_ext = topo_.is_external(dst);
+  const LinkId src_up = topo_.server_up_link(src);
+  const LinkId dst_down = topo_.server_down_link(dst);
+  if (!link_up(src_up) || !link_up(dst_down)) return false;
+  if (!src_ext && !tor_up(topo_.rack_of(src))) return false;
+  if (!dst_ext && !tor_up(topo_.rack_of(dst))) return false;
+
+  if (!src_ext && !dst_ext && topo_.same_rack(src, dst)) {
+    out.push_back(src_up);  // rack-local: through the (live) ToR only
+    out.push_back(dst_down);
+    return true;
+  }
+
+  // A fault elsewhere in the fabric must not move traffic it does not
+  // touch: keep the exact fault-free path whenever every hop survived.
+  topo_.route_into(src, dst, out);
+  bool primary_alive = true;
+  for (LinkId l : out) {
+    if (!link_usable(l)) {
+      primary_alive = false;
+      break;
+    }
+  }
+  if (primary_alive) return true;
+  out.clear();
+
+  UplinkChoice su[2], du[2];
+  const std::size_t ns = src_ext ? 1 : uplink_choices(topo_.rack_of(src), true, su);
+  const std::size_t nd = dst_ext ? 1 : uplink_choices(topo_.rack_of(dst), false, du);
+  if (ns == 0 || nd == 0) return false;
+
+  // Pass 0 keeps the flow inside one aggregation switch (no core hops);
+  // pass 1 crosses the core.  Within a pass the primary uplink is tried
+  // before the backup, so an untouched flow keeps its fault-free path.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < ns; ++i) {
+      for (std::size_t j = 0; j < nd; ++j) {
+        const bool same_agg = !src_ext && !dst_ext && su[i].agg == du[j].agg;
+        if (same_agg != (pass == 0)) continue;
+        if (!same_agg) {
+          if (!src_ext && !link_up(topo_.agg_up_link(su[i].agg))) continue;
+          if (!dst_ext && !link_up(topo_.agg_down_link(du[j].agg))) continue;
+        }
+        out.push_back(src_up);
+        if (!src_ext) out.push_back(su[i].tor_link);
+        if (!same_agg) {
+          if (!src_ext) out.push_back(topo_.agg_up_link(su[i].agg));
+          if (!dst_ext) out.push_back(topo_.agg_down_link(du[j].agg));
+        }
+        if (!dst_ext) out.push_back(du[j].tor_link);
+        out.push_back(dst_down);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool NetworkState::reachable(ServerId src, ServerId dst) const {
+  std::vector<LinkId> scratch;
+  return route_into(src, dst, scratch);
+}
+
+}  // namespace dct

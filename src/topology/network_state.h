@@ -1,0 +1,92 @@
+// Dynamic up/down overlay on an immutable Topology.
+//
+// `Topology` stays a pure value: it owns the wiring and answers fault-free
+// routing.  `NetworkState` layers the *operational* state on top — which
+// links, servers, ToRs and aggregation switches are currently up — and
+// answers the failure-aware questions the fault-injection subsystem needs:
+// is this path still alive, is that server reachable, and what alternate
+// route survives (exploiting the secondary ToR uplinks of a topology built
+// with `redundant_tor_uplinks`)?
+//
+// The healthy case is free: while nothing is down, `fault_free()` is true
+// and `route_into` forwards to `Topology::route_into`, so a simulator that
+// always consults a NetworkState pays nothing until the first fault lands.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/topology.h"
+
+namespace dct {
+
+/// Mutable link/device liveness over a const Topology.
+class NetworkState {
+ public:
+  explicit NetworkState(const Topology& topo);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+  /// True while every link and device is up (the fast path).
+  [[nodiscard]] bool fault_free() const noexcept { return down_count_ == 0; }
+
+  // --- Liveness queries -----------------------------------------------------
+  [[nodiscard]] bool link_up(LinkId l) const;
+  [[nodiscard]] bool server_up(ServerId s) const;
+  [[nodiscard]] bool tor_up(RackId r) const;
+  [[nodiscard]] bool agg_up(std::int32_t agg) const;
+
+  // --- State transitions (idempotent) ---------------------------------------
+  void set_link_up(LinkId l, bool up);
+  /// A server crash/repair.  Downing a server does not down its access link;
+  /// routing treats a down endpoint as unreachable regardless.
+  void set_server_up(ServerId s, bool up);
+  /// A ToR crash/repair takes the whole rack off the network (every
+  /// server behind it becomes unreachable; the servers keep running).
+  void set_tor_up(RackId r, bool up);
+  /// An aggregation-switch crash/repair.  With redundant uplinks the racks
+  /// it serves reroute through their backup aggregation switch.
+  void set_agg_up(std::int32_t agg, bool up);
+
+  // --- Failure-aware routing ------------------------------------------------
+  /// True when the link itself and both switches it attaches to are up (a
+  /// ToR crash makes its server and uplink links unusable without marking
+  /// them down individually).  The core router never fails.
+  [[nodiscard]] bool link_usable(LinkId l) const;
+
+  /// True when both endpoints are up and every link of `path` is usable —
+  /// the liveness check the flow simulator runs over in-flight flows after
+  /// a network change.
+  [[nodiscard]] bool path_alive(ServerId src, ServerId dst,
+                                const std::vector<LinkId>& path) const;
+
+  /// True when a live path from `src` to `dst` exists right now.
+  [[nodiscard]] bool reachable(ServerId src, ServerId dst) const;
+
+  /// Computes the live route from `src` to `dst` into `out` (cleared first).
+  /// Prefers the fault-free primary path; falls back to secondary ToR
+  /// uplinks when the topology has them.  Returns false (out left empty)
+  /// when no live path exists.  src == dst is the loopback: empty path,
+  /// returns true iff the server is up.
+  bool route_into(ServerId src, ServerId dst, std::vector<LinkId>& out) const;
+
+ private:
+  struct UplinkChoice {
+    LinkId tor_link;      // ToR<->agg hop (invalid for external servers)
+    std::int32_t agg = -1;
+  };
+  /// Live (ToR link, agg) choices for a rack, primary first.
+  [[nodiscard]] std::size_t uplink_choices(RackId r, bool upward,
+                                           UplinkChoice out[2]) const;
+  void mark(std::vector<std::uint8_t>& v, std::size_t i, bool up);
+
+  const Topology& topo_;
+  std::vector<std::uint8_t> link_up_;
+  std::vector<std::uint8_t> server_up_;
+  std::vector<std::uint8_t> tor_up_;
+  std::vector<std::uint8_t> agg_up_;
+  std::int64_t down_count_ = 0;  // total down entities across all four maps
+};
+
+}  // namespace dct

@@ -16,6 +16,8 @@ void TopologyConfig::validate() const {
   require(tor_uplink_capacity > 0, "TopologyConfig: ToR uplink capacity must be > 0");
   require(agg_uplink_capacity > 0, "TopologyConfig: agg uplink capacity must be > 0");
   require(external_link_capacity > 0, "TopologyConfig: external link capacity must be > 0");
+  require(!redundant_tor_uplinks || agg_switches >= 2,
+          "TopologyConfig: redundant ToR uplinks need at least two aggregation switches");
 }
 
 std::string_view to_string(LinkKind kind) {
@@ -92,6 +94,18 @@ Topology::Topology(TopologyConfig config) : config_(config) {
     agg_down_[static_cast<std::size_t>(a)] =
         add_link(LinkKind::kAggDown, config_.agg_uplink_capacity, a);
   }
+  // Secondary ToR <-> backup-agg links, appended *after* every primary link
+  // so enabling redundancy never renumbers the primary link ids.
+  if (has_redundant_uplinks()) {
+    tor_up2_.resize(n_racks);
+    tor_down2_.resize(n_racks);
+    for (std::int32_t r = 0; r < config_.racks; ++r) {
+      tor_up2_[static_cast<std::size_t>(r)] =
+          add_link(LinkKind::kTorUp, config_.tor_uplink_capacity, r);
+      tor_down2_[static_cast<std::size_t>(r)] =
+          add_link(LinkKind::kTorDown, config_.tor_uplink_capacity, r);
+    }
+  }
 }
 
 std::int32_t Topology::server_count() const noexcept { return config_.total_servers(); }
@@ -129,6 +143,10 @@ std::int32_t Topology::agg_of(RackId r) const {
   // switch, mirroring the paper's note that placement prefers same-VLAN
   // before crossing higher tiers.
   return vlan_of(r).value() % config_.agg_switches;
+}
+
+std::int32_t Topology::backup_agg_of(RackId r) const {
+  return (agg_of(r) + 1) % config_.agg_switches;
 }
 
 bool Topology::same_rack(ServerId a, ServerId b) const {
@@ -206,6 +224,16 @@ LinkId Topology::tor_up_link(RackId r) const {
 LinkId Topology::tor_down_link(RackId r) const {
   require(r.valid() && r.value() < rack_count(), "tor_down_link: out of range");
   return tor_down_[static_cast<std::size_t>(r.value())];
+}
+LinkId Topology::tor_up2_link(RackId r) const {
+  require(has_redundant_uplinks(), "tor_up2_link: topology has no redundant uplinks");
+  require(r.valid() && r.value() < rack_count(), "tor_up2_link: out of range");
+  return tor_up2_[static_cast<std::size_t>(r.value())];
+}
+LinkId Topology::tor_down2_link(RackId r) const {
+  require(has_redundant_uplinks(), "tor_down2_link: topology has no redundant uplinks");
+  require(r.valid() && r.value() < rack_count(), "tor_down2_link: out of range");
+  return tor_down2_[static_cast<std::size_t>(r.value())];
 }
 LinkId Topology::agg_up_link(std::int32_t agg) const {
   require(agg >= 0 && agg < agg_count(), "agg_up_link: out of range");

@@ -31,6 +31,15 @@ struct TopologyConfig {
   std::int32_t agg_switches = 2;        ///< high-degree aggregation switches
   std::int32_t external_servers = 10;   ///< ingest/egress nodes off the core
 
+  /// Dual-homes every ToR: besides its primary aggregation switch, each rack
+  /// gets a secondary uplink/downlink pair to a backup aggregation switch
+  /// ((agg_of + 1) mod agg_switches).  The secondary links carry no traffic
+  /// while the primary path is healthy — they exist so failure-aware routing
+  /// (NetworkState) can exploit the paper's VLAN/agg redundancy when a ToR
+  /// uplink flaps or an aggregation switch crashes.  Requires agg_switches
+  /// >= 2.  Default off: the seed topology is unchanged.
+  bool redundant_tor_uplinks = false;
+
   /// Defaults give the oversubscribed tree typical of 2009-era mining
   /// clusters: 20 x 1 Gbps servers behind a 2 Gbps ToR uplink (10:1), and
   /// VLAN-grouped ToRs sharing 10 Gbps aggregation uplinks.
@@ -105,6 +114,9 @@ class Topology {
   [[nodiscard]] VlanId vlan_of(RackId r) const;
   /// Aggregation switch serving a rack's ToR.
   [[nodiscard]] std::int32_t agg_of(RackId r) const;
+  /// Backup aggregation switch of a rack's ToR (only meaningful when
+  /// `has_redundant_uplinks()`); always differs from `agg_of(r)`.
+  [[nodiscard]] std::int32_t backup_agg_of(RackId r) const;
   [[nodiscard]] bool same_rack(ServerId a, ServerId b) const;
   [[nodiscard]] bool same_vlan(ServerId a, ServerId b) const;
   /// All internal servers in a rack, in id order.
@@ -136,6 +148,15 @@ class Topology {
   [[nodiscard]] LinkId agg_up_link(std::int32_t agg) const;
   [[nodiscard]] LinkId agg_down_link(std::int32_t agg) const;
 
+  /// True when the topology was built with redundant ToR uplinks.
+  [[nodiscard]] bool has_redundant_uplinks() const noexcept {
+    return config_.redundant_tor_uplinks && config_.agg_switches >= 2;
+  }
+  /// Secondary ToR -> backup-agg uplink; requires has_redundant_uplinks().
+  [[nodiscard]] LinkId tor_up2_link(RackId r) const;
+  /// Backup-agg -> ToR downlink; requires has_redundant_uplinks().
+  [[nodiscard]] LinkId tor_down2_link(RackId r) const;
+
   /// Full-duplex bisection bandwidth through the aggregation tier, the
   /// normalization Fig. 10's aggregate-rate plot refers to.
   [[nodiscard]] BytesPerSec bisection_bandwidth() const;
@@ -151,6 +172,8 @@ class Topology {
   std::vector<LinkId> tor_down_;
   std::vector<LinkId> agg_up_;
   std::vector<LinkId> agg_down_;
+  std::vector<LinkId> tor_up2_;    // empty unless redundant_tor_uplinks
+  std::vector<LinkId> tor_down2_;  // empty unless redundant_tor_uplinks
 };
 
 }  // namespace dct

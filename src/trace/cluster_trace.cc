@@ -18,6 +18,16 @@ std::string_view to_string(PhaseKind kind) {
   return "unknown";
 }
 
+std::string_view to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kServer: return "server";
+    case DeviceKind::kTor: return "tor";
+    case DeviceKind::kAgg: return "agg";
+    case DeviceKind::kLink: return "link";
+  }
+  return "unknown";
+}
+
 ClusterTrace::ClusterTrace(std::int32_t server_count, TimeSec duration)
     : duration_(duration) {
   require(server_count >= 1, "ClusterTrace: need at least one server");

@@ -42,6 +42,9 @@ class ClusterTrace {
   void record_phase(const PhaseLogRecord& rec) { phases_.push_back(rec); }
   void record_read_failure(const ReadFailureRecord& rec) { read_failures_.push_back(rec); }
   void record_evacuation(const EvacuationRecord& rec) { evacuations_.push_back(rec); }
+  void record_device_failure(const DeviceFailureRecord& rec) {
+    device_failures_.push_back(rec);
+  }
 
   // --- Metadata -------------------------------------------------------------
   [[nodiscard]] std::int32_t server_count() const noexcept {
@@ -74,6 +77,9 @@ class ClusterTrace {
   [[nodiscard]] const std::vector<EvacuationRecord>& evacuations() const noexcept {
     return evacuations_;
   }
+  [[nodiscard]] const std::vector<DeviceFailureRecord>& device_failures() const noexcept {
+    return device_failures_;
+  }
 
   /// Looks up the phase-kind of a phase id (the app-log join that lets
   /// analysis attribute flows to map/reduce activity).  Empty when the
@@ -94,6 +100,7 @@ class ClusterTrace {
   std::vector<PhaseLogRecord> phases_;
   std::vector<ReadFailureRecord> read_failures_;
   std::vector<EvacuationRecord> evacuations_;
+  std::vector<DeviceFailureRecord> device_failures_;
   std::vector<std::int32_t> phase_kind_index_;  // PhaseId -> PhaseKind ordinal, -1 unset
 };
 

@@ -54,7 +54,20 @@ namespace {
 
 constexpr std::uint8_t kLogMagic = 0xD7;
 constexpr std::uint8_t kTraceMagic = 0xDC;
+// Version 1: socket logs + job/phase/read-failure/evacuation sections.
+// Version 2: appends a device-failure section.  The encoder emits version 1
+// whenever that section is empty, so fault-free traces stay bit-identical
+// to pre-fault-subsystem encodings.
 constexpr std::uint8_t kTraceVersion = 1;
+constexpr std::uint8_t kTraceVersionFailures = 2;
+
+// A corrupt count field must not drive a multi-gigabyte reserve() or a
+// billion-iteration decode loop.  Every record of every section costs at
+// least one byte on the wire, so a claimed count larger than the bytes
+// left is malformed input, not a short read.
+void check_count(std::uint64_t n, std::size_t remaining, const char* what) {
+  require(n <= remaining, what);
+}
 
 // Packs the three flags + direction + kind into one byte.
 std::uint8_t pack_flags(const SocketFlowLog& f) {
@@ -111,6 +124,7 @@ ServerLog decode_server_log(std::span<const std::uint8_t> data) {
   ServerLog log;
   log.server = ServerId{static_cast<std::int32_t>(r.svarint())};
   const std::uint64_t n = r.uvarint();
+  check_count(n, r.remaining(), "decode_server_log: flow count exceeds payload");
   log.flows.reserve(n);
   std::int64_t prev_end = 0;
   std::int64_t prev_flow = 0;
@@ -145,8 +159,9 @@ std::size_t raw_encoding_size(const ServerLog& log) noexcept {
 
 std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
   ByteWriter w;
+  const bool has_failures = !trace.device_failures().empty();
   w.u8(kTraceMagic);
-  w.u8(kTraceVersion);
+  w.u8(has_failures ? kTraceVersionFailures : kTraceVersion);
   w.svarint(trace.server_count());
   w.time_us(trace.duration());
 
@@ -194,14 +209,30 @@ std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
     w.uvarint(static_cast<std::uint64_t>(e.bytes_moved));
     w.svarint(e.blocks_moved);
   }
+  if (has_failures) {
+    w.uvarint(trace.device_failures().size());
+    for (const DeviceFailureRecord& d : trace.device_failures()) {
+      w.time_us(d.start);
+      w.time_us(d.end);
+      w.u8(static_cast<std::uint8_t>(d.device));
+      w.svarint(d.entity);
+      w.svarint(d.flows_killed);
+      w.svarint(d.flows_rerouted);
+    }
+  }
   return w.take();
 }
 
 ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   require(r.u8() == kTraceMagic, "decode_trace: bad magic");
-  require(r.u8() == kTraceVersion, "decode_trace: unsupported version");
+  const std::uint8_t version = r.u8();
+  require(version == kTraceVersion || version == kTraceVersionFailures,
+          "decode_trace: unsupported version");
   const auto servers = static_cast<std::int32_t>(r.svarint());
+  require(servers >= 0, "decode_trace: negative server count");
+  check_count(static_cast<std::uint64_t>(servers), r.remaining(),
+              "decode_trace: server count exceeds payload");
   const TimeSec duration = r.time_us();
   ClusterTrace trace(servers, duration);
 
@@ -234,6 +265,7 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
   }
 
   const std::uint64_t n_jobs = r.uvarint();
+  check_count(n_jobs, r.remaining(), "decode_trace: job count exceeds payload");
   for (std::uint64_t i = 0; i < n_jobs; ++i) {
     JobLogRecord j;
     j.job = JobId{static_cast<std::int32_t>(r.svarint())};
@@ -248,6 +280,7 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
     trace.record_job(j);
   }
   const std::uint64_t n_phases = r.uvarint();
+  check_count(n_phases, r.remaining(), "decode_trace: phase count exceeds payload");
   for (std::uint64_t i = 0; i < n_phases; ++i) {
     PhaseLogRecord p;
     p.job = JobId{static_cast<std::int32_t>(r.svarint())};
@@ -261,6 +294,7 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
     trace.record_phase(p);
   }
   const std::uint64_t n_rf = r.uvarint();
+  check_count(n_rf, r.remaining(), "decode_trace: read-failure count exceeds payload");
   for (std::uint64_t i = 0; i < n_rf; ++i) {
     ReadFailureRecord rf;
     rf.time = r.time_us();
@@ -272,6 +306,7 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
     trace.record_read_failure(rf);
   }
   const std::uint64_t n_ev = r.uvarint();
+  check_count(n_ev, r.remaining(), "decode_trace: evacuation count exceeds payload");
   for (std::uint64_t i = 0; i < n_ev; ++i) {
     EvacuationRecord e;
     e.start = r.time_us();
@@ -280,6 +315,24 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
     e.bytes_moved = static_cast<Bytes>(r.uvarint());
     e.blocks_moved = static_cast<std::int32_t>(r.svarint());
     trace.record_evacuation(e);
+  }
+  if (version >= kTraceVersionFailures) {
+    const std::uint64_t n_df = r.uvarint();
+    check_count(n_df, r.remaining(),
+                "decode_trace: device-failure count exceeds payload");
+    for (std::uint64_t i = 0; i < n_df; ++i) {
+      DeviceFailureRecord d;
+      d.start = r.time_us();
+      d.end = r.time_us();
+      const std::uint8_t kind = r.u8();
+      require(kind <= static_cast<std::uint8_t>(DeviceKind::kLink),
+              "decode_trace: bad device kind");
+      d.device = static_cast<DeviceKind>(kind);
+      d.entity = static_cast<std::int32_t>(r.svarint());
+      d.flows_killed = static_cast<std::int32_t>(r.svarint());
+      d.flows_rerouted = static_cast<std::int32_t>(r.svarint());
+      trace.record_device_failure(d);
+    }
   }
   trace.build_indices();
   return trace;

@@ -98,4 +98,27 @@ struct EvacuationRecord {
   std::int32_t blocks_moved = 0;
 };
 
+/// Which piece of infrastructure a DeviceFailureRecord refers to.
+enum class DeviceKind : std::uint8_t {
+  kServer,  ///< a racked (or external) server crashed
+  kTor,     ///< a top-of-rack switch crashed (whole rack off the network)
+  kAgg,     ///< an aggregation switch crashed
+  kLink     ///< a single link flapped
+};
+
+[[nodiscard]] std::string_view to_string(DeviceKind kind);
+
+/// Application log: one injected device failure epoch, as the management
+/// system's incident log would record it.  `start`..`end` is the outage
+/// (end is the scheduled repair time); the kill/reroute counts capture the
+/// immediate blast radius observed by the flow simulator at `start`.
+struct DeviceFailureRecord {
+  TimeSec start = 0;
+  TimeSec end = 0;                    ///< repair time
+  DeviceKind device = DeviceKind::kServer;
+  std::int32_t entity = -1;           ///< server/rack/agg/link id per `device`
+  std::int32_t flows_killed = 0;      ///< in-flight flows with no surviving path
+  std::int32_t flows_rerouted = 0;    ///< in-flight flows moved to a backup path
+};
+
 }  // namespace dct

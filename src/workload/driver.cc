@@ -26,6 +26,10 @@ void WorkloadConfig::validate() const {
   require(vertex_startup_min >= 0 && vertex_startup_max >= vertex_startup_min,
           "WorkloadConfig: bad vertex startup range");
   require(max_read_retries >= 0, "WorkloadConfig: max_read_retries must be >= 0");
+  require(read_retry_base_backoff > 0,
+          "WorkloadConfig: read_retry_base_backoff must be > 0");
+  require(read_retry_max_backoff >= read_retry_base_backoff,
+          "WorkloadConfig: read_retry_max_backoff must be >= the base backoff");
   require(aggregate_home_bias >= 0 && aggregate_home_bias <= 1,
           "WorkloadConfig: aggregate_home_bias must be in [0,1]");
   require(initial_datasets >= 1, "WorkloadConfig: need at least one initial dataset");
@@ -65,6 +69,11 @@ struct WorkloadDriver::JobExec {
     Bytes bytes_read = 0;
     Bytes map_output = 0;
     bool closed = false;  ///< core released & pending decremented
+    bool has_core = false;
+    /// Bumped when the vertex is re-executed after a server crash; every
+    /// queued callback captures the epoch it was created under and no-ops
+    /// when it no longer matches.
+    std::uint32_t epoch = 0;
   };
   std::vector<ExtractVertex> extracts;
   std::size_t extracts_pending = 0;
@@ -80,6 +89,8 @@ struct WorkloadDriver::JobExec {
     Bytes bytes_fetched = 0;
     bool in_combine = false;   ///< currently reading the second input
     bool closed = false;       ///< core released & pending decremented
+    bool has_core = false;
+    std::uint32_t epoch = 0;   ///< see ExtractVertex::epoch
   };
   std::vector<AggVertex> aggs;
   std::size_t aggs_pending = 0;
@@ -106,6 +117,7 @@ WorkloadDriver::WorkloadDriver(const Topology& topo, FlowSim& sim, ClusterTrace&
       store_(topo, BlockStoreConfig{}, rng_.fork(1)),
       resources_(topo, config.cores_per_server),
       placer_(topo, resources_, rng_.fork(2), config.locality_enabled),
+      server_down_(static_cast<std::size_t>(topo.server_count()), 0),
       core_waiters_(static_cast<std::size_t>(topo.server_count())) {
   config_.validate();
 }
@@ -128,6 +140,40 @@ TimeSec WorkloadDriver::compute_delay(Bytes bytes) {
   // +-20% jitter around bytes / per-core rate.
   const double base = static_cast<double>(bytes) / config_.compute_rate;
   return base * rng_.uniform(0.8, 1.2);
+}
+
+TimeSec WorkloadDriver::retry_backoff(std::int32_t attempt) {
+  // min(max, base * 2^(attempt-1)) scaled by U[0.5, 1.5) jitter — exactly
+  // one rng draw, like the fixed gap it replaced.
+  const double doubled =
+      config_.read_retry_base_backoff * std::ldexp(1.0, std::min(attempt - 1, 30));
+  const double capped = std::min<double>(config_.read_retry_max_backoff, doubled);
+  return capped * rng_.uniform(0.5, 1.5);
+}
+
+bool WorkloadDriver::is_server_down(ServerId s) const {
+  return server_down_[static_cast<std::size_t>(s.value())] != 0;
+}
+
+ServerId WorkloadDriver::ensure_up(ServerId s) {
+  if (!is_server_down(s)) return s;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const PlacementDecision d = placer_.place_anywhere();
+    if (!is_server_down(d.server)) return d.server;
+  }
+  for (std::int32_t i = 0; i < topo_.internal_server_count(); ++i) {
+    if (server_down_[static_cast<std::size_t>(i)] == 0) return ServerId{i};
+  }
+  return s;  // the whole cluster is down; nothing better to offer
+}
+
+ServerId WorkloadDriver::pick_live_replica(BlockId block, ServerId near) {
+  const ServerId closest = store_.closest_replica(block, near);
+  if (!is_server_down(closest)) return closest;
+  for (ServerId r : store_.block(block).replicas) {
+    if (!is_server_down(r)) return r;
+  }
+  return closest;  // every holder is down: the read will fail and retry
 }
 
 void WorkloadDriver::acquire_core(ServerId server, std::function<void()> fn) {
@@ -153,7 +199,10 @@ bool WorkloadDriver::close_extract_vertex(JobExec& job, std::size_t vertex_index
   auto& v = job.extracts[vertex_index];
   if (v.closed) return false;
   v.closed = true;
-  release_core(v.server);
+  if (v.has_core) {
+    v.has_core = false;
+    release_core(v.server);
+  }
   --job.extracts_pending;
   return true;
 }
@@ -162,7 +211,10 @@ bool WorkloadDriver::close_agg_vertex(JobExec& job, std::size_t vertex_index) {
   auto& v = job.aggs[vertex_index];
   if (v.closed) return false;
   v.closed = true;
-  release_core(v.server);
+  if (v.has_core) {
+    v.has_core = false;
+    release_core(v.server);
+  }
   --job.aggs_pending;
   return true;
 }
@@ -368,11 +420,20 @@ void WorkloadDriver::launch_extract_vertex(JobExec& job, std::size_t vertex_inde
   }
   const PlacementDecision d = placer_.place_near(home);
   ++stats_.placement_tier[std::clamp(d.tier, 0, 3)];
-  v.server = d.server;
+  v.server = ensure_up(d.server);
 
   JobExec* jp = &job;
-  acquire_core(v.server, [this, jp, vertex_index] {
+  const std::uint32_t ep = v.epoch;
+  const ServerId srv = v.server;
+  acquire_core(srv, [this, jp, vertex_index, ep, srv] {
     auto& vertex = jp->extracts[vertex_index];
+    if (vertex.epoch != ep) {
+      // Granted to a stale incarnation (the vertex was re-executed elsewhere
+      // while this waited in the core queue): hand the core straight back.
+      release_core(srv);
+      return;
+    }
+    vertex.has_core = true;
     if (jp->failed || horizon_reached()) {
       close_extract_vertex(*jp, vertex_index);
       return;
@@ -382,7 +443,8 @@ void WorkloadDriver::launch_extract_vertex(JobExec& job, std::size_t vertex_inde
       close_extract_vertex(*jp, vertex_index);
       return;
     }
-    sim_.at(t, [this, jp, vertex_index](FlowSim&) {
+    sim_.at(t, [this, jp, vertex_index, ep](FlowSim&) {
+      if (jp->extracts[vertex_index].epoch != ep) return;
       control_flow(jp->manager, jp->extracts[vertex_index].server, jp->spec.id,
                    jp->extract_phase);
       extract_read_next(*jp, vertex_index);
@@ -402,8 +464,9 @@ void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
   }
   const BlockId bid = v.blocks[v.next_block];
   const Block& blk = store_.block(bid);
-  const ServerId replica = store_.closest_replica(bid, v.server);
+  const ServerId replica = pick_live_replica(bid, v.server);
   JobExec* jp = &job;
+  const std::uint32_t ep = v.epoch;
 
   if (replica == v.server) {
     // Local read: disk + pipelined extract/partition compute; no socket.
@@ -417,7 +480,8 @@ void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
       close_extract_vertex(job, vertex_index);
       return;
     }
-    sim_.at(done, [this, jp, vertex_index](FlowSim&) {
+    sim_.at(done, [this, jp, vertex_index, ep](FlowSim&) {
+      if (jp->extracts[vertex_index].epoch != ep) return;
       extract_read_next(*jp, vertex_index);
     });
     return;
@@ -432,8 +496,10 @@ void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
   fs.job = job.spec.id;
   fs.phase = job.extract_phase;
   fs.kind = FlowKind::kBlockRead;
-  sim_.start_flow(fs, [this, jp, vertex_index, replica](FlowSim&, const FlowRecord& rec) {
+  sim_.start_flow(fs, [this, jp, vertex_index, replica,
+                       ep](FlowSim&, const FlowRecord& rec) {
     auto& vertex = jp->extracts[vertex_index];
+    if (vertex.epoch != ep) return;  // vertex re-executed after a crash
     if (jp->failed || horizon_reached()) {
       close_extract_vertex(*jp, vertex_index);
       return;
@@ -451,14 +517,16 @@ void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
       rf.fatal = vertex.retries_left == 0;
       trace_.record_read_failure(rf);
       if (vertex.retries_left-- > 0) {
-        // Back off briefly and retry (the replica choice re-runs and may
-        // select a different holder if the load changed).
-        const TimeSec t = sim_.now() + rng_.uniform(0.5, 2.0);
+        // Back off and retry (the replica choice re-runs and may select a
+        // different holder if the load changed or a server crashed).
+        const TimeSec t =
+            sim_.now() + retry_backoff(config_.max_read_retries - vertex.retries_left);
         if (t >= sim_.config().end_time) {
           close_extract_vertex(*jp, vertex_index);
           return;
         }
-        sim_.at(t, [this, jp, vertex_index](FlowSim&) {
+        sim_.at(t, [this, jp, vertex_index, ep](FlowSim&) {
+          if (jp->extracts[vertex_index].epoch != ep) return;
           extract_read_next(*jp, vertex_index);
         });
       } else {
@@ -474,7 +542,8 @@ void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
       close_extract_vertex(*jp, vertex_index);
       return;
     }
-    sim_.at(done, [this, jp, vertex_index](FlowSim&) {
+    sim_.at(done, [this, jp, vertex_index, ep](FlowSim&) {
+      if (jp->extracts[vertex_index].epoch != ep) return;
       extract_read_next(*jp, vertex_index);
     });
   });
@@ -513,7 +582,8 @@ void WorkloadDriver::start_aggregate_phase(JobExec& job) {
   const Dataset& in = store_.dataset(job.spec.input);
 
   job.aggs.resize(static_cast<std::size_t>(r_count));
-  for (auto& agg : job.aggs) {
+  for (std::size_t vi = 0; vi < job.aggs.size(); ++vi) {
+    auto& agg = job.aggs[vi];
     // Placement: mostly near the job's home region (work-seeks-bandwidth),
     // sometimes spread across the cluster (scatter-gather).
     PlacementDecision d{};
@@ -536,27 +606,9 @@ void WorkloadDriver::start_aggregate_phase(JobExec& job) {
       d = placer_.place_anywhere();
     }
     ++stats_.placement_tier[std::clamp(d.tier, 0, 3)];
-    agg.server = d.server;
+    agg.server = ensure_up(d.server);
     agg.retries_left = config_.max_read_retries;
-
-    // Each reducer pulls 1/R of every map vertex's output.
-    for (const auto& ev : job.extracts) {
-      if (ev.map_output <= 0) continue;
-      Bytes part = std::max<Bytes>(ev.map_output / r_count, 512);
-      const Bytes chunk = config_.chunked_transfers ? store_.config().block_size : part;
-      Bytes remaining = part;
-      while (remaining > 0) {
-        const Bytes piece = std::min(remaining, std::max<Bytes>(chunk, 512));
-        remaining -= piece;
-        agg.fetches.push_back(
-            FetchItem{ev.server, piece, FlowKind::kShuffle, job.aggregate_phase});
-      }
-    }
-    // Randomize fetch order so sources interleave.
-    const auto perm = rng_.permutation(agg.fetches.size());
-    std::vector<FetchItem> shuffled(agg.fetches.size());
-    for (std::size_t i = 0; i < perm.size(); ++i) shuffled[i] = agg.fetches[perm[i]];
-    agg.fetches = std::move(shuffled);
+    populate_agg_fetches(job, vi);
   }
   job.aggs_pending = job.aggs.size();
   for (std::size_t vi = 0; vi < job.aggs.size(); ++vi) {
@@ -564,10 +616,43 @@ void WorkloadDriver::start_aggregate_phase(JobExec& job) {
   }
 }
 
+void WorkloadDriver::populate_agg_fetches(JobExec& job, std::size_t vertex_index) {
+  auto& agg = job.aggs[vertex_index];
+  agg.fetches.clear();
+  agg.next_fetch = 0;
+  const std::int32_t r_count = std::max<std::int32_t>(1, job.spec.reducers);
+  // Each reducer pulls 1/R of every map vertex's output.
+  for (const auto& ev : job.extracts) {
+    if (ev.map_output <= 0) continue;
+    const Bytes part = std::max<Bytes>(ev.map_output / r_count, 512);
+    const Bytes chunk = config_.chunked_transfers ? store_.config().block_size : part;
+    Bytes remaining = part;
+    while (remaining > 0) {
+      const Bytes piece = std::min(remaining, std::max<Bytes>(chunk, 512));
+      remaining -= piece;
+      agg.fetches.push_back(
+          FetchItem{ev.server, piece, FlowKind::kShuffle, job.aggregate_phase});
+    }
+  }
+  // Randomize fetch order so sources interleave.
+  const auto perm = rng_.permutation(agg.fetches.size());
+  std::vector<FetchItem> shuffled(agg.fetches.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) shuffled[i] = agg.fetches[perm[i]];
+  agg.fetches = std::move(shuffled);
+}
+
 void WorkloadDriver::launch_aggregate_vertex(JobExec& job, std::size_t vertex_index) {
   JobExec* jp = &job;
+  const std::uint32_t ep = job.aggs[vertex_index].epoch;
   const ServerId server = job.aggs[vertex_index].server;
-  acquire_core(server, [this, jp, vertex_index, server] {
+  acquire_core(server, [this, jp, vertex_index, ep, server] {
+    auto& vertex = jp->aggs[vertex_index];
+    if (vertex.epoch != ep) {
+      // Granted to a stale incarnation — see launch_extract_vertex.
+      release_core(server);
+      return;
+    }
+    vertex.has_core = true;
     if (jp->failed || horizon_reached()) {
       close_agg_vertex(*jp, vertex_index);
       return;
@@ -577,7 +662,8 @@ void WorkloadDriver::launch_aggregate_vertex(JobExec& job, std::size_t vertex_in
       close_agg_vertex(*jp, vertex_index);
       return;
     }
-    sim_.at(t, [this, jp, vertex_index](FlowSim&) {
+    sim_.at(t, [this, jp, vertex_index, ep](FlowSim&) {
+      if (jp->aggs[vertex_index].epoch != ep) return;
       control_flow(jp->manager, jp->aggs[vertex_index].server, jp->spec.id,
                    jp->aggregate_phase);
       aggregate_fetch_next(*jp, vertex_index);
@@ -587,6 +673,7 @@ void WorkloadDriver::launch_aggregate_vertex(JobExec& job, std::size_t vertex_in
 
 void WorkloadDriver::aggregate_fetch_next(JobExec& job, std::size_t vertex_index) {
   auto& v = job.aggs[vertex_index];
+  const std::uint32_t ep = v.epoch;
   if (job.failed || horizon_reached()) {
     if (v.in_flight == 0) {
       close_agg_vertex(job, vertex_index);
@@ -606,7 +693,8 @@ void WorkloadDriver::aggregate_fetch_next(JobExec& job, std::size_t vertex_index
       close_agg_vertex(job, vertex_index);
       return;
     }
-    sim_.at(done, [this, jp, vertex_index](FlowSim&) {
+    sim_.at(done, [this, jp, vertex_index, ep](FlowSim&) {
+      if (jp->aggs[vertex_index].epoch != ep) return;
       aggregate_vertex_done(*jp, vertex_index);
     });
     return;
@@ -632,8 +720,9 @@ void WorkloadDriver::aggregate_fetch_next(JobExec& job, std::size_t vertex_index
         }
         return;
       }
-      sim_.at(done, [this, jp, vertex_index, item](FlowSim&) {
+      sim_.at(done, [this, jp, vertex_index, item, ep](FlowSim&) {
         auto& vv = jp->aggs[vertex_index];
+        if (vv.epoch != ep) return;  // vertex re-executed after a crash
         vv.bytes_fetched += item.bytes;
         --vv.in_flight;
         aggregate_fetch_next(*jp, vertex_index);
@@ -648,8 +737,12 @@ void WorkloadDriver::aggregate_fetch_next(JobExec& job, std::size_t vertex_index
     fs.job = job.spec.id;
     fs.phase = item.phase;
     fs.kind = item.kind;
-    sim_.start_flow(fs, [this, jp, vertex_index, item](FlowSim&, const FlowRecord& rec) {
+    sim_.start_flow(fs, [this, jp, vertex_index, item,
+                         ep](FlowSim&, const FlowRecord& rec) {
       auto& vv = jp->aggs[vertex_index];
+      // Epoch check must precede the in_flight decrement: re-execution
+      // resets the counter and this completion belongs to the old run.
+      if (vv.epoch != ep) return;
       --vv.in_flight;
       if (jp->failed || horizon_reached()) {
         if (vv.in_flight == 0) {
@@ -684,15 +777,20 @@ void WorkloadDriver::aggregate_fetch_next(JobExec& job, std::size_t vertex_index
           jp->combine_bytes += rec.bytes_sent;
         }
       }
-      // Stop-and-go: pause before opening the next connection.
-      const TimeSec t = sim_.now() + config_.fetch_gap;
+      // Stop-and-go: pause before opening the next connection; failed
+      // fetches back off exponentially instead.
+      const TimeSec t =
+          sim_.now() +
+          (read_failed ? retry_backoff(config_.max_read_retries - vv.retries_left)
+                       : config_.fetch_gap);
       if (t >= sim_.config().end_time) {
         if (vv.in_flight == 0) {
           close_agg_vertex(*jp, vertex_index);
         }
         return;
       }
-      sim_.at(t, [this, jp, vertex_index](FlowSim&) {
+      sim_.at(t, [this, jp, vertex_index, ep](FlowSim&) {
+        if (jp->aggs[vertex_index].epoch != ep) return;
         aggregate_fetch_next(*jp, vertex_index);
       });
     });
@@ -710,7 +808,7 @@ void WorkloadDriver::start_combine_reads(JobExec& job, std::size_t vertex_index)
   // Reducer k joins against blocks j with j % R == k.
   for (std::size_t j = vertex_index; j < ds2.blocks.size(); j += r_count) {
     const Block& blk = store_.block(ds2.blocks[j]);
-    const ServerId src = store_.closest_replica(blk.id, v.server);
+    const ServerId src = pick_live_replica(blk.id, v.server);
     if (src == v.server) {
       v.bytes_fetched += blk.size;  // local join input
       job.combine_bytes += blk.size;
@@ -886,7 +984,9 @@ void WorkloadDriver::schedule_next_evacuation() {
   sim_.at(t, [this](FlowSim&) {
     const ServerId victim{static_cast<std::int32_t>(
         rng_.uniform_int(0, topo_.internal_server_count() - 1))};
-    run_evacuation(victim);
+    // A crashed server cannot stream its blocks anywhere; skip the round
+    // (the draw still happens, keeping the rng sequence fault-independent).
+    if (!is_server_down(victim)) run_evacuation(victim);
     schedule_next_evacuation();
   });
 }
@@ -917,7 +1017,11 @@ void WorkloadDriver::run_evacuation(ServerId victim) {
            st->next < st->blocks.size()) {
       const BlockId bid = st->blocks[st->next++];
       if (!store_.has_replica(bid, victim)) continue;  // already moved elsewhere
-      const ServerId target = store_.pick_evacuation_target(bid, victim);
+      ServerId target = store_.pick_evacuation_target(bid, victim);
+      for (int attempt = 0; attempt < 4 && is_server_down(target); ++attempt) {
+        target = store_.pick_evacuation_target(bid, victim);
+      }
+      if (is_server_down(target)) continue;  // cluster too degraded; skip block
       ++st->in_flight;
       FlowSpec fs;
       fs.src = victim;
@@ -945,6 +1049,138 @@ void WorkloadDriver::run_evacuation(ServerId victim) {
       er.blocks_moved = st->count;
       trace_.record_evacuation(er);
       st->next = st->blocks.size() + 1;  // make the record idempotent
+    }
+  };
+  (*pump)();
+}
+
+// ---------------------------------------------------------------------------
+// Server crash recovery (driven by the faults subsystem)
+// ---------------------------------------------------------------------------
+
+void WorkloadDriver::handle_server_crash(ServerId server) {
+  const auto si = static_cast<std::size_t>(server.value());
+  if (si >= server_down_.size() || server_down_[si]) return;
+  server_down_[si] = 1;
+  ++stats_.server_crashes;
+  // Waiters queued for a core on the dead machine will never run there;
+  // their vertices get a fresh epoch and a new placement below.  Clear the
+  // queue *before* any release_core so no waiter is handed a dead core.
+  core_waiters_[si].clear();
+
+  for (auto& jptr : jobs_) {
+    JobExec& job = *jptr;
+    if (job.finished || job.failed) continue;
+    // The job manager is a lightweight process; model failover as instant
+    // re-placement (control flows simply originate elsewhere afterwards).
+    if (job.manager == server) job.manager = ensure_up(job.manager);
+    for (std::size_t vi = 0; vi < job.extracts.size(); ++vi) {
+      auto& v = job.extracts[vi];
+      if (v.closed || v.server != server) continue;
+      ++v.epoch;  // orphan every callback of the old incarnation
+      if (v.has_core) {
+        v.has_core = false;
+        release_core(v.server);
+      }
+      if (horizon_reached()) {
+        close_extract_vertex(job, vi);
+        continue;
+      }
+      // Re-execute from scratch: partial map output died with the server.
+      v.next_block = 0;
+      v.bytes_read = 0;
+      v.map_output = 0;
+      v.retries_left = config_.max_read_retries;
+      ++stats_.vertices_reexecuted;
+      launch_extract_vertex(job, vi);
+    }
+    for (std::size_t vi = 0; vi < job.aggs.size(); ++vi) {
+      auto& v = job.aggs[vi];
+      if (v.closed || v.server != server) continue;
+      ++v.epoch;
+      if (v.has_core) {
+        v.has_core = false;
+        release_core(v.server);
+      }
+      if (horizon_reached()) {
+        close_agg_vertex(job, vi);
+        continue;
+      }
+      v.in_flight = 0;
+      v.bytes_fetched = 0;
+      v.in_combine = false;
+      v.retries_left = config_.max_read_retries;
+      v.server = ensure_up(v.server);
+      ++stats_.vertices_reexecuted;
+      // Re-fetch everything.  Fetches sourced at the crashed server will
+      // fail and retry; if the mapper's output is truly gone the retries
+      // exhaust and the job fails — lost map output is not re-derived.
+      populate_agg_fetches(job, vi);
+      launch_aggregate_vertex(job, vi);
+    }
+  }
+  run_rereplication(server);
+}
+
+void WorkloadDriver::handle_server_recovery(ServerId server) {
+  const auto si = static_cast<std::size_t>(server.value());
+  if (si < server_down_.size()) server_down_[si] = 0;
+}
+
+void WorkloadDriver::run_rereplication(ServerId failed) {
+  if (horizon_reached()) return;
+  std::vector<BlockId> blocks = store_.blocks_on(failed);
+  if (blocks.empty()) return;
+  if (static_cast<std::int32_t>(blocks.size()) > config_.evacuation_max_blocks) {
+    blocks.resize(static_cast<std::size_t>(config_.evacuation_max_blocks));
+  }
+
+  struct ReplState {
+    std::vector<BlockId> blocks;
+    std::size_t next = 0;
+    std::int32_t in_flight = 0;
+  };
+  auto st = std::make_shared<ReplState>();
+  st->blocks = std::move(blocks);
+
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, failed, st, pump] {
+    while (st->in_flight < config_.evacuation_concurrency &&
+           st->next < st->blocks.size()) {
+      const BlockId bid = st->blocks[st->next++];
+      if (!store_.has_replica(bid, failed)) continue;  // healed already
+      // Source: any surviving replica (the victim itself cannot serve).
+      ServerId src = failed;
+      for (ServerId r : store_.block(bid).replicas) {
+        if (r != failed && !is_server_down(r)) {
+          src = r;
+          break;
+        }
+      }
+      if (src == failed) continue;  // no live copy left to heal from
+      ServerId target = store_.pick_evacuation_target(bid, failed);
+      for (int attempt = 0;
+           attempt < 4 && (is_server_down(target) || store_.has_replica(bid, target));
+           ++attempt) {
+        target = store_.pick_evacuation_target(bid, failed);
+      }
+      if (is_server_down(target) || store_.has_replica(bid, target)) continue;
+      ++st->in_flight;
+      FlowSpec fs;
+      fs.src = src;
+      fs.dst = target;
+      fs.bytes = store_.block(bid).size;
+      fs.kind = FlowKind::kEvacuation;  // recovery traffic shares the kind
+      sim_.start_flow(fs, [this, failed, bid, target, st,
+                           pump](FlowSim&, const FlowRecord& rec) {
+        --st->in_flight;
+        if (!rec.failed && store_.has_replica(bid, failed) &&
+            !store_.has_replica(bid, target)) {
+          store_.move_replica(bid, failed, target);
+          ++stats_.blocks_rereplicated;
+        }
+        (*pump)();
+      });
     }
   };
   (*pump)();

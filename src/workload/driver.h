@@ -96,6 +96,11 @@ struct WorkloadConfig {
   TimeSec vertex_startup_min = 0.02;      ///< scheduling+process launch delay
   TimeSec vertex_startup_max = 0.25;
   std::int32_t max_read_retries = 1;      ///< retries before a fatal read failure
+  /// Backoff before the first read retry; each further retry doubles it up
+  /// to `read_retry_max_backoff`, then a seeded +-50% jitter is applied —
+  /// capped exponential backoff instead of a fixed retry gap.
+  TimeSec read_retry_base_backoff = 0.75;
+  TimeSec read_retry_max_backoff = 8.0;
   /// Baseline probability that a network read fails for non-network reasons
   /// (unresponsive machine, bad software, bad disk sectors — §4.2 notes not
   /// all read failures are congestion).  Gives Fig. 8 its clear-day floor.
@@ -138,6 +143,9 @@ struct WorkloadStats {
   std::int64_t read_failures = 0;
   std::int64_t evacuations = 0;
   std::int64_t ingest_sessions = 0;
+  std::int64_t server_crashes = 0;        ///< injected server faults observed
+  std::int64_t vertices_reexecuted = 0;   ///< vertices restarted after a crash
+  std::int64_t blocks_rereplicated = 0;   ///< under-replicated blocks healed
   std::int64_t placement_tier[4] = {0, 0, 0, 0};
 
   [[nodiscard]] double remote_read_fraction() const noexcept {
@@ -166,6 +174,15 @@ class WorkloadDriver {
   [[nodiscard]] const BlockStore& block_store() const noexcept { return store_; }
   [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
 
+  // --- Device-failure integration (wired up by ClusterExperiment) ---------
+  /// Reacts to an injected server crash: stops placing work there, orphans
+  /// the victim's in-flight callbacks (vertex epochs), re-executes its
+  /// unfinished vertices elsewhere, and re-replicates its blocks from
+  /// surviving replicas (recovery traffic, FlowKind::kEvacuation).
+  void handle_server_crash(ServerId server);
+  /// Marks a repaired server placeable again.
+  void handle_server_recovery(ServerId server);
+
  private:
   struct JobExec;
 
@@ -191,6 +208,10 @@ class WorkloadDriver {
   void schedule_next_job_arrival();
   void schedule_next_evacuation();
   void run_evacuation(ServerId victim);
+  /// Heals blocks that lost the replica on `failed`: copies them from a
+  /// surviving replica to a fresh target (the crash-triggered
+  /// generalization of run_evacuation, which streams off the victim).
+  void run_rereplication(ServerId failed);
   void schedule_next_ingest();
   void run_ingest();
 
@@ -205,6 +226,18 @@ class WorkloadDriver {
   void control_flow(ServerId from, ServerId to, JobId job, PhaseId phase);
   [[nodiscard]] TimeSec startup_delay();
   [[nodiscard]] TimeSec compute_delay(Bytes bytes);
+  /// Capped exponential backoff with jitter for read retry `attempt` (1-based).
+  [[nodiscard]] TimeSec retry_backoff(std::int32_t attempt);
+  [[nodiscard]] bool is_server_down(ServerId s) const;
+  /// Returns `s` when it is up, otherwise re-places onto a live server.
+  /// Draws no randomness while every server is up.
+  [[nodiscard]] ServerId ensure_up(ServerId s);
+  /// Closest replica that is up; falls back to the closest one when every
+  /// holder is down (the read then fails and retries later).
+  [[nodiscard]] ServerId pick_live_replica(BlockId block, ServerId near);
+  /// (Re)builds an aggregate vertex's shuffle fetch list from the extract
+  /// outputs; also used when a crashed reducer is re-executed.
+  void populate_agg_fetches(JobExec& job, std::size_t vertex_index);
   [[nodiscard]] PhaseId new_phase();
   [[nodiscard]] bool horizon_reached() const;
 
@@ -219,6 +252,7 @@ class WorkloadDriver {
   WorkloadStats stats_;
 
   std::vector<DatasetId> available_datasets_;
+  std::vector<std::uint8_t> server_down_;  ///< crash state (faults subsystem)
   std::vector<std::unique_ptr<JobExec>> jobs_;
   std::vector<std::deque<std::function<void()>>> core_waiters_;
   std::deque<JobSpec> job_queue_;  ///< submitted, waiting for admission

@@ -158,6 +158,30 @@ TEST(CodecFuzz, BitFlippedInputsNeverCrash) {
   SUCCEED();
 }
 
+TEST(CodecFuzz, HugeCountFieldsRejectedBeforeAllocation) {
+  // A forged count must be rejected by the remaining-bytes plausibility
+  // check — not drive a petabyte reserve() or a 2^60-iteration loop.
+  ServerLog empty;
+  empty.server = ServerId{0};
+  auto log_bytes = encode_server_log(empty);
+  // The final byte of an empty log is the flow-count varint (0).
+  log_bytes.pop_back();
+  ByteWriter w;
+  w.uvarint(1ULL << 60);
+  for (std::uint8_t b : w.bytes()) log_bytes.push_back(b);
+  EXPECT_THROW((void)decode_server_log(log_bytes), Error);
+
+  // Same attack on the trace's trailing section counts: an empty trace ends
+  // with four zero-count bytes (jobs, phases, read failures, evacuations).
+  ClusterTrace trace(1, 5.0);
+  auto trace_bytes = encode_trace(trace);
+  for (int i = 0; i < 4; ++i) trace_bytes.pop_back();
+  ByteWriter w2;
+  w2.uvarint(1ULL << 60);
+  for (std::uint8_t b : w2.bytes()) trace_bytes.push_back(b);
+  EXPECT_THROW((void)decode_trace(trace_bytes), Error);
+}
+
 // --- Scheduler admission queue -------------------------------------------------
 
 TEST(Admission, QueueDelaysStartUnderLoad) {
