@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cfg.workload.evacuations_per_hour = 40.0;  // several labeled anomalies
   auto exp = dct::ClusterExperiment(cfg);
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "anomaly_detection");
 
   const auto truth = dct::evacuation_windows(exp.trace());
   std::cout << truth.size() << " ground-truth evacuation windows\n\n";

@@ -26,6 +26,7 @@ struct ArchResult {
 ArchResult measure(const dct::ScenarioConfig& cfg) {
   auto exp = dct::ClusterExperiment(cfg);
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "arch_full_bisection");
   ArchResult r;
   const auto report = dct::congestion_report(exp.utilization(), exp.topology(), 0.7);
   r.frac_links_hot_10s = report.frac_links_hot_10s;

@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
 
   auto canonical = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(canonical);
+  dct::bench::write_manifest(canonical, "fig02_tm_patterns");
   const auto tm = dct::build_tm(canonical.trace(), canonical.topology(), duration / 2,
                                 10.0, dct::TmScope::kServer);
   print_heatmap(canonical.topology(), tm, std::cout);
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
   // Ablation: random placement removes the diagonal concentration.
   auto ablation = dct::ClusterExperiment(dct::scenarios::no_locality(duration, seed));
   dct::bench::run_scenario(ablation);
+  dct::bench::write_manifest(ablation, "fig02_tm_patterns");
   const auto tm2 = dct::build_tm(ablation.trace(), ablation.topology(), duration / 2,
                                  10.0, dct::TmScope::kServer);
   pattern_scores(ablation, tm2, "ablation: locality disabled", std::cout);

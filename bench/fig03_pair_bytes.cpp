@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "fig03_pair_bytes");
 
   // Average the statistics over several disjoint 10 s windows mid-run.
   dct::TextTable hist("loge(bytes) distribution of non-zero TM entries");

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "fig04_correspondents");
 
   // Pool per-server correspondent fractions over several 10 s windows.
   dct::Cdf frac_within;

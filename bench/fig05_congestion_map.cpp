@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "fig05_congestion_map");
   const auto& util = exp.utilization();
 
   dct::TextTable sweep("links observing congestion, by threshold C");

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "fig06_congestion_durations");
   const auto report = dct::congestion_report(exp.utilization(), exp.topology(), 0.7);
 
   // Frequency of episode durations on a log axis, plus the cumulative curve

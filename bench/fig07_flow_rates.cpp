@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "fig07_flow_rates");
   const auto overlap =
       dct::flow_congestion_overlap(exp.trace(), exp.topology(), exp.utilization(), 0.7);
 

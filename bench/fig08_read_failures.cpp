@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
     }
     auto exp = dct::ClusterExperiment(cfg);
     dct::bench::run_scenario(exp);
+    dct::bench::write_manifest(exp, "fig08_read_failures");
     const auto impact =
         dct::read_failure_impact(exp.trace(), exp.topology(), exp.utilization(), 0.7);
     increases.push_back(impact.relative_increase);

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "fig09_flow_durations");
   const auto stats = dct::flow_duration_stats(exp.trace());
 
   dct::TextTable series("CDF of flow duration");
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
   std::cout << "\n--- ablation: chunked vs unchunked transfers ---\n";
   auto unchunked = dct::ClusterExperiment(dct::scenarios::unchunked(duration / 3, seed));
   dct::bench::run_scenario(unchunked);
+  dct::bench::write_manifest(unchunked, "fig09_flow_durations");
   const auto size_chunked = dct::flow_size_stats(exp.trace());
   const auto size_unchunked = dct::flow_size_stats(unchunked.trace());
   dct::TextTable ab("flow sizes with and without chunking");

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   cfg.workload.diurnal_period = duration / 2.0;
   auto exp = dct::ClusterExperiment(cfg);
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "fig10_tm_change");
 
   // Top panel: aggregate rate over time vs bisection bandwidth.
   const auto rate = dct::aggregate_rate_series(exp.trace(), 10.0);

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "fig11_interarrivals");
 
   const auto cluster =
       dct::inter_arrival_stats(exp.trace(), exp.topology(), dct::ArrivalScope::kCluster);
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
   auto uncapped =
       dct::ClusterExperiment(dct::scenarios::uncapped_connections(duration / 2, seed));
   dct::bench::run_scenario(uncapped);
+  dct::bench::write_manifest(uncapped, "fig11_interarrivals");
   const auto ab_server = dct::inter_arrival_stats(uncapped.trace(), uncapped.topology(),
                                                   dct::ArrivalScope::kServer);
   const auto ab_modes = dct::inter_arrival_mode_info(ab_server, 120.0, 4);

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "fig12_tomography_error");
   const auto results = dct::bench::run_tomography_eval(exp, 60.0);
   std::cout << "evaluated " << results.size() << " ToR-level TMs (60 s windows)\n\n";
 

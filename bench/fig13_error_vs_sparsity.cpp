@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "fig13_error_vs_sparsity");
   const auto results = dct::bench::run_tomography_eval(exp, 60.0);
 
   dct::TextTable scatter("scatter: per-TM (sparsity, tomogravity error)");

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "fig14_sparsity_compare");
   const auto results = dct::bench::run_tomography_eval(exp, 60.0);
 
   dct::Cdf truth, tomo, job, sparse;

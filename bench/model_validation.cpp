@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "model_validation");
   const auto& topo = exp.topology();
 
   const auto model = dct::TrafficModel::fit(exp.trace(), topo);

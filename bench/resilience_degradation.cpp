@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
       cfg.workload.max_concurrent_jobs *= 8;
       auto exp = dct::ClusterExperiment(cfg);
       dct::bench::run_scenario(exp);
+      dct::bench::write_manifest(exp, "resilience_degradation");
 
       // Useful work: input bytes of jobs that ran to completion.
       std::int64_t useful = 0;

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "sec43_scheduling");
   const auto feas = dct::scheduling_feasibility(
       exp.trace(), {0.001, 0.01, 0.05, 0.1, 0.5, 1.0}, 10.0);
 

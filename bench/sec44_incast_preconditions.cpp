@@ -16,6 +16,7 @@ namespace {
 dct::IncastReport measure(const dct::ScenarioConfig& cfg) {
   auto exp = dct::ClusterExperiment(cfg);
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "sec44_incast_preconditions");
   return dct::incast_preconditions(exp.trace(), exp.topology(), 0.002, 16);
 }
 

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   // Datacenter side: real (simulated) job-clustered traffic.
   auto exp = dct::ClusterExperiment(dct::scenarios::canonical(duration, seed));
   dct::bench::run_scenario(exp);
+  dct::bench::write_manifest(exp, "sec5_isp_baseline");
   const auto dc_results = dct::bench::run_tomography_eval(exp, 60.0);
   std::vector<double> dc_err;
   for (const auto& r : dc_results) dc_err.push_back(r.err_tomogravity);

@@ -1,6 +1,9 @@
 #include "core/experiment.h"
 
+#include <chrono>
+
 #include "common/require.h"
+#include "trace/codec.h"
 
 namespace dct {
 namespace {
@@ -28,9 +31,16 @@ ClusterExperiment::ClusterExperiment(ScenarioConfig config)
 
 void ClusterExperiment::run() {
   if (ran_) return;
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (config_.obs_bind_metrics) {
+    sim_.bind_metrics(registry_);
+    driver_.bind_metrics(registry_);
+    bind_codec_metrics(&registry_);
+  }
   driver_.install();
   if (!config_.faults.empty()) {
     injector_ = std::make_unique<FaultInjector>(sim_, net_, &trace_);
+    if (config_.obs_bind_metrics) injector_->bind_metrics(registry_);
     injector_->set_server_crash_handler(
         [this](ServerId s) { driver_.handle_server_crash(s); });
     injector_->set_server_recovery_handler(
@@ -38,9 +48,53 @@ void ClusterExperiment::run() {
     injector_->install(
         generate_fault_schedule(topo_, config_.faults, config_.sim.end_time));
   }
+  // Sampling is opt-in: each tick is a user callback in the event queue, so
+  // enabling it shifts event sequence numbers.  With the default interval of
+  // 0 the queue contents are identical to a build without obs.
+  if (config_.obs_sample_interval > 0) {
+    sampler_ = std::make_unique<obs::Sampler>(registry_, config_.obs_sample_interval);
+    schedule_sampler_tick();
+  }
   sim_.run();
   trace_.build_indices();
+  wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                wall_start)
+                      .count();
   ran_ = true;
+}
+
+void ClusterExperiment::schedule_sampler_tick() {
+  const TimeSec t = sampler_->next_sample_time();
+  if (t > config_.sim.end_time) return;
+  sim_.at(t, [this](FlowSim& s) {
+    sampler_->tick(s.now());
+    schedule_sampler_tick();
+  });
+}
+
+obs::RunManifest ClusterExperiment::manifest(const std::string& harness) const {
+  require(ran_, "ClusterExperiment::manifest: call run() first");
+  obs::RunManifest m;
+  m.harness = harness;
+  m.scenario = config_.name;
+  m.seed = config_.seed;
+  m.sim_duration_s = config_.sim.end_time;
+  m.config["racks"] = static_cast<double>(config_.topology.racks);
+  m.config["servers_per_rack"] = static_cast<double>(config_.topology.servers_per_rack);
+  m.config["external_servers"] = static_cast<double>(config_.topology.external_servers);
+  m.config["jobs_per_second"] = config_.workload.jobs_per_second;
+  m.config["max_concurrent_jobs"] =
+      static_cast<double>(config_.workload.max_concurrent_jobs);
+  m.config["locality_enabled"] = config_.workload.locality_enabled ? 1.0 : 0.0;
+  m.config["chunked_transfers"] = config_.workload.chunked_transfers ? 1.0 : 0.0;
+  m.config["recompute_interval_s"] = config_.sim.recompute_interval;
+  m.config["per_flow_rate_cap_Bps"] = config_.sim.per_flow_rate_cap;
+  m.config["faults_enabled"] = config_.faults.empty() ? 0.0 : 1.0;
+  m.config["obs_sample_interval_s"] = config_.obs_sample_interval;
+  m.build = obs::current_build_info();
+  m.wall_seconds = wall_seconds_;
+  m.capture_metrics(registry_);
+  return m;
 }
 
 const LinkUtilizationMap& ClusterExperiment::utilization() {

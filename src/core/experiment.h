@@ -13,11 +13,15 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "analysis/congestion.h"
 #include "core/scenario.h"
 #include "faults/injector.h"
 #include "flowsim/flowsim.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "topology/network_state.h"
 #include "topology/topology.h"
 #include "trace/cluster_trace.h"
@@ -63,7 +67,23 @@ class ClusterExperiment {
     return injector_.get();
   }
 
+  // --- Self-instrumentation (src/obs, docs/METRICS.md) --------------------
+  /// The run's metric registry.  run() binds every subsystem into it; all
+  /// values are final once run() returns.  In a DCT_OBS=OFF build the
+  /// registry exists but stays empty.
+  [[nodiscard]] const obs::Registry& registry() const noexcept { return registry_; }
+  /// Periodic counter/gauge samples over simulated time, or nullptr when
+  /// the scenario's obs_sample_interval is 0.
+  [[nodiscard]] const obs::Sampler* sampler() const noexcept { return sampler_.get(); }
+  /// Wall-clock seconds spent inside run() (0 before the run).
+  [[nodiscard]] double wall_seconds() const noexcept { return wall_seconds_; }
+  /// Builds the reproducibility record for this run: scenario identity,
+  /// config summary, build flags, final metrics, wall time.  `harness`
+  /// names the producing binary.  Requires run() to have completed.
+  [[nodiscard]] obs::RunManifest manifest(const std::string& harness) const;
+
  private:
+  void schedule_sampler_tick();
   ScenarioConfig config_;
   Topology topo_;
   NetworkState net_;
@@ -74,6 +94,9 @@ class ClusterExperiment {
   std::unique_ptr<FaultInjector> injector_;
   bool ran_ = false;
   std::unique_ptr<LinkUtilizationMap> util_cache_;
+  obs::Registry registry_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  double wall_seconds_ = 0;
 };
 
 }  // namespace dct

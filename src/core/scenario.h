@@ -29,6 +29,16 @@ struct ScenarioConfig {
   /// without the faults subsystem.
   FaultConfig faults;
   std::uint64_t seed = 42;
+  /// When > 0, ClusterExperiment samples every registered counter/gauge
+  /// onto this simulated-time grid (obs::Sampler) during run(); 0 (the
+  /// default) schedules no sampling callbacks, leaving the event stream
+  /// exactly as it was before the obs subsystem existed.
+  TimeSec obs_sample_interval = 0.0;
+  /// When false, run() skips bind_metrics on every subsystem, so the
+  /// DCT_OBS macro sites stay dormant null-pointer checks and the manifest
+  /// carries no metrics.  bench/obs_overhead flips this to measure live
+  /// instrumentation against its dormant floor; leave it on otherwise.
+  bool obs_bind_metrics = true;
 };
 
 namespace scenarios {

@@ -31,8 +31,18 @@ void FaultInjector::inject(const FaultEvent& e) {
   // whole: applying it would double-book the repair.
   if (device_down(e)) {
     ++skipped_;
+    DCT_OBS_INC(m_skipped_);
     return;
   }
+#if DCT_OBS_ENABLED
+  switch (e.device) {
+    case DeviceKind::kLink: DCT_OBS_INC(m_link_incidents_); break;
+    case DeviceKind::kServer: DCT_OBS_INC(m_server_incidents_); break;
+    case DeviceKind::kTor: DCT_OBS_INC(m_tor_incidents_); break;
+    case DeviceKind::kAgg: DCT_OBS_INC(m_agg_incidents_); break;
+  }
+  DCT_OBS_OBSERVE(m_repair_s_, e.end - e.start);
+#endif
   set_device_up(e, false);
   // Workload reacts first (epoch bumps, re-execution, re-replication) so
   // its recovery flows route around the fault; then the simulator sweeps
@@ -52,6 +62,7 @@ void FaultInjector::inject(const FaultEvent& e) {
     trace_->record_device_failure(rec);
   }
   ++injected_;
+  DCT_OBS_INC(m_injected_);
   sim_.at(e.end, [this, e](FlowSim&) { repair(e); });
 }
 
@@ -63,6 +74,22 @@ void FaultInjector::repair(const FaultEvent& e) {
   // Repairs never sever a live path, so no sweep is needed: flows that
   // failed over stay on their backup path, new flows prefer the restored
   // primary at the next route computation.
+}
+
+void FaultInjector::bind_metrics(obs::Registry& registry) {
+#if DCT_OBS_ENABLED
+  m_injected_ = registry.counter("faults", "injected", "incidents");
+  m_skipped_ = registry.counter("faults", "skipped", "incidents");
+  m_link_incidents_ = registry.counter("faults", "link_incidents", "incidents");
+  m_server_incidents_ = registry.counter("faults", "server_incidents", "incidents");
+  m_tor_incidents_ = registry.counter("faults", "tor_incidents", "incidents");
+  m_agg_incidents_ = registry.counter("faults", "agg_incidents", "incidents");
+  // Repair times run from ~15 s link flaps to ~300 s switch repairs (and
+  // their exponential tails): 1 s * 1.6^24 covers ~8e4 s.
+  m_repair_s_ = registry.histogram("faults", "repair_seconds", "s", 1.0, 1.6, 24);
+#else
+  (void)registry;
+#endif
 }
 
 void FaultInjector::install(std::vector<FaultEvent> schedule) {

@@ -20,6 +20,7 @@
 
 #include "faults/fault_schedule.h"
 #include "flowsim/flowsim.h"
+#include "obs/obs.h"
 #include "topology/network_state.h"
 #include "trace/cluster_trace.h"
 
@@ -51,6 +52,11 @@ class FaultInjector {
   /// Faults skipped because the device was already down when they fired.
   [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
 
+  /// Registers the injector's metrics (docs/METRICS.md, subsystem "faults")
+  /// and starts feeding them.  Optional; call before install().  No-op in a
+  /// DCT_OBS=OFF build.
+  void bind_metrics(obs::Registry& registry);
+
  private:
   void inject(const FaultEvent& e);
   void repair(const FaultEvent& e);
@@ -64,6 +70,15 @@ class FaultInjector {
   ServerHandler on_server_recovery_;
   std::size_t injected_ = 0;
   std::size_t skipped_ = 0;
+
+  // Self-instrumentation handles; null until bind_metrics() (obs/obs.h).
+  obs::Counter* m_injected_ = nullptr;
+  obs::Counter* m_skipped_ = nullptr;
+  obs::Counter* m_link_incidents_ = nullptr;
+  obs::Counter* m_server_incidents_ = nullptr;
+  obs::Counter* m_tor_incidents_ = nullptr;
+  obs::Counter* m_agg_incidents_ = nullptr;
+  obs::Histogram* m_repair_s_ = nullptr;
 };
 
 }  // namespace dct

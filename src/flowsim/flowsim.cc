@@ -74,6 +74,7 @@ FlowId FlowSim::start_flow(const FlowSpec& spec, CompletionCallback on_complete)
   require(spec.bytes >= 0, "start_flow: negative byte count");
   const FlowId id{static_cast<std::int32_t>(started_)};
   ++started_;
+  DCT_OBS_INC(m_flows_started_);
   slot_by_flow_.push_back(-1);
 
   ActiveFlow f;
@@ -108,6 +109,8 @@ FlowId FlowSim::start_flow(const FlowSpec& spec, CompletionCallback on_complete)
     rec.kind = spec.kind;
     ++failed_;
     ++fault_killed_;
+    DCT_OBS_INC(m_flows_failed_);
+    DCT_OBS_INC(m_fault_kills_);
     if (config_.keep_records) records_.push_back(rec);
     if (record_sink_) record_sink_(rec);
     if (f.on_complete && now_ < config_.end_time) f.on_complete(*this, rec);
@@ -147,6 +150,8 @@ FlowId FlowSim::start_flow(const FlowSpec& spec, CompletionCallback on_complete)
     rec.phase = spec.phase;
     rec.kind = spec.kind;
     ++failed_;
+    DCT_OBS_INC(m_flows_failed_);
+    DCT_OBS_INC(m_connect_failures_);
     if (config_.keep_records) records_.push_back(rec);
     if (record_sink_) record_sink_(rec);
     if (f.on_complete) f.on_complete(*this, rec);
@@ -210,6 +215,9 @@ void FlowSim::deposit(ActiveFlow& f, TimeSec up_to) {
 
 void FlowSim::recompute_rates() {
   ++recomputes_;
+  DCT_OBS_INC(m_recomputes_);
+  DCT_OBS_SET(m_active_flows_, active_.size());
+  DCT_OBS_SCOPED_TIMER(obs_timer, m_recompute_ns_);
   last_recompute_ = now_;
   dirty_ = false;
   const std::size_t n = active_.size();
@@ -370,7 +378,15 @@ void FlowSim::finalize_flow(std::size_t slot, bool failed, bool truncated) {
   rec.phase = f.spec.phase;
   rec.kind = f.spec.kind;
 
-  if (failed) ++failed_;
+  if (failed) {
+    ++failed_;
+    DCT_OBS_INC(m_flows_failed_);
+  } else if (truncated) {
+    DCT_OBS_INC(m_flows_truncated_);
+  } else {
+    DCT_OBS_INC(m_flows_completed_);
+  }
+  DCT_OBS_ADD(m_bytes_delivered_, rec.bytes_sent);
   for (LinkId l : f.path) --link_active_[static_cast<std::size_t>(l.value())];
   CompletionCallback cb = std::move(f.on_complete);
 
@@ -401,6 +417,7 @@ void FlowSim::run() {
     events_.pop();
     ensure(e.time >= now_ - 1e-9, "event queue went backwards");
     now_ = std::max(now_, e.time);
+    DCT_OBS_INC(m_events_);
 
     switch (e.kind) {
       case EventKind::kUser: {
@@ -453,6 +470,7 @@ void FlowSim::run() {
 FlowSim::NetworkChangeStats FlowSim::handle_network_change() {
   NetworkChangeStats stats;
   if (net_ == nullptr || active_.empty()) return stats;
+  DCT_OBS_SCOPED_TIMER(obs_timer, m_network_change_ns_);
 
   // Snapshot the ids first: killing a flow swap-removes from active_.
   std::vector<std::int32_t> ids;
@@ -475,9 +493,11 @@ FlowSim::NetworkChangeStats FlowSim::handle_network_change() {
       ++f.generation;
       ++fault_rerouted_;
       ++stats.flows_rerouted;
+      DCT_OBS_INC(m_fault_reroutes_);
     } else {
       ++fault_killed_;
       ++stats.flows_killed;
+      DCT_OBS_INC(m_fault_kills_);
       finalize_flow(static_cast<std::size_t>(slot), /*failed=*/true,
                     /*truncated=*/false);
     }
@@ -488,6 +508,28 @@ FlowSim::NetworkChangeStats FlowSim::handle_network_change() {
     if (now_ < config_.end_time) schedule_recompute();
   }
   return stats;
+}
+
+void FlowSim::bind_metrics(obs::Registry& registry) {
+#if DCT_OBS_ENABLED
+  m_flows_started_ = registry.counter("flowsim", "flows_started", "flows");
+  m_flows_completed_ = registry.counter("flowsim", "flows_completed", "flows");
+  m_flows_failed_ = registry.counter("flowsim", "flows_failed", "flows");
+  m_flows_truncated_ = registry.counter("flowsim", "flows_truncated", "flows");
+  m_connect_failures_ = registry.counter("flowsim", "connect_failures", "flows");
+  m_fault_kills_ = registry.counter("flowsim", "fault_kills", "flows");
+  m_fault_reroutes_ = registry.counter("flowsim", "fault_reroutes", "flows");
+  m_bytes_delivered_ = registry.counter("flowsim", "bytes_delivered", "bytes");
+  m_recomputes_ = registry.counter("flowsim", "recomputes", "passes");
+  m_events_ = registry.counter("flowsim", "events_processed", "events");
+  m_active_flows_ = registry.gauge("flowsim", "active_flows", "flows");
+  m_recompute_ns_ =
+      registry.histogram("flowsim", "recompute_wall_ns", "ns", 100.0, 2.0, 24);
+  m_network_change_ns_ =
+      registry.histogram("flowsim", "network_change_wall_ns", "ns", 100.0, 2.0, 24);
+#else
+  (void)registry;
+#endif
 }
 
 void FlowSim::drain_horizon() {

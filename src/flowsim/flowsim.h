@@ -34,6 +34,7 @@
 #include "common/rng.h"
 #include "common/timeseries.h"
 #include "common/units.h"
+#include "obs/obs.h"
 #include "topology/network_state.h"
 #include "topology/topology.h"
 
@@ -199,6 +200,11 @@ class FlowSim {
   /// Count of max-min recomputations performed (performance introspection).
   [[nodiscard]] std::size_t recompute_count() const noexcept { return recomputes_; }
 
+  /// Registers this simulator's metrics (see docs/METRICS.md, subsystem
+  /// "flowsim") and starts feeding them.  Call before run(); optional — an
+  /// unbound simulator records nothing.  No-op in a DCT_OBS=OFF build.
+  void bind_metrics(obs::Registry& registry);
+
  private:
   struct ActiveFlow {
     FlowId id;
@@ -274,6 +280,21 @@ class FlowSim {
   std::vector<std::int32_t> csr_count_;
   std::vector<std::int32_t> csr_flows_;
   std::vector<std::uint8_t> flow_frozen_;
+
+  // Self-instrumentation handles; null until bind_metrics() (obs/obs.h).
+  obs::Counter* m_flows_started_ = nullptr;
+  obs::Counter* m_flows_completed_ = nullptr;
+  obs::Counter* m_flows_failed_ = nullptr;
+  obs::Counter* m_flows_truncated_ = nullptr;
+  obs::Counter* m_connect_failures_ = nullptr;
+  obs::Counter* m_fault_kills_ = nullptr;
+  obs::Counter* m_fault_reroutes_ = nullptr;
+  obs::Counter* m_bytes_delivered_ = nullptr;
+  obs::Counter* m_recomputes_ = nullptr;
+  obs::Counter* m_events_ = nullptr;
+  obs::Gauge* m_active_flows_ = nullptr;
+  obs::Histogram* m_recompute_ns_ = nullptr;
+  obs::Histogram* m_network_change_ns_ = nullptr;
 };
 
 }  // namespace dct

@@ -1,0 +1,56 @@
+#include "obs/sampler.h"
+
+#include <ostream>
+
+#include "common/require.h"
+
+namespace dct::obs {
+
+Sampler::Sampler(const Registry& registry, double interval)
+    : registry_(registry), interval_(interval), next_(interval) {
+  require(interval > 0, "Sampler: interval must be > 0");
+}
+
+bool Sampler::tick(double sim_time) {
+  if (sim_time < next_) return false;
+  auto snapshot = registry_.scalar_snapshot();
+  if (columns_.empty()) {
+    columns_.reserve(snapshot.size());
+    for (const auto& [name, value] : snapshot) columns_.push_back(name);
+  }
+  std::vector<double> row;
+  row.reserve(columns_.size());
+  // Metrics registered after the first row would misalign columns; emit
+  // values for the frozen column set only (registries are fully built
+  // before the simulation starts, so in practice the sets coincide).
+  std::size_t si = 0;
+  for (const auto& col : columns_) {
+    while (si < snapshot.size() && snapshot[si].first < col) ++si;
+    row.push_back(si < snapshot.size() && snapshot[si].first == col
+                      ? snapshot[si].second
+                      : 0.0);
+  }
+  times_.push_back(sim_time);
+  rows_.push_back(std::move(row));
+  // Advance past every grid point <= sim_time so a big jump records once.
+  while (next_ <= sim_time) next_ += interval_;
+  return true;
+}
+
+const std::vector<double>& Sampler::row(std::size_t i) const {
+  require(i < rows_.size(), "Sampler::row: index out of range");
+  return rows_[i];
+}
+
+void Sampler::write_csv(std::ostream& os) const {
+  os << "sim_time";
+  for (const auto& c : columns_) os << ',' << c;
+  os << '\n';
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    os << times_[i];
+    for (double v : rows_[i]) os << ',' << v;
+    os << '\n';
+  }
+}
+
+}  // namespace dct::obs

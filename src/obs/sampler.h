@@ -1,0 +1,56 @@
+// Periodic metric sampler keyed to *simulation* time.
+//
+// The paper's collectors poll counters on a fixed grid; this sampler does
+// the same for our own metrics, turning the registry's counters and gauges
+// into time series over the simulated clock.  It is passive: something that
+// owns the simulation clock (ClusterExperiment schedules a recurring
+// simulator callback when ScenarioConfig::obs_sample_interval > 0) calls
+// tick(now), and a row is recorded whenever `now` crosses the next grid
+// point.  Columns are fixed at the first recorded row, in the registry's
+// sorted order, so the CSV layout is deterministic.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dct::obs {
+
+class Sampler {
+ public:
+  /// Samples every `interval` simulated seconds (> 0), starting at the
+  /// first tick() at or after `interval`.
+  Sampler(const Registry& registry, double interval);
+
+  /// Records a sample row if `sim_time` has reached the next grid point.
+  /// Multiple grid points skipped in one jump record a single row (the
+  /// sampler measures state, not history).  Returns true when a row was
+  /// recorded.
+  bool tick(double sim_time);
+
+  /// Simulation time of the next sample.
+  [[nodiscard]] double next_sample_time() const noexcept { return next_; }
+  [[nodiscard]] double interval() const noexcept { return interval_; }
+  [[nodiscard]] std::size_t sample_count() const noexcept { return times_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<double>& times() const noexcept { return times_; }
+  /// Row i, aligned with columns().
+  [[nodiscard]] const std::vector<double>& row(std::size_t i) const;
+
+  /// "sim_time,<col>,<col>,..." header plus one line per sample.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  const Registry& registry_;
+  double interval_;
+  double next_;
+  std::vector<std::string> columns_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace dct::obs

@@ -1,10 +1,63 @@
 #include "trace/codec.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/require.h"
 
 namespace dct {
+namespace {
+
+#if DCT_OBS_ENABLED
+// Module-level metric handles (the codec entry points are free functions).
+struct CodecMetrics {
+  obs::Counter* encode_calls = nullptr;
+  obs::Counter* encode_wall_ns = nullptr;
+  obs::Counter* encoded_bytes = nullptr;
+  obs::Counter* decode_calls = nullptr;
+  obs::Counter* decode_wall_ns = nullptr;
+  obs::Counter* decoded_bytes = nullptr;
+};
+CodecMetrics g_codec_metrics;
+
+/// Adds elapsed wall nanoseconds to a counter on scope exit.
+class WallNsAccumulator {
+ public:
+  explicit WallNsAccumulator(obs::Counter* c) noexcept
+      : counter_(c), start_(c != nullptr ? std::chrono::steady_clock::now()
+                                         : std::chrono::steady_clock::time_point{}) {}
+  ~WallNsAccumulator() {
+    if (counter_ == nullptr) return;
+    counter_->inc(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+
+ private:
+  obs::Counter* counter_;
+  std::chrono::steady_clock::time_point start_;
+};
+#endif  // DCT_OBS_ENABLED
+
+}  // namespace
+
+void bind_codec_metrics(obs::Registry* registry) {
+#if DCT_OBS_ENABLED
+  if (registry == nullptr) {
+    g_codec_metrics = CodecMetrics{};
+    return;
+  }
+  g_codec_metrics.encode_calls = registry->counter("trace", "encode_calls", "calls");
+  g_codec_metrics.encode_wall_ns = registry->counter("trace", "encode_wall_ns", "ns");
+  g_codec_metrics.encoded_bytes = registry->counter("trace", "encoded_bytes", "bytes");
+  g_codec_metrics.decode_calls = registry->counter("trace", "decode_calls", "calls");
+  g_codec_metrics.decode_wall_ns = registry->counter("trace", "decode_wall_ns", "ns");
+  g_codec_metrics.decoded_bytes = registry->counter("trace", "decoded_bytes", "bytes");
+#else
+  (void)registry;
+#endif
+}
 
 void ByteWriter::uvarint(std::uint64_t v) {
   while (v >= 0x80) {
@@ -158,6 +211,10 @@ std::size_t raw_encoding_size(const ServerLog& log) noexcept {
 }
 
 std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
+#if DCT_OBS_ENABLED
+  if (g_codec_metrics.encode_calls != nullptr) g_codec_metrics.encode_calls->inc();
+  WallNsAccumulator obs_timer(g_codec_metrics.encode_wall_ns);
+#endif
   ByteWriter w;
   const bool has_failures = !trace.device_failures().empty();
   w.u8(kTraceMagic);
@@ -220,10 +277,22 @@ std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
       w.svarint(d.flows_rerouted);
     }
   }
+#if DCT_OBS_ENABLED
+  if (g_codec_metrics.encoded_bytes != nullptr) {
+    g_codec_metrics.encoded_bytes->inc(w.size());
+  }
+#endif
   return w.take();
 }
 
 ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
+#if DCT_OBS_ENABLED
+  if (g_codec_metrics.decode_calls != nullptr) g_codec_metrics.decode_calls->inc();
+  if (g_codec_metrics.decoded_bytes != nullptr) {
+    g_codec_metrics.decoded_bytes->inc(data.size());
+  }
+  WallNsAccumulator obs_timer(g_codec_metrics.decode_wall_ns);
+#endif
   ByteReader r(data);
   require(r.u8() == kTraceMagic, "decode_trace: bad magic");
   const std::uint8_t version = r.u8();

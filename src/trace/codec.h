@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/obs.h"
 #include "trace/cluster_trace.h"
 
 namespace dct {
@@ -73,5 +74,12 @@ class ByteReader {
 [[nodiscard]] std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace);
 /// Inverse of encode_trace.
 [[nodiscard]] ClusterTrace decode_trace(std::span<const std::uint8_t> data);
+
+/// Registers the codec's metrics (docs/METRICS.md, subsystem "trace") and
+/// starts feeding them from every encode_trace / decode_trace call.  The
+/// codec entry points are free functions, so the binding is module-level:
+/// one registry at a time (the last bound wins); pass nullptr to unbind.
+/// No-op in a DCT_OBS=OFF build.
+void bind_codec_metrics(obs::Registry* registry);
 
 }  // namespace dct

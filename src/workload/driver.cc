@@ -148,7 +148,54 @@ TimeSec WorkloadDriver::retry_backoff(std::int32_t attempt) {
   const double doubled =
       config_.read_retry_base_backoff * std::ldexp(1.0, std::min(attempt - 1, 30));
   const double capped = std::min<double>(config_.read_retry_max_backoff, doubled);
-  return capped * rng_.uniform(0.5, 1.5);
+  const TimeSec backoff = capped * rng_.uniform(0.5, 1.5);
+  DCT_OBS_INC(m_read_retries_);
+  DCT_OBS_OBSERVE(m_retry_backoff_s_, backoff);
+  return backoff;
+}
+
+void WorkloadDriver::note_phase(PhaseKind kind, TimeSec duration) {
+#if DCT_OBS_ENABLED
+  switch (kind) {
+    case PhaseKind::kExtract: DCT_OBS_OBSERVE(m_phase_extract_s_, duration); break;
+    case PhaseKind::kPartition: break;  // pipelined with extract, never recorded
+    case PhaseKind::kAggregate: DCT_OBS_OBSERVE(m_phase_aggregate_s_, duration); break;
+    case PhaseKind::kCombine: DCT_OBS_OBSERVE(m_phase_combine_s_, duration); break;
+    case PhaseKind::kOutput: DCT_OBS_OBSERVE(m_phase_output_s_, duration); break;
+  }
+#else
+  (void)kind;
+  (void)duration;
+#endif
+}
+
+void WorkloadDriver::bind_metrics(obs::Registry& registry) {
+#if DCT_OBS_ENABLED
+  m_jobs_submitted_ = registry.counter("workload", "jobs_submitted", "jobs");
+  m_jobs_completed_ = registry.counter("workload", "jobs_completed", "jobs");
+  m_jobs_failed_ = registry.counter("workload", "jobs_failed", "jobs");
+  m_read_failures_ = registry.counter("workload", "read_failures", "reads");
+  m_read_retries_ = registry.counter("workload", "read_retries", "retries");
+  m_rereplication_bytes_ =
+      registry.counter("workload", "rereplication_bytes", "bytes");
+  m_vertices_reexecuted_ =
+      registry.counter("workload", "vertices_reexecuted", "vertices");
+  // Phase latencies span ~20 ms vertex startups to multi-hundred-second
+  // production phases: 0.01 s * 1.5^32 covers ~4e3 s.
+  m_phase_extract_s_ =
+      registry.histogram("workload", "phase_seconds_extract", "s", 0.01, 1.5, 32);
+  m_phase_aggregate_s_ =
+      registry.histogram("workload", "phase_seconds_aggregate", "s", 0.01, 1.5, 32);
+  m_phase_combine_s_ =
+      registry.histogram("workload", "phase_seconds_combine", "s", 0.01, 1.5, 32);
+  m_phase_output_s_ =
+      registry.histogram("workload", "phase_seconds_output", "s", 0.01, 1.5, 32);
+  m_job_s_ = registry.histogram("workload", "job_seconds", "s", 0.01, 1.5, 32);
+  m_retry_backoff_s_ =
+      registry.histogram("workload", "retry_backoff_seconds", "s", 0.01, 1.5, 32);
+#else
+  (void)registry;
+#endif
 }
 
 bool WorkloadDriver::is_server_down(ServerId s) const {
@@ -362,6 +409,7 @@ void WorkloadDriver::try_admit() {
 void WorkloadDriver::submit_job(JobSpec spec) {
   require(spec.input >= 0, "submit_job: job needs an input dataset");
   ++stats_.jobs_submitted;
+  DCT_OBS_INC(m_jobs_submitted_);
   auto exec = std::make_unique<JobExec>();
   JobExec& job = *exec;
   job.spec = std::move(spec);
@@ -508,6 +556,7 @@ void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
         rec.failed || rng_.bernoulli(config_.spontaneous_read_failure_prob);
     if (read_failed) {
       ++stats_.read_failures;
+      DCT_OBS_INC(m_read_failures_);
       ReadFailureRecord rf;
       rf.time = sim_.now();
       rf.job = jp->spec.id;
@@ -568,6 +617,7 @@ void WorkloadDriver::extract_vertex_done(JobExec& job, std::size_t vertex_index)
     p.bytes_in = job.extract_bytes_in;
     p.bytes_out = job.shuffle_bytes;
     trace_.record_phase(p);
+    note_phase(p.kind, p.end - p.start);
     start_aggregate_phase(job);
   }
 }
@@ -754,6 +804,7 @@ void WorkloadDriver::aggregate_fetch_next(JobExec& job, std::size_t vertex_index
           rec.failed || rng_.bernoulli(config_.spontaneous_read_failure_prob);
       if (read_failed) {
         ++stats_.read_failures;
+        DCT_OBS_INC(m_read_failures_);
         ReadFailureRecord rf;
         rf.time = sim_.now();
         rf.job = jp->spec.id;
@@ -834,6 +885,7 @@ void WorkloadDriver::aggregate_vertex_done(JobExec& job, std::size_t vertex_inde
     p.bytes_in = job.shuffle_bytes;
     p.bytes_out = job.shuffle_bytes;
     trace_.record_phase(p);
+    note_phase(p.kind, p.end - p.start);
     if (job.spec.second_input >= 0 && job.combine_start >= 0) {
       PhaseLogRecord c;
       c.job = job.spec.id;
@@ -845,6 +897,7 @@ void WorkloadDriver::aggregate_vertex_done(JobExec& job, std::size_t vertex_inde
       c.bytes_in = job.combine_bytes;
       c.bytes_out = job.combine_bytes;
       trace_.record_phase(c);
+      note_phase(c.kind, c.end - c.start);
     }
     start_output_phase(job);
   }
@@ -891,6 +944,7 @@ void WorkloadDriver::start_output_phase(JobExec& job) {
           p.bytes_in = jp->output_bytes;
           p.bytes_out = jp->output_bytes;
           trace_.record_phase(p);
+          note_phase(p.kind, p.end - p.start);
           finish_job(*jp, /*failed=*/false);
         }
         return;
@@ -917,8 +971,11 @@ void WorkloadDriver::finish_job(JobExec& job, bool failed) {
   --running_jobs_;
   if (failed) {
     ++stats_.jobs_failed;
+    DCT_OBS_INC(m_jobs_failed_);
   } else {
     ++stats_.jobs_completed;
+    DCT_OBS_INC(m_jobs_completed_);
+    DCT_OBS_OBSERVE(m_job_s_, sim_.now() - job.start_time);
     // Freshly written outputs become candidate inputs for later jobs.
     if (job.output_dataset >= 0) available_datasets_.push_back(job.output_dataset);
   }
@@ -1092,6 +1149,7 @@ void WorkloadDriver::handle_server_crash(ServerId server) {
       v.map_output = 0;
       v.retries_left = config_.max_read_retries;
       ++stats_.vertices_reexecuted;
+      DCT_OBS_INC(m_vertices_reexecuted_);
       launch_extract_vertex(job, vi);
     }
     for (std::size_t vi = 0; vi < job.aggs.size(); ++vi) {
@@ -1112,6 +1170,7 @@ void WorkloadDriver::handle_server_crash(ServerId server) {
       v.retries_left = config_.max_read_retries;
       v.server = ensure_up(v.server);
       ++stats_.vertices_reexecuted;
+      DCT_OBS_INC(m_vertices_reexecuted_);
       // Re-fetch everything.  Fetches sourced at the crashed server will
       // fail and retry; if the mapper's output is truly gone the retries
       // exhaust and the job fails — lost map output is not re-derived.
@@ -1178,6 +1237,7 @@ void WorkloadDriver::run_rereplication(ServerId failed) {
             !store_.has_replica(bid, target)) {
           store_.move_replica(bid, failed, target);
           ++stats_.blocks_rereplicated;
+          DCT_OBS_ADD(m_rereplication_bytes_, rec.bytes_sent);
         }
         (*pump)();
       });

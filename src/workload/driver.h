@@ -27,6 +27,7 @@
 
 #include "common/rng.h"
 #include "flowsim/flowsim.h"
+#include "obs/obs.h"
 #include "topology/topology.h"
 #include "trace/cluster_trace.h"
 #include "workload/blockstore.h"
@@ -174,6 +175,11 @@ class WorkloadDriver {
   [[nodiscard]] const BlockStore& block_store() const noexcept { return store_; }
   [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
 
+  /// Registers the workload's metrics (docs/METRICS.md, subsystem
+  /// "workload") and starts feeding them.  Optional; call before install().
+  /// No-op in a DCT_OBS=OFF build.
+  void bind_metrics(obs::Registry& registry);
+
   // --- Device-failure integration (wired up by ClusterExperiment) ---------
   /// Reacts to an injected server crash: stops placing work there, orphans
   /// the victim's in-flight callbacks (vertex epochs), re-executes its
@@ -240,6 +246,8 @@ class WorkloadDriver {
   void populate_agg_fetches(JobExec& job, std::size_t vertex_index);
   [[nodiscard]] PhaseId new_phase();
   [[nodiscard]] bool horizon_reached() const;
+  /// Feeds the per-phase latency histograms; call after record_phase.
+  void note_phase(PhaseKind kind, TimeSec duration);
 
   const Topology& topo_;
   FlowSim& sim_;
@@ -259,6 +267,21 @@ class WorkloadDriver {
   std::int32_t running_jobs_ = 0;
   std::int32_t next_phase_ = 0;
   std::int32_t next_job_ = 0;
+
+  // Self-instrumentation handles; null until bind_metrics() (obs/obs.h).
+  obs::Counter* m_jobs_submitted_ = nullptr;
+  obs::Counter* m_jobs_completed_ = nullptr;
+  obs::Counter* m_jobs_failed_ = nullptr;
+  obs::Counter* m_read_failures_ = nullptr;
+  obs::Counter* m_read_retries_ = nullptr;
+  obs::Counter* m_rereplication_bytes_ = nullptr;
+  obs::Counter* m_vertices_reexecuted_ = nullptr;
+  obs::Histogram* m_phase_extract_s_ = nullptr;
+  obs::Histogram* m_phase_aggregate_s_ = nullptr;
+  obs::Histogram* m_phase_combine_s_ = nullptr;
+  obs::Histogram* m_phase_output_s_ = nullptr;
+  obs::Histogram* m_job_s_ = nullptr;
+  obs::Histogram* m_retry_backoff_s_ = nullptr;
 };
 
 }  // namespace dct

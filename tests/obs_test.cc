@@ -1,0 +1,280 @@
+// Tests for the self-instrumentation subsystem (src/obs): registry
+// semantics, histogram bucket edges, sampler grid behaviour, manifest
+// golden output, and — the property everything else leans on — that two
+// identical seeded runs produce identical counter/gauge values while the
+// instrumentation itself never perturbs the simulation.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/require.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/sampler.h"
+
+namespace dct::obs {
+namespace {
+
+TEST(Registry, RegistrationIsIdempotent) {
+  Registry reg;
+  Counter* a = reg.counter("flowsim", "flows_started", "flows");
+  Counter* b = reg.counter("flowsim", "flows_started", "flows");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.size(), 1u);
+  a->inc(3);
+  EXPECT_EQ(b->value(), 3u);
+}
+
+TEST(Registry, KindOrUnitMismatchThrows) {
+  Registry reg;
+  reg.counter("x", "m", "ops");
+  EXPECT_THROW(reg.gauge("x", "m", "ops"), Error);
+  EXPECT_THROW(reg.counter("x", "m", "bytes"), Error);
+}
+
+TEST(Registry, IterationIsSortedBySubsystemThenName) {
+  Registry reg;
+  reg.counter("z", "a", "u");
+  reg.counter("a", "z", "u");
+  reg.counter("a", "b", "u");
+  std::vector<std::string> names;
+  for (const Metric* m : reg.metrics()) names.push_back(m->full_name());
+  EXPECT_EQ(names, (std::vector<std::string>{"a.b", "a.z", "z.a"}));
+}
+
+TEST(Registry, ScalarSnapshotSkipsHistograms) {
+  Registry reg;
+  reg.counter("s", "c", "u")->inc(7);
+  reg.gauge("s", "g", "u")->set(2.5);
+  reg.histogram("s", "h", "ns", 1.0, 2.0, 8)->observe(5.0);
+  const auto snap = reg.scalar_snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "s.c");
+  EXPECT_EQ(snap[0].second, 7.0);
+  EXPECT_EQ(snap[1].first, "s.g");
+  EXPECT_EQ(snap[1].second, 2.5);
+}
+
+TEST(Histogram, GeometricBucketEdgesAndClamping) {
+  Histogram h(100.0, 2.0, 4);  // [100,200) [200,400) [400,800) [800,inf-clamp)
+  ASSERT_EQ(h.bucket_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_left(0), 100.0);
+  EXPECT_DOUBLE_EQ(h.bucket_left(1), 200.0);
+  EXPECT_DOUBLE_EQ(h.bucket_left(2), 400.0);
+  EXPECT_DOUBLE_EQ(h.bucket_left(3), 800.0);
+  h.observe(150.0);   // bucket 0
+  h.observe(200.0);   // left edge inclusive: bucket 1
+  h.observe(1.0);     // below range: clamped into bucket 0
+  h.observe(1e9);     // above range: clamped into the last bucket
+  EXPECT_EQ(h.bucket_value(0), 2.0);
+  EXPECT_EQ(h.bucket_value(1), 1.0);
+  EXPECT_EQ(h.bucket_value(3), 1.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+}
+
+TEST(Macros, TolerateUnboundPointers) {
+  // Null instrument pointers are the dormant state; every macro must be
+  // safe on them in an enabled build and compile to nothing when disabled.
+  Counter* c = nullptr;
+  Gauge* g = nullptr;
+  Histogram* h = nullptr;
+  DCT_OBS_INC(c);
+  DCT_OBS_ADD(c, 5);
+  DCT_OBS_SET(g, 1.0);
+  DCT_OBS_OBSERVE(h, 2.0);
+  { DCT_OBS_SCOPED_TIMER(timer, h); }
+  SUCCEED();
+}
+
+TEST(Macros, BoundPointersRecordWhenEnabled) {
+  Registry reg;
+  Counter* c = reg.counter("t", "c", "u");
+  Histogram* h = reg.histogram("t", "h", "ns", 1.0, 2.0, 8);
+  DCT_OBS_INC(c);
+  DCT_OBS_ADD(c, 2);
+  { DCT_OBS_SCOPED_TIMER(timer, h); }
+  if (kEnabled) {
+    EXPECT_EQ(c->value(), 3u);
+    EXPECT_EQ(h->count(), 1u);
+  } else {
+    EXPECT_EQ(c->value(), 0u);
+    EXPECT_EQ(h->count(), 0u);
+  }
+}
+
+TEST(Sampler, RecordsOnGridAndCollapsesSkippedPoints) {
+  Registry reg;
+  Counter* c = reg.counter("s", "events", "events");
+  Sampler sampler(reg, 10.0);
+  EXPECT_DOUBLE_EQ(sampler.next_sample_time(), 10.0);
+  EXPECT_FALSE(sampler.tick(9.9));
+  c->inc(4);
+  EXPECT_TRUE(sampler.tick(10.0));  // first grid point
+  c->inc(1);
+  EXPECT_TRUE(sampler.tick(35.0));  // skips 20 and 30: still one row
+  EXPECT_FALSE(sampler.tick(35.5));
+  ASSERT_EQ(sampler.sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(sampler.times()[0], 10.0);
+  EXPECT_DOUBLE_EQ(sampler.times()[1], 35.0);
+  ASSERT_EQ(sampler.columns(), std::vector<std::string>{"s.events"});
+  EXPECT_EQ(sampler.row(0)[0], 4.0);
+  EXPECT_EQ(sampler.row(1)[0], 5.0);
+  EXPECT_DOUBLE_EQ(sampler.next_sample_time(), 40.0);
+
+  std::ostringstream csv;
+  sampler.write_csv(csv);
+  EXPECT_EQ(csv.str(), "sim_time,s.events\n10,4\n35,5\n");
+}
+
+TEST(Manifest, JsonGoldenIsByteStable) {
+  RunManifest m;
+  m.harness = "unit_test";
+  m.scenario = "tiny";
+  m.seed = 7;
+  m.sim_duration_s = 60.0;
+  m.config["racks"] = 4;
+  m.config["jobs_per_second"] = 1.5;
+  m.build = BuildInfo{.obs_enabled = true,
+                      .sanitized = false,
+                      .build_type = "Release",
+                      .compiler = "GNU 12.2.0"};
+  m.wall_seconds = 0.25;
+  m.metrics.push_back(MetricSnapshot{.full_name = "flowsim.flows_started",
+                                     .unit = "flows",
+                                     .kind = MetricKind::kCounter,
+                                     .value = 42});
+  m.metrics.push_back(MetricSnapshot{.full_name = "flowsim.recompute_wall_ns",
+                                     .unit = "ns",
+                                     .kind = MetricKind::kHistogram,
+                                     .count = 2,
+                                     .sum = 300,
+                                     .mean = 150,
+                                     .max = 200});
+  const std::string expected = R"({
+  "schema": "dct-run-manifest/1",
+  "harness": "unit_test",
+  "scenario": "tiny",
+  "seed": 7,
+  "sim_duration_s": 60,
+  "config": {
+    "jobs_per_second": 1.5,
+    "racks": 4
+  },
+  "build": {
+    "obs_enabled": true,
+    "sanitized": false,
+    "build_type": "Release",
+    "compiler": "GNU 12.2.0"
+  },
+  "wall_seconds": 0.25,
+  "metrics": {
+    "flowsim.flows_started": {"kind": "counter", "unit": "flows", "value": 42},
+    "flowsim.recompute_wall_ns": {"kind": "histogram", "unit": "ns", "count": 2, "sum": 300, "mean": 150, "max": 200}
+  }
+}
+)";
+  EXPECT_EQ(m.to_json(), expected);
+  // Byte-stable means byte-stable: a second serialization is identical.
+  EXPECT_EQ(m.to_json(), m.to_json());
+}
+
+TEST(Manifest, CsvFlattensMetrics) {
+  RunManifest m;
+  m.metrics.push_back(MetricSnapshot{.full_name = "a.c",
+                                     .unit = "ops",
+                                     .kind = MetricKind::kCounter,
+                                     .value = 3});
+  const std::string csv = m.to_csv();
+  EXPECT_NE(csv.find("metric,kind,unit,value,count,sum,mean,max"), std::string::npos);
+  EXPECT_NE(csv.find("a.c,counter,ops,3,"), std::string::npos);
+}
+
+TEST(Experiment, IdenticalSeededRunsYieldIdenticalScalars) {
+  auto run_snapshot = [] {
+    auto exp = ClusterExperiment(scenarios::tiny(30.0, 11));
+    exp.run();
+    return exp.registry().scalar_snapshot();
+  };
+  const auto a = run_snapshot();
+  const auto b = run_snapshot();
+  if (kEnabled) {
+    ASSERT_FALSE(a.empty());
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(Experiment, ManifestDescribesTheRun) {
+  auto exp = ClusterExperiment(scenarios::tiny(30.0, 11));
+  exp.run();
+  const RunManifest m = exp.manifest("obs_test");
+  EXPECT_EQ(m.schema, "dct-run-manifest/1");
+  EXPECT_EQ(m.harness, "obs_test");
+  EXPECT_EQ(m.scenario, "tiny");
+  EXPECT_EQ(m.seed, 11u);
+  EXPECT_DOUBLE_EQ(m.sim_duration_s, 30.0);
+  EXPECT_GT(m.wall_seconds, 0.0);
+  EXPECT_EQ(m.config.at("racks"), 4.0);
+  EXPECT_EQ(m.build.obs_enabled, kEnabled);
+  if (kEnabled) {
+    // Every always-bound subsystem shows up; faults are absent because the
+    // tiny scenario schedules none.
+    bool saw_flowsim = false, saw_workload = false, saw_trace = false;
+    for (const auto& s : m.metrics) {
+      saw_flowsim |= s.full_name.starts_with("flowsim.");
+      saw_workload |= s.full_name.starts_with("workload.");
+      saw_trace |= s.full_name.starts_with("trace.");
+    }
+    EXPECT_TRUE(saw_flowsim);
+    EXPECT_TRUE(saw_workload);
+    EXPECT_TRUE(saw_trace);
+  } else {
+    EXPECT_TRUE(m.metrics.empty());
+  }
+}
+
+TEST(Experiment, ManifestBeforeRunThrows) {
+  auto exp = ClusterExperiment(scenarios::tiny(30.0, 11));
+  EXPECT_THROW(exp.manifest("obs_test"), Error);
+}
+
+TEST(Experiment, SamplerRecordsWhenIntervalSet) {
+  ScenarioConfig cfg = scenarios::tiny(30.0, 11);
+  cfg.obs_sample_interval = 5.0;
+  auto exp = ClusterExperiment(cfg);
+  exp.run();
+  ASSERT_NE(exp.sampler(), nullptr);
+  EXPECT_GE(exp.sampler()->sample_count(), 5u);
+  EXPECT_LE(exp.sampler()->sample_count(), 6u);
+  if (kEnabled) {
+    EXPECT_FALSE(exp.sampler()->columns().empty());
+  }
+}
+
+TEST(Experiment, SamplerOffByDefault) {
+  auto exp = ClusterExperiment(scenarios::tiny(30.0, 11));
+  exp.run();
+  EXPECT_EQ(exp.sampler(), nullptr);
+}
+
+TEST(Experiment, DormantBindingLeavesSimulationIdentical) {
+  // The whole design rests on this: binding metrics must not change a
+  // single simulated outcome, only observe it.
+  auto flows = [](bool bind) {
+    ScenarioConfig cfg = scenarios::tiny(30.0, 11);
+    cfg.obs_bind_metrics = bind;
+    auto exp = ClusterExperiment(cfg);
+    exp.run();
+    return std::pair{exp.trace().flow_count(), exp.trace().total_bytes()};
+  };
+  EXPECT_EQ(flows(true), flows(false));
+}
+
+}  // namespace
+}  // namespace dct::obs

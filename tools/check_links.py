@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Checks relative markdown links: every [text](path) must resolve on disk.
+
+Usage: check_links.py <file-or-dir>...
+
+External links (http/https/mailto) and pure in-page anchors (#...) are
+skipped; a `path#anchor` link is checked for the file part only.  Exits
+non-zero listing every broken link.  Stdlib only, so CI needs nothing
+beyond python3.
+"""
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — target captured up to the first unescaped ')'.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def md_files(args: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for a in args:
+        p = Path(a)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        else:
+            files.append(p)
+    return files
+
+
+def check(path: Path) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = md_files(sys.argv[1:])
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print("no such file(s): " + ", ".join(missing), file=sys.stderr)
+        return 2
+    errors = [e for f in files for e in check(f)]
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} files: "
+          + ("OK" if not errors else f"{len(errors)} broken link(s)"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
