@@ -35,7 +35,7 @@ struct Options {
 [[noreturn]] void usage() {
   std::cerr << "usage: run_scenario [--scenario canonical|weekend|heavy|no_locality|"
                "uncapped_connections|unchunked|full_bisection|paper_scale|"
-               "fault_storm|tiny]\n"
+               "fault_storm|gray_failure|tiny]\n"
                "                    [--duration S] [--seed N] [--jobs-per-second R]\n"
                "                    [--racks N] [--servers-per-rack N]\n"
                "                    [--csv-flows PATH] [--csv-links PATH]\n";
@@ -93,6 +93,8 @@ dct::ScenarioConfig make_config(const Options& opt) {
     cfg = dct::scenarios::paper_scale(opt.duration, opt.seed);
   } else if (opt.scenario == "fault_storm") {
     cfg = dct::scenarios::fault_storm(opt.duration, opt.seed);
+  } else if (opt.scenario == "gray_failure") {
+    cfg = dct::scenarios::gray_failure(opt.duration, opt.seed);
   } else if (opt.scenario == "tiny") {
     cfg = dct::scenarios::tiny(opt.duration, opt.seed);
   } else {
@@ -137,6 +139,17 @@ int main(int argc, char** argv) {
                 std::to_string(stats.server_crashes) + " / " +
                     std::to_string(stats.vertices_reexecuted) + " / " +
                     std::to_string(stats.blocks_rereplicated)});
+  }
+  if (!trace.degradations().empty()) {
+    report.row({"degradation episodes", std::to_string(trace.degradations().size())});
+    report.row({"straggler episodes observed",
+                std::to_string(stats.stragglers_observed)});
+    report.row({"speculative backups launched / won",
+                std::to_string(stats.spec_launched) + " / " +
+                    std::to_string(stats.spec_wins)});
+    report.row({"hedged reads launched / won",
+                std::to_string(stats.hedges_launched) + " / " +
+                    std::to_string(stats.hedge_wins)});
   }
 
   const auto durations = dct::flow_duration_stats(trace);

@@ -38,15 +38,27 @@ void ClusterExperiment::run() {
     bind_codec_metrics(&registry_);
   }
   driver_.install();
-  if (!config_.faults.empty()) {
+  if (!config_.faults.empty() || !config_.degradations.empty()) {
     injector_ = std::make_unique<FaultInjector>(sim_, net_, &trace_);
     if (config_.obs_bind_metrics) injector_->bind_metrics(registry_);
     injector_->set_server_crash_handler(
         [this](ServerId s) { driver_.handle_server_crash(s); });
     injector_->set_server_recovery_handler(
         [this](ServerId s) { driver_.handle_server_recovery(s); });
-    injector_->install(
-        generate_fault_schedule(topo_, config_.faults, config_.sim.end_time));
+    injector_->set_straggler_handler([this](ServerId s, double slowdown) {
+      driver_.handle_straggler_start(s, slowdown);
+    });
+    injector_->set_straggler_clear_handler(
+        [this](ServerId s) { driver_.handle_straggler_end(s); });
+    std::vector<FaultEvent> faults =
+        generate_fault_schedule(topo_, config_.faults, config_.sim.end_time);
+    std::vector<DegradationEvent> degradations = generate_degradation_schedule(
+        topo_, config_.degradations, config_.sim.end_time);
+    schedule_hash_ = dct::schedule_hash(faults, degradations);
+    injector_->install(std::move(faults));
+    if (!degradations.empty() || !config_.degradations.empty()) {
+      injector_->install_degradations(std::move(degradations));
+    }
   }
   // Sampling is opt-in: each tick is a user callback in the event queue, so
   // enabling it shifts event sequence numbers.  With the default interval of
@@ -90,6 +102,11 @@ obs::RunManifest ClusterExperiment::manifest(const std::string& harness) const {
   m.config["recompute_interval_s"] = config_.sim.recompute_interval;
   m.config["per_flow_rate_cap_Bps"] = config_.sim.per_flow_rate_cap;
   m.config["faults_enabled"] = config_.faults.empty() ? 0.0 : 1.0;
+  m.config["degradations_enabled"] = config_.degradations.empty() ? 0.0 : 1.0;
+  // Masked to 48 bits so the value is exactly representable as a double and
+  // survives the manifest's JSON round-trip bit-for-bit.
+  m.config["fault_schedule_hash"] =
+      static_cast<double>(schedule_hash_ & ((1ull << 48) - 1));
   m.config["obs_sample_interval_s"] = config_.obs_sample_interval;
   m.build = obs::current_build_info();
   m.wall_seconds = wall_seconds_;

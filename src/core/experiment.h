@@ -62,9 +62,15 @@ class ClusterExperiment {
   /// Live/down state of every device; all-up unless the scenario's
   /// FaultConfig is non-empty.
   [[nodiscard]] const NetworkState& network_state() const noexcept { return net_; }
-  /// The injector, or nullptr when the scenario has no faults.
+  /// The injector, or nullptr when the scenario has neither faults nor
+  /// degradations.
   [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
     return injector_.get();
+  }
+  /// Stable FNV-1a hash of the installed fault + degradation schedules
+  /// (faults/degradation.h); 0 when both are empty.  Available after run().
+  [[nodiscard]] std::uint64_t schedule_hash() const noexcept {
+    return schedule_hash_;
   }
 
   // --- Self-instrumentation (src/obs, docs/METRICS.md) --------------------
@@ -92,6 +98,7 @@ class ClusterExperiment {
   TraceCollector collector_;
   WorkloadDriver driver_;
   std::unique_ptr<FaultInjector> injector_;
+  std::uint64_t schedule_hash_ = 0;
   bool ran_ = false;
   std::unique_ptr<LinkUtilizationMap> util_cache_;
   obs::Registry registry_;

@@ -102,6 +102,30 @@ ScenarioConfig fault_storm(TimeSec duration, std::uint64_t seed) {
   return cfg;
 }
 
+ScenarioConfig gray_failure(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = canonical(duration, seed);
+  cfg.name = "gray_failure";
+  // Redundant uplinks so a flapping or throttled uplink has an alternative.
+  cfg.topology.redundant_tor_uplinks = true;
+  // Rates are per entity per hour, inflated (like fault_storm) so a ten
+  // minute run sees a healthy sample of every degradation class.
+  cfg.degradations.link_capacity_rate = 0.6;
+  cfg.degradations.link_capacity_mean_duration = 45.0;
+  cfg.degradations.link_flap_rate = 0.3;
+  cfg.degradations.link_flap_mean_duration = 25.0;
+  cfg.degradations.link_lossy_rate = 0.4;
+  cfg.degradations.link_lossy_mean_duration = 40.0;
+  cfg.degradations.straggler_rate = 2.5;
+  cfg.degradations.straggler_mean_duration = 90.0;
+  cfg.degradations.straggler_slowdown_min = 4.0;
+  cfg.degradations.straggler_slowdown_max = 8.0;
+  // Degraded-mode mitigations on; bench/gray_failure turns them off for
+  // the control arm against the identical degradation schedule.
+  cfg.workload.speculative_execution = true;
+  cfg.workload.hedged_reads = true;
+  return cfg;
+}
+
 ScenarioConfig tiny(TimeSec duration, std::uint64_t seed) {
   ScenarioConfig cfg;
   cfg.name = "tiny";

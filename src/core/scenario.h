@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/units.h"
+#include "faults/degradation.h"
 #include "faults/fault_schedule.h"
 #include "flowsim/flowsim.h"
 #include "topology/topology.h"
@@ -28,6 +29,11 @@ struct ScenarioConfig {
   /// case no injector is built and the run is byte-identical to a build
   /// without the faults subsystem.
   FaultConfig faults;
+  /// Gray-failure process (partial faults: throttled / lossy / flapping
+  /// links, straggler servers); empty by default, in which case no
+  /// degradation schedule is generated and the run is byte-identical to a
+  /// build without the degradation subsystem.
+  DegradationConfig degradations;
   std::uint64_t seed = 42;
   /// When > 0, ClusterExperiment samples every registered counter/gauge
   /// onto this simulated-time grid (obs::Sampler) during run(); 0 (the
@@ -84,6 +90,15 @@ namespace scenarios {
 /// vertex re-execution and block re-replication all at once.
 [[nodiscard]] ScenarioConfig fault_storm(TimeSec duration = 600.0,
                                          std::uint64_t seed = 42);
+
+/// Robustness study: the canonical cluster under gray failures — partial
+/// faults that degrade without disconnecting (throttled, lossy and flapping
+/// links; straggler servers) — with the workload's degraded-mode
+/// mitigations (speculative re-execution and hedged block reads) switched
+/// on.  bench/gray_failure compares this against the same schedule with
+/// mitigations off.
+[[nodiscard]] ScenarioConfig gray_failure(TimeSec duration = 600.0,
+                                          std::uint64_t seed = 42);
 
 /// A very small, fast configuration for unit tests (4 racks, exact-mode
 /// simulator).

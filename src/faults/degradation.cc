@@ -1,0 +1,182 @@
+#include "faults/degradation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/require.h"
+#include "common/rng.h"
+
+namespace dct {
+
+void DegradationConfig::validate() const {
+  require(link_capacity_rate >= 0, "DegradationConfig: link_capacity_rate must be >= 0");
+  require(link_flap_rate >= 0, "DegradationConfig: link_flap_rate must be >= 0");
+  require(link_lossy_rate >= 0, "DegradationConfig: link_lossy_rate must be >= 0");
+  require(straggler_rate >= 0, "DegradationConfig: straggler_rate must be >= 0");
+  require(link_capacity_mean_duration > 0 && link_flap_mean_duration > 0 &&
+              link_lossy_mean_duration > 0 && straggler_mean_duration > 0,
+          "DegradationConfig: mean durations must be > 0");
+  require(link_capacity_floor > 0 && link_capacity_ceil < 1 &&
+              link_capacity_floor <= link_capacity_ceil,
+          "DegradationConfig: capacity severity must satisfy 0 < floor <= ceil < 1");
+  require(link_lossy_floor > 0 && link_lossy_ceil < 1 &&
+              link_lossy_floor <= link_lossy_ceil,
+          "DegradationConfig: lossy severity must satisfy 0 < floor <= ceil < 1");
+  // The period floor bounds the number of down/up transitions one flap
+  // episode can schedule.
+  require(link_flap_period_min >= 0.5 && link_flap_period_min <= link_flap_period_max,
+          "DegradationConfig: flap period must satisfy 0.5 <= min <= max");
+  require(link_flap_duty_min > 0 && link_flap_duty_max < 1 &&
+              link_flap_duty_min <= link_flap_duty_max,
+          "DegradationConfig: flap duty cycle must satisfy 0 < min <= max < 1");
+  require(straggler_slowdown_min >= 1 &&
+              straggler_slowdown_min <= straggler_slowdown_max,
+          "DegradationConfig: straggler slowdown must satisfy 1 <= min <= max");
+}
+
+namespace {
+
+// Substream spacing: one stream per (degradation kind, entity) pair, same
+// discipline as the fail-stop generator.
+constexpr std::uint64_t kStreamStride = 1u << 20;
+
+// Renewal process for one entity: exponential healthy gaps at `rate` per
+// hour, exponential episodes with mean `mean_duration`, severity (and flap
+// period) drawn per episode from the same substream.
+void emit_entity(const Rng& base, std::uint64_t stream, double rate_per_hour,
+                 TimeSec mean_duration, TimeSec horizon, DegradationKind kind,
+                 std::int32_t entity, const DegradationConfig& cfg,
+                 std::vector<DegradationEvent>& out) {
+  Rng rng = base.fork(stream);
+  const double mean_gap = 3600.0 / rate_per_hour;
+  TimeSec t = rng.exponential(mean_gap);
+  while (t < horizon) {
+    // Floor episodes at 1 ms so every event has strictly positive duration.
+    const TimeSec duration = std::max(1e-3, rng.exponential(mean_duration));
+    DegradationEvent e;
+    e.start = t;
+    e.end = t + duration;
+    e.kind = kind;
+    e.entity = entity;
+    switch (kind) {
+      case DegradationKind::kLinkCapacity:
+        e.severity = rng.uniform(cfg.link_capacity_floor, cfg.link_capacity_ceil);
+        break;
+      case DegradationKind::kLinkFlap:
+        e.severity = rng.uniform(cfg.link_flap_duty_min, cfg.link_flap_duty_max);
+        e.period = rng.uniform(cfg.link_flap_period_min, cfg.link_flap_period_max);
+        break;
+      case DegradationKind::kLinkLossy:
+        e.severity = rng.uniform(cfg.link_lossy_floor, cfg.link_lossy_ceil);
+        break;
+      case DegradationKind::kServerStraggler:
+        e.severity = rng.uniform(cfg.straggler_slowdown_min, cfg.straggler_slowdown_max);
+        break;
+    }
+    out.push_back(e);
+    t = e.end + rng.exponential(mean_gap);
+  }
+}
+
+}  // namespace
+
+DegradationModel::DegradationModel(DegradationConfig config) : config_(config) {
+  config_.validate();
+}
+
+std::vector<DegradationEvent> DegradationModel::schedule(const Topology& topo,
+                                                         TimeSec horizon) const {
+  require(horizon > 0, "DegradationModel::schedule: horizon must be > 0");
+  std::vector<DegradationEvent> out;
+  if (config_.empty()) return out;
+
+  const Rng base(config_.seed);
+  const auto link_stream = [](DegradationKind kind, LinkId l) {
+    return static_cast<std::uint64_t>(kind) * kStreamStride +
+           static_cast<std::uint64_t>(l.value());
+  };
+  // Throttle / loss episodes can hit ANY link, including server access
+  // links — a NIC auto-negotiating down or a bad cable is the classic gray
+  // failure, and it is what makes one replica of a block slow while the
+  // others stay fast (the case hedged reads exist for).  Flaps stay on the
+  // inter-switch fabric like fail-stop flaps: a flapping access link
+  // presents as a flapping server, which is fail-stop territory.
+  if (config_.link_capacity_rate > 0) {
+    for (std::int32_t l = 0; l < topo.link_count(); ++l) {
+      emit_entity(base, link_stream(DegradationKind::kLinkCapacity, LinkId{l}),
+                  config_.link_capacity_rate, config_.link_capacity_mean_duration,
+                  horizon, DegradationKind::kLinkCapacity, l, config_, out);
+    }
+  }
+  if (config_.link_flap_rate > 0) {
+    for (LinkId l : topo.inter_switch_links()) {
+      emit_entity(base, link_stream(DegradationKind::kLinkFlap, l),
+                  config_.link_flap_rate, config_.link_flap_mean_duration, horizon,
+                  DegradationKind::kLinkFlap, l.value(), config_, out);
+    }
+  }
+  if (config_.link_lossy_rate > 0) {
+    for (std::int32_t l = 0; l < topo.link_count(); ++l) {
+      emit_entity(base, link_stream(DegradationKind::kLinkLossy, LinkId{l}),
+                  config_.link_lossy_rate, config_.link_lossy_mean_duration, horizon,
+                  DegradationKind::kLinkLossy, l, config_, out);
+    }
+  }
+  if (config_.straggler_rate > 0) {
+    for (std::int32_t s = 0; s < topo.internal_server_count(); ++s) {
+      emit_entity(base,
+                  static_cast<std::uint64_t>(DegradationKind::kServerStraggler) *
+                          kStreamStride +
+                      static_cast<std::uint64_t>(s),
+                  config_.straggler_rate, config_.straggler_mean_duration, horizon,
+                  DegradationKind::kServerStraggler, s, config_, out);
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const DegradationEvent& a, const DegradationEvent& b) {
+              return std::tie(a.start, a.kind, a.entity) <
+                     std::tie(b.start, b.kind, b.entity);
+            });
+  return out;
+}
+
+std::vector<DegradationEvent> generate_degradation_schedule(
+    const Topology& topo, const DegradationConfig& config, TimeSec horizon) {
+  return DegradationModel(config).schedule(topo, horizon);
+}
+
+std::uint64_t schedule_hash(const std::vector<FaultEvent>& faults,
+                            const std::vector<DegradationEvent>& degradations) {
+  if (faults.empty() && degradations.empty()) return 0;
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;  // FNV-1a prime
+    }
+  };
+  const auto mix_time = [&mix](TimeSec t) {
+    mix(static_cast<std::uint64_t>(std::llround(t * 1e6)));
+  };
+  for (const FaultEvent& e : faults) {
+    mix(0xFA);
+    mix_time(e.start);
+    mix_time(e.end);
+    mix(static_cast<std::uint64_t>(e.device));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.entity)));
+  }
+  for (const DegradationEvent& e : degradations) {
+    mix(0xDE);
+    mix_time(e.start);
+    mix_time(e.end);
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.entity)));
+    mix(static_cast<std::uint64_t>(std::llround(e.severity * 1e6)));
+    mix_time(e.period);
+  }
+  return h != 0 ? h : 1;  // 0 stays reserved for "no schedule"
+}
+
+}  // namespace dct

@@ -1,5 +1,7 @@
 #include "faults/injector.h"
 
+#include <algorithm>
+
 #include "common/require.h"
 
 namespace dct {
@@ -76,6 +78,108 @@ void FaultInjector::repair(const FaultEvent& e) {
   // primary at the next route computation.
 }
 
+void FaultInjector::inject_degradation(const DegradationEvent& e) {
+  const bool is_link = e.kind != DegradationKind::kServerStraggler;
+  const auto slot = static_cast<std::size_t>(e.entity);
+  std::uint8_t& busy = is_link ? link_degraded_[slot] : server_straggling_[slot];
+  // One active degradation per entity: an overlapping episode is dropped
+  // whole, like an overlapping fail-stop event on a down device.
+  if (busy != 0) {
+    ++degradations_skipped_;
+    DCT_OBS_INC(m_degradations_skipped_);
+    return;
+  }
+  busy = 1;
+  ++degradations_injected_;
+  DCT_OBS_INC(m_degradations_injected_);
+
+  const TimeSec horizon = sim_.config().end_time;
+  const TimeSec active = std::min(e.end, horizon) - e.start;
+  if (trace_ != nullptr) {
+    DegradationRecord rec;
+    rec.start = e.start;
+    rec.end = e.end;
+    rec.kind = e.kind;
+    rec.entity = e.entity;
+    rec.severity = e.severity;
+    rec.period = e.period;
+    trace_->record_degradation(rec);
+  }
+  switch (e.kind) {
+    case DegradationKind::kLinkCapacity:
+    case DegradationKind::kLinkLossy:
+      // Both present as a throttled link: capacity loss directly, loss via
+      // the goodput it destroys.  The link stays routable.
+      DCT_OBS_OBSERVE(m_degraded_link_s_, active);
+      sim_.set_link_capacity_factor(LinkId{e.entity}, e.severity);
+      break;
+    case DegradationKind::kLinkFlap:
+      DCT_OBS_OBSERVE(m_degraded_link_s_, active);
+      flap_cycle(e, e.start);
+      break;
+    case DegradationKind::kServerStraggler:
+      DCT_OBS_OBSERVE(m_straggler_s_, active);
+      if (on_straggler_) on_straggler_(ServerId{e.entity}, e.severity);
+      break;
+  }
+  // Episodes running past the horizon are never repaired: the run simply
+  // ends degraded, which is fine because nothing executes afterwards.
+  if (e.end < horizon) {
+    sim_.at(e.end, [this, e](FlowSim&) { end_degradation(e); });
+  }
+}
+
+void FaultInjector::end_degradation(const DegradationEvent& e) {
+  switch (e.kind) {
+    case DegradationKind::kLinkCapacity:
+    case DegradationKind::kLinkLossy:
+      sim_.set_link_capacity_factor(LinkId{e.entity}, 1.0);
+      break;
+    case DegradationKind::kLinkFlap:
+      // The final up-transition of flap_cycle restores the link; nothing to
+      // undo here beyond freeing the occupancy slot.
+      break;
+    case DegradationKind::kServerStraggler:
+      if (on_straggler_clear_) on_straggler_clear_(ServerId{e.entity});
+      break;
+  }
+  if (e.kind == DegradationKind::kServerStraggler) {
+    server_straggling_[static_cast<std::size_t>(e.entity)] = 0;
+  } else {
+    link_degraded_[static_cast<std::size_t>(e.entity)] = 0;
+  }
+}
+
+void FaultInjector::flap_cycle(const DegradationEvent& e, TimeSec cycle_start) {
+  // One flap period: down at cycle_start, up after the down fraction
+  // (severity) of the period, next cycle one period after cycle_start.
+  const TimeSec horizon = sim_.config().end_time;
+  const LinkId link{e.entity};
+  // A concurrent fail-stop outage may already hold the link down; then this
+  // cycle neither takes it down nor brings it back up.
+  const bool took_down = net_.link_up(link);
+  if (took_down) {
+    net_.set_link_up(link, false);
+    ++flap_transitions_;
+    DCT_OBS_INC(m_flap_transitions_);
+    sim_.handle_network_change();
+  }
+  const TimeSec up_at = std::min(cycle_start + e.severity * e.period, e.end);
+  if (up_at >= horizon) return;
+  sim_.at(up_at, [this, e, cycle_start, took_down](FlowSim&) {
+    const LinkId l{e.entity};
+    if (took_down && !net_.link_up(l)) {
+      net_.set_link_up(l, true);
+      ++flap_transitions_;
+      DCT_OBS_INC(m_flap_transitions_);
+    }
+    const TimeSec next = cycle_start + e.period;
+    if (next < e.end && next < sim_.config().end_time) {
+      sim_.at(next, [this, e, next](FlowSim&) { flap_cycle(e, next); });
+    }
+  });
+}
+
 void FaultInjector::bind_metrics(obs::Registry& registry) {
 #if DCT_OBS_ENABLED
   m_injected_ = registry.counter("faults", "injected", "incidents");
@@ -87,6 +191,12 @@ void FaultInjector::bind_metrics(obs::Registry& registry) {
   // Repair times run from ~15 s link flaps to ~300 s switch repairs (and
   // their exponential tails): 1 s * 1.6^24 covers ~8e4 s.
   m_repair_s_ = registry.histogram("faults", "repair_seconds", "s", 1.0, 1.6, 24);
+  m_degradations_injected_ = registry.counter("faults", "degradations_injected", "episodes");
+  m_degradations_skipped_ = registry.counter("faults", "degradations_skipped", "episodes");
+  m_flap_transitions_ = registry.counter("faults", "flap_transitions", "transitions");
+  // Episode durations share the repair-time scale.
+  m_degraded_link_s_ = registry.histogram("faults", "degraded_link_seconds", "s", 1.0, 1.6, 24);
+  m_straggler_s_ = registry.histogram("faults", "straggler_seconds", "s", 1.0, 1.6, 24);
 #else
   (void)registry;
 #endif
@@ -98,6 +208,34 @@ void FaultInjector::install(std::vector<FaultEvent> schedule) {
     require(e.end > e.start, "FaultInjector: event with non-positive duration");
     if (e.start >= horizon) continue;
     sim_.at(e.start, [this, e](FlowSim&) { inject(e); });
+  }
+}
+
+void FaultInjector::install_degradations(std::vector<DegradationEvent> schedule) {
+  const Topology& topo = sim_.topology();
+  link_degraded_.assign(topo.link_count(), 0);
+  server_straggling_.assign(static_cast<std::size_t>(topo.server_count()), 0);
+  const TimeSec horizon = sim_.config().end_time;
+  for (const DegradationEvent& e : schedule) {
+    require(e.end > e.start, "FaultInjector: degradation with non-positive duration");
+    const bool is_link = e.kind != DegradationKind::kServerStraggler;
+    const auto limit = is_link ? topo.link_count()
+                               : static_cast<std::size_t>(topo.server_count());
+    require(e.entity >= 0 && static_cast<std::size_t>(e.entity) < limit,
+            "FaultInjector: degradation entity out of range");
+    if (is_link && e.kind != DegradationKind::kLinkFlap) {
+      require(e.severity > 0 && e.severity < 1,
+              "FaultInjector: link degradation severity must be in (0, 1)");
+    }
+    if (e.kind == DegradationKind::kLinkFlap) {
+      require(e.period > 0 && e.severity > 0 && e.severity < 1,
+              "FaultInjector: flap needs period > 0 and duty in (0, 1)");
+    }
+    if (e.kind == DegradationKind::kServerStraggler) {
+      require(e.severity >= 1, "FaultInjector: straggler slowdown must be >= 1");
+    }
+    if (e.start >= horizon) continue;
+    sim_.at(e.start, [this, e](FlowSim&) { inject_degradation(e); });
   }
 }
 

@@ -18,6 +18,7 @@
 #include <functional>
 #include <vector>
 
+#include "faults/degradation.h"
 #include "faults/fault_schedule.h"
 #include "flowsim/flowsim.h"
 #include "obs/obs.h"
@@ -29,6 +30,8 @@ namespace dct {
 class FaultInjector {
  public:
   using ServerHandler = std::function<void(ServerId)>;
+  /// (server, slowdown factor > 1): the server entered a straggler episode.
+  using StragglerHandler = std::function<void(ServerId, double)>;
 
   /// `trace` may be null (no failure records kept).  All references must
   /// outlive the simulation run.
@@ -42,15 +45,41 @@ class FaultInjector {
   void set_server_recovery_handler(ServerHandler h) {
     on_server_recovery_ = std::move(h);
   }
+  /// Called when a server enters a straggler episode; the workload scales
+  /// subsequent service times on that server by the slowdown factor.
+  void set_straggler_handler(StragglerHandler h) { on_straggler_ = std::move(h); }
+  /// Called when a straggler episode ends and service times recover.
+  void set_straggler_clear_handler(ServerHandler h) {
+    on_straggler_clear_ = std::move(h);
+  }
 
   /// Schedules every event onto the simulator.  Call once, before
   /// FlowSim::run().  Events starting at or after the horizon never fire.
   void install(std::vector<FaultEvent> schedule);
 
+  /// Schedules every degradation episode onto the simulator.  Call once,
+  /// before FlowSim::run().  Capacity/lossy episodes throttle the link via
+  /// the FlowSim effective-capacity overlay; flap episodes toggle the link
+  /// fully down and up (killing or rerouting in-flight flows on each down
+  /// transition); straggler episodes fire the straggler handlers.
+  void install_degradations(std::vector<DegradationEvent> schedule);
+
   /// Faults actually applied (excludes overlaps on already-down devices).
   [[nodiscard]] std::size_t injected() const noexcept { return injected_; }
   /// Faults skipped because the device was already down when they fired.
   [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+  /// Degradation episodes applied (excludes overlaps on busy entities).
+  [[nodiscard]] std::size_t degradations_injected() const noexcept {
+    return degradations_injected_;
+  }
+  /// Degradation episodes dropped because the entity was already degraded.
+  [[nodiscard]] std::size_t degradations_skipped() const noexcept {
+    return degradations_skipped_;
+  }
+  /// Individual link-down/link-up transitions applied by flap episodes.
+  [[nodiscard]] std::size_t flap_transitions() const noexcept {
+    return flap_transitions_;
+  }
 
   /// Registers the injector's metrics (docs/METRICS.md, subsystem "faults")
   /// and starts feeding them.  Optional; call before install().  No-op in a
@@ -62,14 +91,27 @@ class FaultInjector {
   void repair(const FaultEvent& e);
   [[nodiscard]] bool device_down(const FaultEvent& e) const;
   void set_device_up(const FaultEvent& e, bool up);
+  void inject_degradation(const DegradationEvent& e);
+  void end_degradation(const DegradationEvent& e);
+  void flap_cycle(const DegradationEvent& e, TimeSec cycle_start);
 
   FlowSim& sim_;
   NetworkState& net_;
   ClusterTrace* trace_;
   ServerHandler on_server_crash_;
   ServerHandler on_server_recovery_;
+  StragglerHandler on_straggler_;
+  ServerHandler on_straggler_clear_;
   std::size_t injected_ = 0;
   std::size_t skipped_ = 0;
+  std::size_t degradations_injected_ = 0;
+  std::size_t degradations_skipped_ = 0;
+  std::size_t flap_transitions_ = 0;
+  // Occupancy guards: at most one active degradation per link / server, so
+  // overlapping episodes never fight over the capacity overlay or the
+  // straggler factor.  Sized lazily on install_degradations().
+  std::vector<std::uint8_t> link_degraded_;
+  std::vector<std::uint8_t> server_straggling_;
 
   // Self-instrumentation handles; null until bind_metrics() (obs/obs.h).
   obs::Counter* m_injected_ = nullptr;
@@ -79,6 +121,11 @@ class FaultInjector {
   obs::Counter* m_tor_incidents_ = nullptr;
   obs::Counter* m_agg_incidents_ = nullptr;
   obs::Histogram* m_repair_s_ = nullptr;
+  obs::Counter* m_degradations_injected_ = nullptr;
+  obs::Counter* m_degradations_skipped_ = nullptr;
+  obs::Counter* m_flap_transitions_ = nullptr;
+  obs::Histogram* m_degraded_link_s_ = nullptr;
+  obs::Histogram* m_straggler_s_ = nullptr;
 };
 
 }  // namespace dct

@@ -46,6 +46,7 @@ FlowSim::FlowSim(const Topology& topo, FlowSimConfig config)
   link_nflows_.resize(n_links, 0);
   link_epoch_.resize(n_links, 0);
   link_active_.resize(n_links, 0);
+  link_cap_factor_.resize(n_links, 1.0);
   csr_offset_.resize(n_links + 1, 0);
 }
 
@@ -126,7 +127,7 @@ FlowId FlowSim::start_flow(const FlowSpec& spec, CompletionCallback on_complete)
     double share = std::numeric_limits<double>::infinity();
     for (LinkId l : f.path) {
       const auto li = static_cast<std::size_t>(l.value());
-      share = std::min(share, topo_.link(l).capacity /
+      share = std::min(share, topo_.link(l).capacity * link_cap_factor_[li] /
                                   static_cast<double>(link_active_[li] + 1));
     }
     if (share < config_.connect_share_floor) {
@@ -235,7 +236,7 @@ void FlowSim::recompute_rates() {
       const auto li = static_cast<std::size_t>(l.value());
       if (link_epoch_[li] != fill_epoch_) {
         link_epoch_[li] = fill_epoch_;
-        link_residual_[li] = topo_.link(l).capacity;
+        link_residual_[li] = topo_.link(l).capacity * link_cap_factor_[li];
         link_nflows_[li] = 0;
         used_links_.push_back(l.value());
       }
@@ -530,6 +531,26 @@ void FlowSim::bind_metrics(obs::Registry& registry) {
 #else
   (void)registry;
 #endif
+}
+
+void FlowSim::set_link_capacity_factor(LinkId link, double factor) {
+  require(link.valid() && link.value() < topo_.link_count(),
+          "set_link_capacity_factor: bad link");
+  require(factor > 0 && factor <= 1.0,
+          "set_link_capacity_factor: factor must be in (0, 1]");
+  auto& slot = link_cap_factor_[static_cast<std::size_t>(link.value())];
+  if (slot == factor) return;
+  slot = factor;
+  // Active flows keep their rates until the next recompute applies the new
+  // effective capacity (the same batching discipline as arrivals).
+  dirty_ = true;
+  if (now_ < config_.end_time) schedule_recompute();
+}
+
+double FlowSim::link_capacity_factor(LinkId link) const {
+  require(link.valid() && link.value() < topo_.link_count(),
+          "link_capacity_factor: bad link");
+  return link_cap_factor_[static_cast<std::size_t>(link.value())];
 }
 
 void FlowSim::drain_horizon() {

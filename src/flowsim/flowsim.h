@@ -162,6 +162,16 @@ class FlowSim {
   /// NetworkState transition; a no-op without an overlay.
   NetworkChangeStats handle_network_change();
 
+  /// Degraded-mode overlay: scales `link`'s effective capacity by `factor`
+  /// (0 < factor <= 1) for both the max-min recompute and the
+  /// connection-admission share estimate.  Flows on a degraded link throttle
+  /// rather than die; restoring factor 1.0 ends the episode.  At 1.0 the
+  /// arithmetic is bit-identical to an undegraded simulator, so fault-free
+  /// runs are unchanged.  Utilization series stay normalized to *nominal*
+  /// capacity: a degraded link saturating at 40% of nominal reads as 0.4.
+  void set_link_capacity_factor(LinkId link, double factor);
+  [[nodiscard]] double link_capacity_factor(LinkId link) const;
+
   /// Runs until the event queue drains and no flows remain, or until the
   /// configured horizon, whichever is earlier.  Idempotent: returns
   /// immediately if already run.
@@ -268,6 +278,7 @@ class FlowSim {
 
   std::vector<std::int32_t> slot_by_flow_;  // flow id -> active_ slot, -1 if gone
   std::vector<std::int32_t> link_active_;   // active flows per link (connect model)
+  std::vector<double> link_cap_factor_;     // effective-capacity overlay, 1.0 = nominal
   Rng rng_{0x5eed};
 
   // Scratch buffers for progressive filling (avoid per-recompute allocation).

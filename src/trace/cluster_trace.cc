@@ -1,6 +1,7 @@
 #include "trace/cluster_trace.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/require.h"
 #include "flowsim/flowsim.h"
@@ -24,6 +25,16 @@ std::string_view to_string(DeviceKind kind) {
     case DeviceKind::kTor: return "tor";
     case DeviceKind::kAgg: return "agg";
     case DeviceKind::kLink: return "link";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(DegradationKind kind) {
+  switch (kind) {
+    case DegradationKind::kLinkCapacity: return "link_capacity";
+    case DegradationKind::kLinkFlap: return "link_flap";
+    case DegradationKind::kLinkLossy: return "link_lossy";
+    case DegradationKind::kServerStraggler: return "server_straggler";
   }
   return "unknown";
 }
@@ -63,7 +74,11 @@ void ClusterTrace::record_flow(const FlowRecord& rec) {
 
   server_logs_[static_cast<std::size_t>(rec.src.value())].flows.push_back(log);
   flows_.push_back(log);
-  total_bytes_ += rec.bytes_sent;
+  // Saturate instead of overflowing: a decoded trace may carry arbitrary
+  // per-flow byte counts, and the sum wrapping would be UB.
+  if (__builtin_add_overflow(total_bytes_, rec.bytes_sent, &total_bytes_)) {
+    total_bytes_ = std::numeric_limits<Bytes>::max();
+  }
 
   log.local = rec.dst;
   log.peer = rec.src;
@@ -92,8 +107,21 @@ std::optional<PhaseKind> ClusterTrace::phase_kind(PhaseId phase) const {
 void ClusterTrace::build_indices() {
   std::int32_t max_phase = -1;
   for (const auto& p : phases_) max_phase = std::max(max_phase, p.phase.value());
+  if (max_phase < 0) {
+    phase_kind_index_.clear();
+    return;
+  }
+  // Phase ids are dense in any trace this library produced; a corrupted
+  // payload can carry arbitrary ids, and sizing the index by the largest of
+  // them would be an allocation bomb.  phase_kind() falls back to a linear
+  // scan, so just skip the index for implausibly sparse ids.
+  if (static_cast<std::size_t>(max_phase) > phases_.size() * 4 + 1024) {
+    phase_kind_index_.clear();
+    return;
+  }
   phase_kind_index_.assign(static_cast<std::size_t>(max_phase + 1), -1);
   for (const auto& p : phases_) {
+    if (p.phase.value() < 0) continue;
     phase_kind_index_[static_cast<std::size_t>(p.phase.value())] =
         static_cast<std::int32_t>(p.kind);
   }

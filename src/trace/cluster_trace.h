@@ -45,6 +45,9 @@ class ClusterTrace {
   void record_device_failure(const DeviceFailureRecord& rec) {
     device_failures_.push_back(rec);
   }
+  void record_degradation(const DegradationRecord& rec) {
+    degradations_.push_back(rec);
+  }
 
   // --- Metadata -------------------------------------------------------------
   [[nodiscard]] std::int32_t server_count() const noexcept {
@@ -80,6 +83,9 @@ class ClusterTrace {
   [[nodiscard]] const std::vector<DeviceFailureRecord>& device_failures() const noexcept {
     return device_failures_;
   }
+  [[nodiscard]] const std::vector<DegradationRecord>& degradations() const noexcept {
+    return degradations_;
+  }
 
   /// Looks up the phase-kind of a phase id (the app-log join that lets
   /// analysis attribute flows to map/reduce activity).  Empty when the
@@ -101,6 +107,7 @@ class ClusterTrace {
   std::vector<ReadFailureRecord> read_failures_;
   std::vector<EvacuationRecord> evacuations_;
   std::vector<DeviceFailureRecord> device_failures_;
+  std::vector<DegradationRecord> degradations_;
   std::vector<std::int32_t> phase_kind_index_;  // PhaseId -> PhaseKind ordinal, -1 unset
 };
 

@@ -111,8 +111,12 @@ constexpr std::uint8_t kTraceMagic = 0xDC;
 // Version 2: appends a device-failure section.  The encoder emits version 1
 // whenever that section is empty, so fault-free traces stay bit-identical
 // to pre-fault-subsystem encodings.
+// Version 3: appends a degradation section (gray failures).  Emitted only
+// when degradations were recorded, so fail-stop-only traces stay
+// bit-identical to version 2 and clean traces to version 1.
 constexpr std::uint8_t kTraceVersion = 1;
 constexpr std::uint8_t kTraceVersionFailures = 2;
+constexpr std::uint8_t kTraceVersionDegradations = 3;
 
 // A corrupt count field must not drive a multi-gigabyte reserve() or a
 // billion-iteration decode loop.  Every record of every section costs at
@@ -120,6 +124,15 @@ constexpr std::uint8_t kTraceVersionFailures = 2;
 // left is malformed input, not a short read.
 void check_count(std::uint64_t n, std::size_t remaining, const char* what) {
   require(n <= remaining, what);
+}
+
+// Delta fields from a corrupted payload must not overflow (signed overflow
+// is UB, which a sanitized build turns into an abort); a sum that does not
+// fit in 64 bits is malformed input, reported like any other decode error.
+std::int64_t checked_add(std::int64_t a, std::int64_t b, const char* what) {
+  std::int64_t out = 0;
+  require(!__builtin_add_overflow(a, b, &out), what);
+  return out;
 }
 
 // Packs the three flags + direction + kind into one byte.
@@ -184,16 +197,22 @@ ServerLog decode_server_log(std::span<const std::uint8_t> data) {
   for (std::uint64_t i = 0; i < n; ++i) {
     SocketFlowLog f;
     f.local = log.server;
-    const std::int64_t end_us = prev_end + r.svarint();
+    const std::int64_t end_us =
+        checked_add(prev_end, r.svarint(), "decode_server_log: end-time overflow");
     prev_end = end_us;
-    const std::int64_t start_us = end_us + r.svarint();
+    const std::int64_t start_us =
+        checked_add(end_us, r.svarint(), "decode_server_log: start-time overflow");
     f.end = ByteWriter::dequantize_time(end_us);
     f.start = ByteWriter::dequantize_time(start_us);
-    f.flow = FlowId{static_cast<std::int32_t>(prev_flow + r.svarint())};
+    f.flow = FlowId{static_cast<std::int32_t>(
+        checked_add(prev_flow, r.svarint(), "decode_server_log: flow-id overflow"))};
     prev_flow = f.flow.value();
     f.peer = ServerId{static_cast<std::int32_t>(r.svarint())};
     f.bytes = static_cast<Bytes>(r.uvarint());
-    f.bytes_requested = f.bytes + r.svarint();
+    f.bytes_requested =
+        checked_add(f.bytes, r.svarint(), "decode_server_log: byte-count overflow");
+    require(f.bytes >= 0 && f.bytes_requested >= 0,
+            "decode_server_log: negative byte count");
     f.job = JobId{static_cast<std::int32_t>(r.svarint())};
     f.phase = PhaseId{static_cast<std::int32_t>(r.svarint())};
     unpack_flags(r.u8(), f);
@@ -217,8 +236,12 @@ std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
 #endif
   ByteWriter w;
   const bool has_failures = !trace.device_failures().empty();
+  const bool has_degradations = !trace.degradations().empty();
+  const std::uint8_t version = has_degradations ? kTraceVersionDegradations
+                               : has_failures   ? kTraceVersionFailures
+                                                : kTraceVersion;
   w.u8(kTraceMagic);
-  w.u8(has_failures ? kTraceVersionFailures : kTraceVersion);
+  w.u8(version);
   w.svarint(trace.server_count());
   w.time_us(trace.duration());
 
@@ -266,7 +289,9 @@ std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
     w.uvarint(static_cast<std::uint64_t>(e.bytes_moved));
     w.svarint(e.blocks_moved);
   }
-  if (has_failures) {
+  // A v3 trace writes the failure section even when empty: section presence
+  // is a function of the version byte alone, never of sibling sections.
+  if (version >= kTraceVersionFailures) {
     w.uvarint(trace.device_failures().size());
     for (const DeviceFailureRecord& d : trace.device_failures()) {
       w.time_us(d.start);
@@ -275,6 +300,18 @@ std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
       w.svarint(d.entity);
       w.svarint(d.flows_killed);
       w.svarint(d.flows_rerouted);
+    }
+  }
+  if (version >= kTraceVersionDegradations) {
+    w.uvarint(trace.degradations().size());
+    for (const DegradationRecord& d : trace.degradations()) {
+      w.time_us(d.start);
+      w.time_us(d.end);
+      w.u8(static_cast<std::uint8_t>(d.kind));
+      w.svarint(d.entity);
+      // Severity quantized to 1e-6, same resolution as timestamps.
+      w.svarint(std::llround(d.severity * 1e6));
+      w.time_us(d.period);
     }
   }
 #if DCT_OBS_ENABLED
@@ -296,7 +333,7 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   require(r.u8() == kTraceMagic, "decode_trace: bad magic");
   const std::uint8_t version = r.u8();
-  require(version == kTraceVersion || version == kTraceVersionFailures,
+  require(version >= kTraceVersion && version <= kTraceVersionDegradations,
           "decode_trace: unsupported version");
   const auto servers = static_cast<std::int32_t>(r.svarint());
   require(servers >= 0, "decode_trace: negative server count");
@@ -401,6 +438,24 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
       d.flows_killed = static_cast<std::int32_t>(r.svarint());
       d.flows_rerouted = static_cast<std::int32_t>(r.svarint());
       trace.record_device_failure(d);
+    }
+  }
+  if (version >= kTraceVersionDegradations) {
+    const std::uint64_t n_dg = r.uvarint();
+    check_count(n_dg, r.remaining(),
+                "decode_trace: degradation count exceeds payload");
+    for (std::uint64_t i = 0; i < n_dg; ++i) {
+      DegradationRecord d;
+      d.start = r.time_us();
+      d.end = r.time_us();
+      const std::uint8_t kind = r.u8();
+      require(kind <= static_cast<std::uint8_t>(DegradationKind::kServerStraggler),
+              "decode_trace: bad degradation kind");
+      d.kind = static_cast<DegradationKind>(kind);
+      d.entity = static_cast<std::int32_t>(r.svarint());
+      d.severity = static_cast<double>(r.svarint()) * 1e-6;
+      d.period = r.time_us();
+      trace.record_degradation(d);
     }
   }
   trace.build_indices();

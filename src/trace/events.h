@@ -121,4 +121,31 @@ struct DeviceFailureRecord {
   std::int32_t flows_rerouted = 0;    ///< in-flight flows moved to a backup path
 };
 
+/// Gray-failure taxonomy: partial degradations, as opposed to the clean
+/// fail-stop outages of DeviceFailureRecord.  The paper's long-lived
+/// congestion episodes (§4.2) come from exactly this class of fault.
+enum class DegradationKind : std::uint8_t {
+  kLinkCapacity,     ///< link runs at a fraction of nominal capacity
+  kLinkFlap,         ///< link oscillates down/up with a period and duty cycle
+  kLinkLossy,        ///< loss retransmissions eat a fraction of goodput
+  kServerStraggler   ///< server's vertex service times stretch by a factor
+};
+
+[[nodiscard]] std::string_view to_string(DegradationKind kind);
+
+/// Application log: one injected degradation epoch.  `severity` is the
+/// kind-specific magnitude — the remaining capacity fraction for
+/// kLinkCapacity/kLinkLossy (0 < severity < 1), the fraction of each flap
+/// period spent down for kLinkFlap, and the service-time slowdown factor
+/// (> 1) for kServerStraggler.  `period` is the flap cycle length and 0 for
+/// every other kind.
+struct DegradationRecord {
+  TimeSec start = 0;
+  TimeSec end = 0;
+  DegradationKind kind = DegradationKind::kLinkCapacity;
+  std::int32_t entity = -1;  ///< link id, or server id for kServerStraggler
+  double severity = 0.0;
+  TimeSec period = 0.0;
+};
+
 }  // namespace dct

@@ -30,6 +30,21 @@ void WorkloadConfig::validate() const {
           "WorkloadConfig: read_retry_base_backoff must be > 0");
   require(read_retry_max_backoff >= read_retry_base_backoff,
           "WorkloadConfig: read_retry_max_backoff must be >= the base backoff");
+  require(read_retry_jitter >= 0 && read_retry_jitter < 1,
+          "WorkloadConfig: read_retry_jitter must be in [0, 1)");
+  require(spec_check_interval > 0, "WorkloadConfig: spec_check_interval must be > 0");
+  require(spec_slowdown_threshold >= 1,
+          "WorkloadConfig: spec_slowdown_threshold must be >= 1");
+  require(spec_min_done_fraction > 0 && spec_min_done_fraction <= 1,
+          "WorkloadConfig: spec_min_done_fraction must be in (0, 1]");
+  require(spec_budget_per_job >= 0, "WorkloadConfig: spec_budget_per_job must be >= 0");
+  require(spec_relaunch_backoff >= 0,
+          "WorkloadConfig: spec_relaunch_backoff must be >= 0");
+  require(hedge_quantile > 0 && hedge_quantile < 1,
+          "WorkloadConfig: hedge_quantile must be in (0, 1)");
+  require(hedge_min_timeout > 0, "WorkloadConfig: hedge_min_timeout must be > 0");
+  require(hedge_budget_per_job >= 0,
+          "WorkloadConfig: hedge_budget_per_job must be >= 0");
   require(aggregate_home_bias >= 0 && aggregate_home_bias <= 1,
           "WorkloadConfig: aggregate_home_bias must be in [0,1]");
   require(initial_datasets >= 1, "WorkloadConfig: need at least one initial dataset");
@@ -74,9 +89,17 @@ struct WorkloadDriver::JobExec {
     /// queued callback captures the epoch it was created under and no-ops
     /// when it no longer matches.
     std::uint32_t epoch = 0;
+    TimeSec run_start = 0;           ///< when this run was (re)launched
+    std::int32_t backup_of = -1;     ///< >= 0: speculative twin of that primary
+    std::int32_t backup_index = -1;  ///< primary only: index of its live backup
+    bool cancelled = false;          ///< lost a speculation race
   };
   std::vector<ExtractVertex> extracts;
   std::size_t extracts_pending = 0;
+  /// Vertex count excluding speculative backups appended at the tail;
+  /// phase records and the backups-pending accounting use this.
+  std::size_t extract_primaries = 0;
+  std::vector<TimeSec> extract_durations;  ///< completed runs (spec median)
   TimeSec extract_start = 0;
   Bytes extract_bytes_in = 0;
 
@@ -91,9 +114,15 @@ struct WorkloadDriver::JobExec {
     bool closed = false;       ///< core released & pending decremented
     bool has_core = false;
     std::uint32_t epoch = 0;   ///< see ExtractVertex::epoch
+    TimeSec run_start = 0;
+    std::int32_t backup_of = -1;
+    std::int32_t backup_index = -1;
+    bool cancelled = false;
   };
   std::vector<AggVertex> aggs;
   std::size_t aggs_pending = 0;
+  std::size_t agg_primaries = 0;      ///< see extract_primaries
+  std::vector<TimeSec> agg_durations;
   TimeSec aggregate_start = 0;
   TimeSec combine_start = -1;
   Bytes shuffle_bytes = 0;
@@ -103,6 +132,18 @@ struct WorkloadDriver::JobExec {
   std::size_t output_writes_pending = 0;
   Bytes output_bytes = 0;
   DatasetId output_dataset = -1;
+
+  std::int32_t spec_budget = 0;   ///< speculative backups launched so far
+  TimeSec next_spec_time = 0;     ///< earliest time the next backup may launch
+  std::int32_t hedge_budget = 0;  ///< hedged reads issued so far
+};
+
+/// Shared arbitration state between the legs (primary + optional hedge) of
+/// one remote block read: first success wins, a lone failure waits for its
+/// twin, and whoever finds the race settled simply drops out.
+struct WorkloadDriver::HedgeRace {
+  bool settled = false;          ///< a leg already delivered the block
+  std::int32_t outstanding = 0;  ///< legs still in flight
 };
 
 WorkloadDriver::~WorkloadDriver() = default;
@@ -118,6 +159,8 @@ WorkloadDriver::WorkloadDriver(const Topology& topo, FlowSim& sim, ClusterTrace&
       resources_(topo, config.cores_per_server),
       placer_(topo, resources_, rng_.fork(2), config.locality_enabled),
       server_down_(static_cast<std::size_t>(topo.server_count()), 0),
+      server_slowdown_(static_cast<std::size_t>(topo.server_count()), 1.0),
+      mitigation_rng_(rng_.fork(3)),
       core_waiters_(static_cast<std::size_t>(topo.server_count())) {
   config_.validate();
 }
@@ -132,26 +175,64 @@ bool WorkloadDriver::horizon_reached() const {
 
 PhaseId WorkloadDriver::new_phase() { return PhaseId{next_phase_++}; }
 
-TimeSec WorkloadDriver::startup_delay() {
-  return rng_.uniform(config_.vertex_startup_min, config_.vertex_startup_max);
+double WorkloadDriver::server_slowdown(ServerId server) const {
+  const auto si = static_cast<std::size_t>(server.value());
+  return si < server_slowdown_.size() ? server_slowdown_[si] : 1.0;
 }
 
-TimeSec WorkloadDriver::compute_delay(Bytes bytes) {
+TimeSec WorkloadDriver::startup_delay(ServerId server) {
+  // The straggler factor multiplies *after* the draw, so a healthy cluster
+  // (factor 1.0 everywhere) stays bit-identical to builds without it.
+  return rng_.uniform(config_.vertex_startup_min, config_.vertex_startup_max) *
+         server_slowdown(server);
+}
+
+TimeSec WorkloadDriver::compute_delay(ServerId server, Bytes bytes) {
   // +-20% jitter around bytes / per-core rate.
   const double base = static_cast<double>(bytes) / config_.compute_rate;
-  return base * rng_.uniform(0.8, 1.2);
+  return base * rng_.uniform(0.8, 1.2) * server_slowdown(server);
+}
+
+TimeSec WorkloadDriver::disk_read_delay(ServerId server, Bytes bytes) const {
+  return static_cast<double>(bytes) / config_.disk_read_rate * server_slowdown(server);
 }
 
 TimeSec WorkloadDriver::retry_backoff(std::int32_t attempt) {
-  // min(max, base * 2^(attempt-1)) scaled by U[0.5, 1.5) jitter — exactly
+  // min(max, base * 2^(attempt-1)) scaled by U[1-j, 1+j) jitter — exactly
   // one rng draw, like the fixed gap it replaced.
   const double doubled =
       config_.read_retry_base_backoff * std::ldexp(1.0, std::min(attempt - 1, 30));
   const double capped = std::min<double>(config_.read_retry_max_backoff, doubled);
-  const TimeSec backoff = capped * rng_.uniform(0.5, 1.5);
+  const TimeSec backoff = capped * rng_.uniform(1.0 - config_.read_retry_jitter,
+                                                1.0 + config_.read_retry_jitter);
   DCT_OBS_INC(m_read_retries_);
   DCT_OBS_OBSERVE(m_retry_backoff_s_, backoff);
   return backoff;
+}
+
+TimeSec WorkloadDriver::hedge_timeout() {
+  // Jittered p-quantile of the recent remote-read window, floored so the
+  // hedge never fires inside the normal service-time band.
+  TimeSec q = config_.hedge_min_timeout;
+  if (!remote_read_durations_.empty()) {
+    std::vector<TimeSec> tmp = remote_read_durations_;
+    const auto k = static_cast<std::size_t>(config_.hedge_quantile *
+                                            static_cast<double>(tmp.size() - 1));
+    std::nth_element(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(k),
+                     tmp.end());
+    q = std::max(q, tmp[k]);
+  }
+  return q * mitigation_rng_.uniform(1.0, 1.0 + config_.read_retry_jitter);
+}
+
+void WorkloadDriver::note_remote_read_duration(TimeSec duration) {
+  constexpr std::size_t kWindow = 512;
+  if (remote_read_durations_.size() < kWindow) {
+    remote_read_durations_.push_back(duration);
+    return;
+  }
+  remote_read_durations_[remote_read_cursor_] = duration;
+  remote_read_cursor_ = (remote_read_cursor_ + 1) % kWindow;
 }
 
 void WorkloadDriver::note_phase(PhaseKind kind, TimeSec duration) {
@@ -193,6 +274,11 @@ void WorkloadDriver::bind_metrics(obs::Registry& registry) {
   m_job_s_ = registry.histogram("workload", "job_seconds", "s", 0.01, 1.5, 32);
   m_retry_backoff_s_ =
       registry.histogram("workload", "retry_backoff_seconds", "s", 0.01, 1.5, 32);
+  m_stragglers_ = registry.counter("workload", "stragglers_observed", "episodes");
+  m_spec_launched_ = registry.counter("workload", "spec_launched", "vertices");
+  m_spec_wins_ = registry.counter("workload", "spec_wins", "vertices");
+  m_hedges_ = registry.counter("workload", "hedges_launched", "reads");
+  m_hedge_wins_ = registry.counter("workload", "hedge_wins", "reads");
 #else
   (void)registry;
 #endif
@@ -250,7 +336,9 @@ bool WorkloadDriver::close_extract_vertex(JobExec& job, std::size_t vertex_index
     v.has_core = false;
     release_core(v.server);
   }
-  --job.extracts_pending;
+  // Backups ride along: the phase's pending count tracks primaries only.
+  // When a backup wins, cancelling the primary performs the decrement.
+  if (v.backup_of < 0) --job.extracts_pending;
   return true;
 }
 
@@ -262,7 +350,7 @@ bool WorkloadDriver::close_agg_vertex(JobExec& job, std::size_t vertex_index) {
     v.has_core = false;
     release_core(v.server);
   }
-  --job.aggs_pending;
+  if (v.backup_of < 0) --job.aggs_pending;  // see close_extract_vertex
   return true;
 }
 
@@ -305,6 +393,7 @@ void WorkloadDriver::install() {
   if (topo_.config().external_servers > 0 && config_.ingest_interval_mean > 0) {
     schedule_next_ingest();
   }
+  if (config_.speculative_execution) schedule_spec_check();
 }
 
 // ---------------------------------------------------------------------------
@@ -444,7 +533,8 @@ void WorkloadDriver::submit_job(JobSpec spec) {
     v.retries_left = config_.max_read_retries;
     job.extracts.push_back(std::move(v));
   }
-  job.extracts_pending = job.extracts.size();
+  job.extract_primaries = job.extracts.size();
+  job.extracts_pending = job.extract_primaries;
 
   jobs_.push_back(std::move(exec));
   JobExec* jp = jobs_.back().get();
@@ -469,6 +559,16 @@ void WorkloadDriver::launch_extract_vertex(JobExec& job, std::size_t vertex_inde
   const PlacementDecision d = placer_.place_near(home);
   ++stats_.placement_tier[std::clamp(d.tier, 0, 3)];
   v.server = ensure_up(d.server);
+  if (v.backup_of >= 0) {
+    // A speculative backup must run away from its (possibly straggling)
+    // primary, or it inherits the very slowness it is meant to escape.
+    const ServerId avoid = job.extracts[static_cast<std::size_t>(v.backup_of)].server;
+    for (int attempt = 0;
+         attempt < 8 && (v.server == avoid || is_server_down(v.server)); ++attempt) {
+      v.server = placer_.place_anywhere().server;
+    }
+  }
+  v.run_start = sim_.now();
 
   JobExec* jp = &job;
   const std::uint32_t ep = v.epoch;
@@ -486,7 +586,7 @@ void WorkloadDriver::launch_extract_vertex(JobExec& job, std::size_t vertex_inde
       close_extract_vertex(*jp, vertex_index);
       return;
     }
-    const TimeSec t = sim_.now() + startup_delay();
+    const TimeSec t = sim_.now() + startup_delay(srv);
     if (t >= sim_.config().end_time) {
       close_extract_vertex(*jp, vertex_index);
       return;
@@ -519,9 +619,8 @@ void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
   if (replica == v.server) {
     // Local read: disk + pipelined extract/partition compute; no socket.
     ++stats_.extract_reads_local;
-    const TimeSec done = sim_.now() +
-                         static_cast<double>(blk.size) / config_.disk_read_rate +
-                         compute_delay(blk.size);
+    const TimeSec done = sim_.now() + disk_read_delay(v.server, blk.size) +
+                         compute_delay(v.server, blk.size);
     v.bytes_read += blk.size;
     ++v.next_block;
     if (done >= sim_.config().end_time) {
@@ -535,19 +634,37 @@ void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
     return;
   }
 
-  // Remote read over the network.
+  // Remote read over the network, possibly hedged with a second replica.
   ++stats_.extract_reads_remote;
+  auto race = std::make_shared<HedgeRace>();
+  race->outstanding = 1;
+  start_extract_read_flow(job, vertex_index, ep, replica, blk.size, race,
+                          /*is_hedge=*/false);
+  if (config_.hedged_reads) {
+    maybe_schedule_hedge(job, vertex_index, ep, bid, replica, blk.size, race);
+  }
+}
+
+void WorkloadDriver::start_extract_read_flow(JobExec& job, std::size_t vertex_index,
+                                             std::uint32_t epoch, ServerId source,
+                                             Bytes bytes,
+                                             std::shared_ptr<HedgeRace> race,
+                                             bool is_hedge) {
   FlowSpec fs;
-  fs.src = replica;
-  fs.dst = v.server;
-  fs.bytes = blk.size;
+  fs.src = source;
+  fs.dst = job.extracts[vertex_index].server;
+  fs.bytes = bytes;
   fs.job = job.spec.id;
   fs.phase = job.extract_phase;
   fs.kind = FlowKind::kBlockRead;
-  sim_.start_flow(fs, [this, jp, vertex_index, replica,
-                       ep](FlowSim&, const FlowRecord& rec) {
+  JobExec* jp = &job;
+  const std::uint32_t ep = epoch;
+  sim_.start_flow(fs, [this, jp, vertex_index, source, ep, race,
+                       is_hedge](FlowSim&, const FlowRecord& rec) {
     auto& vertex = jp->extracts[vertex_index];
-    if (vertex.epoch != ep) return;  // vertex re-executed after a crash
+    if (vertex.epoch != ep) return;  // vertex re-executed or cancelled
+    if (race->settled) return;       // the twin leg already won this block
+    --race->outstanding;
     if (jp->failed || horizon_reached()) {
       close_extract_vertex(*jp, vertex_index);
       return;
@@ -562,9 +679,13 @@ void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
       rf.job = jp->spec.id;
       rf.phase = jp->extract_phase;
       rf.reader = vertex.server;
-      rf.source = replica;
-      rf.fatal = vertex.retries_left == 0;
+      rf.source = source;
+      rf.fatal = vertex.retries_left == 0 && race->outstanding == 0 &&
+                 vertex.backup_of < 0;
       trace_.record_read_failure(rf);
+      // With the twin leg still in flight the failure costs nothing yet:
+      // wait for the other replica instead of burning a retry.
+      if (race->outstanding > 0) return;
       if (vertex.retries_left-- > 0) {
         // Back off and retry (the replica choice re-runs and may select a
         // different holder if the load changed or a server crashed).
@@ -578,15 +699,29 @@ void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
           if (jp->extracts[vertex_index].epoch != ep) return;
           extract_read_next(*jp, vertex_index);
         });
+      } else if (vertex.backup_of >= 0) {
+        // A speculative backup that cannot read its input is abandoned, not
+        // fatal: the primary is still running.
+        auto& primary = jp->extracts[static_cast<std::size_t>(vertex.backup_of)];
+        if (primary.backup_index == static_cast<std::int32_t>(vertex_index)) {
+          primary.backup_index = -1;
+        }
+        cancel_extract_run(*jp, vertex_index);
       } else {
         close_extract_vertex(*jp, vertex_index);
         fail_job(*jp);
       }
       return;
     }
+    race->settled = true;
+    if (is_hedge) {
+      ++stats_.hedge_wins;
+      DCT_OBS_INC(m_hedge_wins_);
+    }
+    if (config_.hedged_reads) note_remote_read_duration(rec.duration());
     vertex.bytes_read += rec.bytes_sent;
     ++vertex.next_block;
-    const TimeSec done = sim_.now() + compute_delay(rec.bytes_sent);
+    const TimeSec done = sim_.now() + compute_delay(vertex.server, rec.bytes_sent);
     if (done >= sim_.config().end_time) {
       close_extract_vertex(*jp, vertex_index);
       return;
@@ -598,13 +733,60 @@ void WorkloadDriver::extract_read_next(JobExec& job, std::size_t vertex_index) {
   });
 }
 
+void WorkloadDriver::maybe_schedule_hedge(JobExec& job, std::size_t vertex_index,
+                                          std::uint32_t epoch, BlockId block,
+                                          ServerId primary_source, Bytes bytes,
+                                          std::shared_ptr<HedgeRace> race) {
+  if (job.hedge_budget >= config_.hedge_budget_per_job) return;
+  const TimeSec t = sim_.now() + hedge_timeout();
+  if (t >= sim_.config().end_time) return;
+  JobExec* jp = &job;
+  sim_.at(t, [this, jp, vertex_index, epoch, block, primary_source, bytes,
+              race](FlowSim&) {
+    auto& v = jp->extracts[vertex_index];
+    if (v.epoch != epoch || v.closed || jp->failed || horizon_reached()) return;
+    // Settled: the primary already delivered.  Zero outstanding: the
+    // primary failed and the retry path owns the block now.
+    if (race->settled || race->outstanding == 0) return;
+    if (jp->hedge_budget >= config_.hedge_budget_per_job) return;
+    // Second replica: a live holder other than the slow primary source.
+    ServerId alt = primary_source;
+    for (ServerId r : store_.block(block).replicas) {
+      if (r != primary_source && !is_server_down(r)) {
+        alt = r;
+        break;
+      }
+    }
+    if (alt == primary_source) return;  // no second copy to hedge from
+    ++jp->hedge_budget;
+    ++stats_.hedges_launched;
+    DCT_OBS_INC(m_hedges_);
+    ++race->outstanding;
+    start_extract_read_flow(*jp, vertex_index, epoch, alt, bytes, race,
+                            /*is_hedge=*/true);
+  });
+}
+
 void WorkloadDriver::extract_vertex_done(JobExec& job, std::size_t vertex_index) {
   auto& v = job.extracts[vertex_index];
+  // First finisher wins a speculation race: cancel the losing twin before
+  // this run's output is committed, so only one copy feeds the shuffle.
+  if (v.backup_of >= 0) {
+    if (!job.extracts[static_cast<std::size_t>(v.backup_of)].closed) {
+      ++stats_.spec_wins;
+      DCT_OBS_INC(m_spec_wins_);
+      cancel_extract_run(job, static_cast<std::size_t>(v.backup_of));
+    }
+  } else if (v.backup_index >= 0 &&
+             !job.extracts[static_cast<std::size_t>(v.backup_index)].closed) {
+    cancel_extract_run(job, static_cast<std::size_t>(v.backup_index));
+  }
   v.map_output = static_cast<Bytes>(static_cast<double>(v.bytes_read) *
                                     job.spec.shuffle_selectivity);
   job.extract_bytes_in += v.bytes_read;
   job.shuffle_bytes += v.map_output;
   if (!close_extract_vertex(job, vertex_index)) return;
+  job.extract_durations.push_back(sim_.now() - v.run_start);
   control_flow(v.server, job.manager, job.spec.id, job.extract_phase);
   if (job.extracts_pending == 0 && !job.failed && !horizon_reached()) {
     PhaseLogRecord p;
@@ -613,13 +795,141 @@ void WorkloadDriver::extract_vertex_done(JobExec& job, std::size_t vertex_index)
     p.kind = PhaseKind::kExtract;
     p.start = job.extract_start;
     p.end = sim_.now();
-    p.vertices = static_cast<std::int32_t>(job.extracts.size());
+    p.vertices = static_cast<std::int32_t>(job.extract_primaries);
     p.bytes_in = job.extract_bytes_in;
     p.bytes_out = job.shuffle_bytes;
     trace_.record_phase(p);
     note_phase(p.kind, p.end - p.start);
     start_aggregate_phase(job);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Speculative re-execution (gray-failure mitigation)
+// ---------------------------------------------------------------------------
+
+void WorkloadDriver::schedule_spec_check() {
+  const TimeSec t = sim_.now() + config_.spec_check_interval;
+  if (t >= sim_.config().end_time) return;
+  sim_.at(t, [this](FlowSim&) {
+    run_spec_check();
+    schedule_spec_check();
+  });
+}
+
+void WorkloadDriver::run_spec_check() {
+  for (auto& jptr : jobs_) {
+    JobExec& job = *jptr;
+    if (job.finished || job.failed) continue;
+    if (job.spec_budget >= config_.spec_budget_per_job) continue;
+    if (sim_.now() < job.next_spec_time) continue;
+    const bool extract_phase = job.extracts_pending > 0;
+    const bool agg_phase = !extract_phase && job.aggs_pending > 0;
+    if (!extract_phase && !agg_phase) continue;
+    // Combine jobs interleave their second input into the same reducer
+    // state; re-deriving that in a backup is not modeled, so skip them.
+    if (agg_phase && job.spec.second_input >= 0) continue;
+    const std::vector<TimeSec>& done =
+        extract_phase ? job.extract_durations : job.agg_durations;
+    const std::size_t primaries =
+        extract_phase ? job.extract_primaries : job.agg_primaries;
+    if (primaries == 0 ||
+        static_cast<double>(done.size()) <
+            config_.spec_min_done_fraction * static_cast<double>(primaries)) {
+      continue;
+    }
+    // Straggler test: elapsed time vs a multiple of the median completed
+    // duration of the same phase (Dryad/MapReduce backup-task heuristic).
+    std::vector<TimeSec> tmp = done;
+    const std::size_t mid = tmp.size() / 2;
+    std::nth_element(tmp.begin(),
+                     tmp.begin() + static_cast<std::ptrdiff_t>(mid), tmp.end());
+    const TimeSec threshold =
+        std::max(config_.spec_slowdown_threshold * tmp[mid], 1e-3);
+    // At most one backup per job per scan; launch_*_backup pushes
+    // next_spec_time forward, so a sick phase drains its budget gradually.
+    if (extract_phase) {
+      for (std::size_t vi = 0; vi < job.extract_primaries; ++vi) {
+        const auto& v = job.extracts[vi];
+        if (v.closed || v.backup_index >= 0) continue;
+        if (sim_.now() - v.run_start <= threshold) continue;
+        launch_extract_backup(job, vi);
+        break;
+      }
+    } else {
+      for (std::size_t vi = 0; vi < job.agg_primaries; ++vi) {
+        const auto& v = job.aggs[vi];
+        if (v.closed || v.backup_index >= 0) continue;
+        if (sim_.now() - v.run_start <= threshold) continue;
+        launch_agg_backup(job, vi);
+        break;
+      }
+    }
+  }
+}
+
+void WorkloadDriver::launch_extract_backup(JobExec& job, std::size_t vertex_index) {
+  JobExec::ExtractVertex b;
+  b.blocks = job.extracts[vertex_index].blocks;
+  b.retries_left = config_.max_read_retries;
+  b.backup_of = static_cast<std::int32_t>(vertex_index);
+  const std::size_t bi = job.extracts.size();
+  job.extracts.push_back(std::move(b));
+  job.extracts[vertex_index].backup_index = static_cast<std::int32_t>(bi);
+  ++job.spec_budget;
+  job.next_spec_time =
+      sim_.now() + config_.spec_relaunch_backoff *
+                       mitigation_rng_.uniform(1.0 - config_.read_retry_jitter,
+                                               1.0 + config_.read_retry_jitter);
+  ++stats_.spec_launched;
+  DCT_OBS_INC(m_spec_launched_);
+  launch_extract_vertex(job, bi);
+}
+
+void WorkloadDriver::launch_agg_backup(JobExec& job, std::size_t vertex_index) {
+  JobExec::AggVertex b;
+  b.retries_left = config_.max_read_retries;
+  b.backup_of = static_cast<std::int32_t>(vertex_index);
+  // Place away from the straggling primary.
+  const ServerId avoid = job.aggs[vertex_index].server;
+  ServerId srv = ensure_up(placer_.place_anywhere().server);
+  for (int attempt = 0; attempt < 8 && srv == avoid; ++attempt) {
+    srv = ensure_up(placer_.place_anywhere().server);
+  }
+  b.server = srv;
+  const std::size_t bi = job.aggs.size();
+  job.aggs.push_back(std::move(b));
+  job.aggs[vertex_index].backup_index = static_cast<std::int32_t>(bi);
+  ++job.spec_budget;
+  job.next_spec_time =
+      sim_.now() + config_.spec_relaunch_backoff *
+                       mitigation_rng_.uniform(1.0 - config_.read_retry_jitter,
+                                               1.0 + config_.read_retry_jitter);
+  ++stats_.spec_launched;
+  DCT_OBS_INC(m_spec_launched_);
+  populate_agg_fetches(job, bi);
+  launch_aggregate_vertex(job, bi);
+}
+
+void WorkloadDriver::cancel_extract_run(JobExec& job, std::size_t vertex_index) {
+  auto& v = job.extracts[vertex_index];
+  if (v.closed) return;
+  ++v.epoch;  // orphan every in-flight callback of this run
+  v.cancelled = true;
+  v.map_output = 0;  // a cancelled run contributes nothing downstream
+  ++stats_.spec_cancelled;
+  close_extract_vertex(job, vertex_index);
+}
+
+void WorkloadDriver::cancel_agg_run(JobExec& job, std::size_t vertex_index) {
+  auto& v = job.aggs[vertex_index];
+  if (v.closed) return;
+  ++v.epoch;
+  v.cancelled = true;
+  v.in_flight = 0;
+  v.bytes_fetched = 0;  // the output phase must not bill the loser's bytes
+  ++stats_.spec_cancelled;
+  close_agg_vertex(job, vertex_index);
 }
 
 // ---------------------------------------------------------------------------
@@ -632,6 +942,7 @@ void WorkloadDriver::start_aggregate_phase(JobExec& job) {
   const Dataset& in = store_.dataset(job.spec.input);
 
   job.aggs.resize(static_cast<std::size_t>(r_count));
+  job.agg_primaries = job.aggs.size();
   for (std::size_t vi = 0; vi < job.aggs.size(); ++vi) {
     auto& agg = job.aggs[vi];
     // Placement: mostly near the job's home region (work-seeks-bandwidth),
@@ -693,6 +1004,7 @@ void WorkloadDriver::populate_agg_fetches(JobExec& job, std::size_t vertex_index
 
 void WorkloadDriver::launch_aggregate_vertex(JobExec& job, std::size_t vertex_index) {
   JobExec* jp = &job;
+  job.aggs[vertex_index].run_start = sim_.now();
   const std::uint32_t ep = job.aggs[vertex_index].epoch;
   const ServerId server = job.aggs[vertex_index].server;
   acquire_core(server, [this, jp, vertex_index, ep, server] {
@@ -707,7 +1019,7 @@ void WorkloadDriver::launch_aggregate_vertex(JobExec& job, std::size_t vertex_in
       close_agg_vertex(*jp, vertex_index);
       return;
     }
-    const TimeSec t = sim_.now() + startup_delay();
+    const TimeSec t = sim_.now() + startup_delay(server);
     if (t >= sim_.config().end_time) {
       close_agg_vertex(*jp, vertex_index);
       return;
@@ -738,7 +1050,7 @@ void WorkloadDriver::aggregate_fetch_next(JobExec& job, std::size_t vertex_index
     }
     // Reduce compute, then done.
     JobExec* jp = &job;
-    const TimeSec done = sim_.now() + compute_delay(v.bytes_fetched);
+    const TimeSec done = sim_.now() + compute_delay(v.server, v.bytes_fetched);
     if (done >= sim_.config().end_time) {
       close_agg_vertex(job, vertex_index);
       return;
@@ -761,8 +1073,7 @@ void WorkloadDriver::aggregate_fetch_next(JobExec& job, std::size_t vertex_index
 
     if (item.src == v.server) {
       // Mapper colocated with this reducer: a local disk read.
-      const TimeSec done =
-          sim_.now() + static_cast<double>(item.bytes) / config_.disk_read_rate;
+      const TimeSec done = sim_.now() + disk_read_delay(v.server, item.bytes);
       if (done >= sim_.config().end_time) {
         --v.in_flight;
         if (v.in_flight == 0) {
@@ -811,10 +1122,19 @@ void WorkloadDriver::aggregate_fetch_next(JobExec& job, std::size_t vertex_index
         rf.phase = item.phase;
         rf.reader = vv.server;
         rf.source = item.src;
-        rf.fatal = vv.retries_left == 0;
+        rf.fatal = vv.retries_left == 0 && vv.backup_of < 0;
         trace_.record_read_failure(rf);
         if (vv.retries_left-- > 0) {
           vv.fetches.push_back(item);  // re-queue at the tail
+        } else if (vv.backup_of >= 0) {
+          // A speculative backup that cannot fetch is abandoned, not fatal:
+          // the primary is still running.
+          auto& primary = jp->aggs[static_cast<std::size_t>(vv.backup_of)];
+          if (primary.backup_index == static_cast<std::int32_t>(vertex_index)) {
+            primary.backup_index = -1;
+          }
+          cancel_agg_run(*jp, vertex_index);
+          return;
         } else {
           if (vv.in_flight == 0) {
             close_agg_vertex(*jp, vertex_index);
@@ -872,7 +1192,19 @@ void WorkloadDriver::start_combine_reads(JobExec& job, std::size_t vertex_index)
 
 void WorkloadDriver::aggregate_vertex_done(JobExec& job, std::size_t vertex_index) {
   auto& v = job.aggs[vertex_index];
+  // Speculation race arbitration — see extract_vertex_done.
+  if (v.backup_of >= 0) {
+    if (!job.aggs[static_cast<std::size_t>(v.backup_of)].closed) {
+      ++stats_.spec_wins;
+      DCT_OBS_INC(m_spec_wins_);
+      cancel_agg_run(job, static_cast<std::size_t>(v.backup_of));
+    }
+  } else if (v.backup_index >= 0 &&
+             !job.aggs[static_cast<std::size_t>(v.backup_index)].closed) {
+    cancel_agg_run(job, static_cast<std::size_t>(v.backup_index));
+  }
   if (!close_agg_vertex(job, vertex_index)) return;
+  job.agg_durations.push_back(sim_.now() - v.run_start);
   control_flow(v.server, job.manager, job.spec.id, job.aggregate_phase);
   if (job.aggs_pending == 0 && !job.failed && !horizon_reached()) {
     PhaseLogRecord p;
@@ -881,7 +1213,7 @@ void WorkloadDriver::aggregate_vertex_done(JobExec& job, std::size_t vertex_inde
     p.kind = PhaseKind::kAggregate;
     p.start = job.aggregate_start;
     p.end = sim_.now();
-    p.vertices = static_cast<std::int32_t>(job.aggs.size());
+    p.vertices = static_cast<std::int32_t>(job.agg_primaries);
     p.bytes_in = job.shuffle_bytes;
     p.bytes_out = job.shuffle_bytes;
     trace_.record_phase(p);
@@ -893,7 +1225,7 @@ void WorkloadDriver::aggregate_vertex_done(JobExec& job, std::size_t vertex_inde
       c.kind = PhaseKind::kCombine;
       c.start = job.combine_start;
       c.end = sim_.now();
-      c.vertices = static_cast<std::int32_t>(job.aggs.size());
+      c.vertices = static_cast<std::int32_t>(job.agg_primaries);
       c.bytes_in = job.combine_bytes;
       c.bytes_out = job.combine_bytes;
       trace_.record_phase(c);
@@ -940,7 +1272,7 @@ void WorkloadDriver::start_output_phase(JobExec& job) {
           p.kind = PhaseKind::kOutput;
           p.start = jp->output_start;
           p.end = sim_.now();
-          p.vertices = static_cast<std::int32_t>(jp->aggs.size());
+          p.vertices = static_cast<std::int32_t>(jp->agg_primaries);
           p.bytes_in = jp->output_bytes;
           p.bytes_out = jp->output_bytes;
           trace_.record_phase(p);
@@ -1134,6 +1466,22 @@ void WorkloadDriver::handle_server_crash(ServerId server) {
     for (std::size_t vi = 0; vi < job.extracts.size(); ++vi) {
       auto& v = job.extracts[vi];
       if (v.closed || v.server != server) continue;
+      if (v.backup_of >= 0) {
+        // A crashed backup is simply abandoned; its primary still runs.
+        auto& primary = job.extracts[static_cast<std::size_t>(v.backup_of)];
+        if (primary.backup_index == static_cast<std::int32_t>(vi)) {
+          primary.backup_index = -1;
+        }
+        cancel_extract_run(job, vi);
+        continue;
+      }
+      if (v.backup_index >= 0 &&
+          !job.extracts[static_cast<std::size_t>(v.backup_index)].closed) {
+        // The primary died but its speculative twin survives: the twin IS
+        // the re-execution, so just retire the dead run.
+        cancel_extract_run(job, vi);
+        continue;
+      }
       ++v.epoch;  // orphan every callback of the old incarnation
       if (v.has_core) {
         v.has_core = false;
@@ -1155,6 +1503,19 @@ void WorkloadDriver::handle_server_crash(ServerId server) {
     for (std::size_t vi = 0; vi < job.aggs.size(); ++vi) {
       auto& v = job.aggs[vi];
       if (v.closed || v.server != server) continue;
+      if (v.backup_of >= 0) {
+        auto& primary = job.aggs[static_cast<std::size_t>(v.backup_of)];
+        if (primary.backup_index == static_cast<std::int32_t>(vi)) {
+          primary.backup_index = -1;
+        }
+        cancel_agg_run(job, vi);
+        continue;
+      }
+      if (v.backup_index >= 0 &&
+          !job.aggs[static_cast<std::size_t>(v.backup_index)].closed) {
+        cancel_agg_run(job, vi);
+        continue;
+      }
       ++v.epoch;
       if (v.has_core) {
         v.has_core = false;
@@ -1184,6 +1545,19 @@ void WorkloadDriver::handle_server_crash(ServerId server) {
 void WorkloadDriver::handle_server_recovery(ServerId server) {
   const auto si = static_cast<std::size_t>(server.value());
   if (si < server_down_.size()) server_down_[si] = 0;
+}
+
+void WorkloadDriver::handle_straggler_start(ServerId server, double slowdown) {
+  const auto si = static_cast<std::size_t>(server.value());
+  if (si >= server_slowdown_.size()) return;
+  server_slowdown_[si] = std::max(1.0, slowdown);
+  ++stats_.stragglers_observed;
+  DCT_OBS_INC(m_stragglers_);
+}
+
+void WorkloadDriver::handle_straggler_end(ServerId server) {
+  const auto si = static_cast<std::size_t>(server.value());
+  if (si < server_slowdown_.size()) server_slowdown_[si] = 1.0;
 }
 
 void WorkloadDriver::run_rereplication(ServerId failed) {

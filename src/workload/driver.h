@@ -98,10 +98,14 @@ struct WorkloadConfig {
   TimeSec vertex_startup_max = 0.25;
   std::int32_t max_read_retries = 1;      ///< retries before a fatal read failure
   /// Backoff before the first read retry; each further retry doubles it up
-  /// to `read_retry_max_backoff`, then a seeded +-50% jitter is applied —
-  /// capped exponential backoff instead of a fixed retry gap.
+  /// to `read_retry_max_backoff`, then a seeded +-`read_retry_jitter` jitter
+  /// is applied — capped exponential backoff instead of a fixed retry gap.
   TimeSec read_retry_base_backoff = 0.75;
   TimeSec read_retry_max_backoff = 8.0;
+  /// Jitter half-width for every backoff draw: the capped delay is scaled
+  /// by U[1 - j, 1 + j).  Must be in [0, 1); 0 makes backoffs deterministic
+  /// (still seeded-reproducible, the draw is simply degenerate).
+  double read_retry_jitter = 0.5;
   /// Baseline probability that a network read fails for non-network reasons
   /// (unresponsive machine, bad software, bad disk sectors — §4.2 notes not
   /// all read failures are congestion).  Gives Fig. 8 its clear-day floor.
@@ -130,6 +134,34 @@ struct WorkloadConfig {
   // --- Pre-population -------------------------------------------------------------
   std::int32_t initial_datasets = 48;
 
+  // --- Gray-failure mitigations ----------------------------------------------------
+  // Both mitigations default OFF and, when off, add zero events and zero
+  // rng draws: default-config runs stay bit-identical to older builds.
+  /// Dryad/MapReduce-style speculative re-execution: a periodic checker
+  /// launches a backup copy of a vertex that has run far longer than the
+  /// phase's median; first finisher wins, the loser is cancelled.
+  bool speculative_execution = false;
+  TimeSec spec_check_interval = 2.0;      ///< straggler-scan period
+  /// A vertex is a straggler once its elapsed time exceeds this multiple of
+  /// the median completed-vertex duration in the same phase.
+  double spec_slowdown_threshold = 2.5;
+  /// Fraction of a phase's vertices that must finish before the median is
+  /// trusted enough to speculate.
+  double spec_min_done_fraction = 0.5;
+  std::int32_t spec_budget_per_job = 4;   ///< max backups per job
+  /// Jittered pause between speculative launches for one job, so a sick
+  /// phase does not spawn its whole backup budget in one scan.
+  TimeSec spec_relaunch_backoff = 5.0;
+
+  /// Hedged block reads: if a remote extract read outlives the recent
+  /// p`hedge_quantile` read latency, issue a second read from another
+  /// replica; first success wins, a lone failure waits for its twin instead
+  /// of burning a retry.
+  bool hedged_reads = false;
+  double hedge_quantile = 0.95;
+  TimeSec hedge_min_timeout = 2.0;        ///< hedge-timer floor, seconds
+  std::int32_t hedge_budget_per_job = 8;  ///< max hedges per job
+
   void validate() const;
 };
 
@@ -147,6 +179,12 @@ struct WorkloadStats {
   std::int64_t server_crashes = 0;        ///< injected server faults observed
   std::int64_t vertices_reexecuted = 0;   ///< vertices restarted after a crash
   std::int64_t blocks_rereplicated = 0;   ///< under-replicated blocks healed
+  std::int64_t stragglers_observed = 0;   ///< straggler episodes seen by the driver
+  std::int64_t spec_launched = 0;         ///< speculative backup vertices started
+  std::int64_t spec_wins = 0;             ///< backups that beat their primary
+  std::int64_t spec_cancelled = 0;        ///< losing twins cancelled (either side)
+  std::int64_t hedges_launched = 0;       ///< hedged second reads issued
+  std::int64_t hedge_wins = 0;            ///< hedges that settled their read
   std::int64_t placement_tier[4] = {0, 0, 0, 0};
 
   [[nodiscard]] double remote_read_fraction() const noexcept {
@@ -188,9 +226,15 @@ class WorkloadDriver {
   void handle_server_crash(ServerId server);
   /// Marks a repaired server placeable again.
   void handle_server_recovery(ServerId server);
+  /// Enters a straggler episode: service times (startup, disk, compute) on
+  /// `server` stretch by `slowdown` (>= 1) until handle_straggler_end.
+  void handle_straggler_start(ServerId server, double slowdown);
+  /// Ends a straggler episode; service times on `server` recover.
+  void handle_straggler_end(ServerId server);
 
  private:
   struct JobExec;
+  struct HedgeRace;
 
   // --- Job lifecycle ------------------------------------------------------------
   JobSpec sample_job();
@@ -199,6 +243,16 @@ class WorkloadDriver {
   void submit_job(JobSpec spec);
   void launch_extract_vertex(JobExec& job, std::size_t vertex_index);
   void extract_read_next(JobExec& job, std::size_t vertex_index);
+  /// Issues one leg (primary or hedge) of a remote extract read; all legs
+  /// of one block share a HedgeRace that arbitrates first-success-wins.
+  void start_extract_read_flow(JobExec& job, std::size_t vertex_index,
+                               std::uint32_t epoch, ServerId source, Bytes bytes,
+                               std::shared_ptr<HedgeRace> race, bool is_hedge);
+  /// Arms the hedge timer for an in-flight remote read when budget allows.
+  void maybe_schedule_hedge(JobExec& job, std::size_t vertex_index,
+                            std::uint32_t epoch, BlockId block,
+                            ServerId primary_source, Bytes bytes,
+                            std::shared_ptr<HedgeRace> race);
   void extract_vertex_done(JobExec& job, std::size_t vertex_index);
   void start_aggregate_phase(JobExec& job);
   void launch_aggregate_vertex(JobExec& job, std::size_t vertex_index);
@@ -209,6 +263,17 @@ class WorkloadDriver {
   void finish_job(JobExec& job, bool failed);
   void start_egress(JobExec& job);
   void fail_job(JobExec& job);
+
+  // --- Speculative execution ------------------------------------------------------
+  void schedule_spec_check();
+  /// Scans running jobs for straggling vertices and launches backups.
+  void run_spec_check();
+  void launch_extract_backup(JobExec& job, std::size_t vertex_index);
+  void launch_agg_backup(JobExec& job, std::size_t vertex_index);
+  /// Cancels one run of a speculation pair: bumps the epoch so in-flight
+  /// callbacks orphan, zeroes its phase outputs, and closes the vertex.
+  void cancel_extract_run(JobExec& job, std::size_t vertex_index);
+  void cancel_agg_run(JobExec& job, std::size_t vertex_index);
 
   // --- Infrastructure processes ---------------------------------------------------
   void schedule_next_job_arrival();
@@ -230,10 +295,16 @@ class WorkloadDriver {
   bool close_extract_vertex(JobExec& job, std::size_t vertex_index);
   bool close_agg_vertex(JobExec& job, std::size_t vertex_index);
   void control_flow(ServerId from, ServerId to, JobId job, PhaseId phase);
-  [[nodiscard]] TimeSec startup_delay();
-  [[nodiscard]] TimeSec compute_delay(Bytes bytes);
+  /// Straggler slowdown currently in force on `server` (1.0 when healthy).
+  [[nodiscard]] double server_slowdown(ServerId server) const;
+  [[nodiscard]] TimeSec startup_delay(ServerId server);
+  [[nodiscard]] TimeSec compute_delay(ServerId server, Bytes bytes);
+  [[nodiscard]] TimeSec disk_read_delay(ServerId server, Bytes bytes) const;
   /// Capped exponential backoff with jitter for read retry `attempt` (1-based).
   [[nodiscard]] TimeSec retry_backoff(std::int32_t attempt);
+  /// Hedge-timer delay: jittered p-quantile of recent remote read times.
+  [[nodiscard]] TimeSec hedge_timeout();
+  void note_remote_read_duration(TimeSec duration);
   [[nodiscard]] bool is_server_down(ServerId s) const;
   /// Returns `s` when it is up, otherwise re-places onto a live server.
   /// Draws no randomness while every server is up.
@@ -261,6 +332,15 @@ class WorkloadDriver {
 
   std::vector<DatasetId> available_datasets_;
   std::vector<std::uint8_t> server_down_;  ///< crash state (faults subsystem)
+  std::vector<double> server_slowdown_;    ///< straggler factor per server (1 = healthy)
+  /// Ring buffer of recent remote extract-read durations feeding the hedge
+  /// timeout quantile.  Only maintained while hedged_reads is on.
+  std::vector<TimeSec> remote_read_durations_;
+  std::size_t remote_read_cursor_ = 0;
+  /// Separate substream for mitigation decisions (hedge jitter, backup
+  /// placement retries) so turning a mitigation on cannot shift the draws
+  /// of the main workload stream.
+  Rng mitigation_rng_;
   std::vector<std::unique_ptr<JobExec>> jobs_;
   std::vector<std::deque<std::function<void()>>> core_waiters_;
   std::deque<JobSpec> job_queue_;  ///< submitted, waiting for admission
@@ -282,6 +362,11 @@ class WorkloadDriver {
   obs::Histogram* m_phase_output_s_ = nullptr;
   obs::Histogram* m_job_s_ = nullptr;
   obs::Histogram* m_retry_backoff_s_ = nullptr;
+  obs::Counter* m_stragglers_ = nullptr;
+  obs::Counter* m_spec_launched_ = nullptr;
+  obs::Counter* m_spec_wins_ = nullptr;
+  obs::Counter* m_hedges_ = nullptr;
+  obs::Counter* m_hedge_wins_ = nullptr;
 };
 
 }  // namespace dct

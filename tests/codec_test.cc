@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
 #include "common/require.h"
 #include "common/rng.h"
 
@@ -203,6 +208,165 @@ TEST(Codec, FullTraceRoundTrip) {
   EXPECT_EQ(back.evacuations()[0].bytes_moved, 777);
   // Indices were rebuilt by decode.
   EXPECT_EQ(back.phase_kind(PhaseId{4}), PhaseKind::kCombine);
+}
+
+// --- Corrupted and truncated input --------------------------------------------
+
+// A small but fully-featured v3 trace: flows, job/phase/read-failure/
+// evacuation sections plus device failures and degradations, so corruption
+// can land in every decoder branch.
+ClusterTrace corruption_target() {
+  ClusterTrace trace(6, 40.0);
+  Rng rng(23);
+  for (int i = 0; i < 60; ++i) {
+    FlowRecord r;
+    r.id = FlowId{i};
+    r.src = ServerId{static_cast<std::int32_t>(rng.uniform_int(0, 5))};
+    r.dst = ServerId{static_cast<std::int32_t>(rng.uniform_int(0, 5))};
+    r.bytes_requested = rng.uniform_int(1, 500'000);
+    r.bytes_sent = r.bytes_requested;
+    r.start = rng.uniform(0, 30);
+    r.end = r.start + rng.uniform(0.01, 8.0);
+    r.kind = FlowKind::kShuffle;
+    r.job = JobId{i % 4};
+    r.phase = PhaseId{i % 9};
+    trace.record_flow(r);
+  }
+  JobLogRecord j;
+  j.job = JobId{0};
+  j.submit = 0.5;
+  j.start = 0.6;
+  j.end = 22.0;
+  j.completed = true;
+  trace.record_job(j);
+  PhaseLogRecord p;
+  p.job = JobId{0};
+  p.phase = PhaseId{2};
+  p.kind = PhaseKind::kExtract;
+  p.start = 1.0;
+  p.end = 9.0;
+  trace.record_phase(p);
+  ReadFailureRecord rf;
+  rf.time = 4.0;
+  rf.reader = ServerId{1};
+  rf.source = ServerId{4};
+  trace.record_read_failure(rf);
+  EvacuationRecord ev;
+  ev.start = 6.0;
+  ev.end = 12.0;
+  ev.server = ServerId{2};
+  trace.record_evacuation(ev);
+  DeviceFailureRecord df;
+  df.start = 2.0;
+  df.end = 5.0;
+  df.device = DeviceKind::kLink;
+  df.entity = 3;
+  trace.record_device_failure(df);
+  DegradationRecord dg;
+  dg.start = 3.0;
+  dg.end = 8.0;
+  dg.kind = DegradationKind::kLinkCapacity;
+  dg.entity = 1;
+  dg.severity = 0.4;
+  trace.record_degradation(dg);
+  return trace;
+}
+
+TEST(CodecCorruption, TruncatedPrefixesThrowCleanly) {
+  const auto encoded = encode_trace(corruption_target());
+  ASSERT_GT(encoded.size(), 16u);
+  // Every strict prefix must be rejected with a decode error — the reader
+  // hits an underrun mid-section — never crash or silently succeed.
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(encoded.data(), len);
+    EXPECT_THROW(decode_trace(prefix), Error) << "prefix length " << len;
+  }
+}
+
+TEST(CodecCorruption, DeltaOverflowRejected) {
+  // Hand-craft server-log payloads whose delta fields sum past INT64_MAX.
+  // Layout per flow: svarint end-delta, start-delta, flow-delta, peer,
+  // uvarint bytes, svarint requested-delta, job, phase, flags byte.
+  ServerLog empty;
+  empty.server = ServerId{0};
+  const auto header = encode_server_log(empty);
+  const std::uint8_t magic = header.at(0);
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+  const auto flow = [](ByteWriter& w, std::int64_t end_delta,
+                       std::int64_t bytes, std::int64_t req_delta) {
+    w.svarint(end_delta);
+    w.svarint(0);  // start
+    w.svarint(0);  // flow id
+    w.svarint(0);  // peer
+    w.uvarint(static_cast<std::uint64_t>(bytes));
+    w.svarint(req_delta);
+    w.svarint(-1);  // job
+    w.svarint(-1);  // phase
+    w.u8(0);
+  };
+
+  {  // end-time accumulator overflows on the second flow
+    ByteWriter w;
+    w.u8(magic);
+    w.svarint(0);
+    w.uvarint(2);
+    flow(w, kMax, 0, 0);
+    flow(w, kMax, 0, 0);
+    EXPECT_THROW(decode_server_log(w.bytes()), Error);
+  }
+  {  // bytes_requested = bytes + delta overflows
+    ByteWriter w;
+    w.u8(magic);
+    w.svarint(0);
+    w.uvarint(1);
+    flow(w, 0, kMax, 1);
+    EXPECT_THROW(decode_server_log(w.bytes()), Error);
+  }
+  {  // negative byte count (uvarint wraps the signed field) is rejected
+    ByteWriter w;
+    w.u8(magic);
+    w.svarint(0);
+    w.uvarint(1);
+    w.svarint(0);
+    w.svarint(0);
+    w.svarint(0);
+    w.svarint(0);
+    w.uvarint(~0ull);
+    w.svarint(0);
+    w.svarint(-1);
+    w.svarint(-1);
+    w.u8(0);
+    EXPECT_THROW(decode_server_log(w.bytes()), Error);
+  }
+}
+
+TEST(CodecCorruption, RandomBitFlipsNeverCrash) {
+  const auto encoded = encode_trace(corruption_target());
+  Rng rng(77);
+  int rejected = 0, survived = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    auto copy = encoded;
+    // One to three independent bit flips per trial.
+    const int flips = static_cast<int>(rng.uniform_int(1, 3));
+    for (int k = 0; k < flips; ++k) {
+      const auto byte = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(copy.size()) - 1));
+      copy[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    }
+    // The only acceptable outcomes are a clean decode error or a decode
+    // that happens to still parse; anything else (UB, crash, unbounded
+    // allocation, a foreign exception) fails the test.
+    try {
+      const ClusterTrace back = decode_trace(copy);
+      EXPECT_GE(back.server_count(), 1);
+      ++survived;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected + survived, 400);
+  EXPECT_GT(rejected, 0) << "bit flips should usually be detected";
 }
 
 }  // namespace

@@ -1,0 +1,434 @@
+// Gray-failure subsystem tests: degradation schedule generation, the
+// FlowSim effective-capacity overlay, injector replay of each degradation
+// kind (throttle, flap, lossy, straggler), the degraded-mode mitigations
+// (speculative re-execution and hedged reads), codec round-tripping of
+// degradation records, and the schedule hash echoed into run manifests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/require.h"
+#include "core/experiment.h"
+#include "faults/degradation.h"
+#include "faults/injector.h"
+#include "topology/network_state.h"
+#include "trace/codec.h"
+
+namespace dct {
+namespace {
+
+TopologyConfig small_topology(bool redundant) {
+  TopologyConfig cfg;
+  cfg.racks = 4;
+  cfg.servers_per_rack = 4;
+  cfg.racks_per_vlan = 2;
+  cfg.agg_switches = 2;
+  cfg.external_servers = 2;
+  cfg.redundant_tor_uplinks = redundant;
+  return cfg;
+}
+
+FlowSimConfig exact_config(TimeSec horizon) {
+  FlowSimConfig cfg;
+  cfg.end_time = horizon;
+  cfg.recompute_interval = 0.0;   // exact mode
+  cfg.per_flow_rate_cap = 0.0;    // flows reach line rate
+  cfg.connect_share_floor = 0.0;  // no spontaneous connection failures
+  return cfg;
+}
+
+DegradationConfig all_kinds_config() {
+  DegradationConfig dc;
+  dc.link_capacity_rate = 2.0;
+  dc.link_flap_rate = 1.0;
+  dc.link_lossy_rate = 1.5;
+  dc.straggler_rate = 2.0;
+  return dc;
+}
+
+// --- Schedule generation ------------------------------------------------------
+
+TEST(DegradationSchedule, DeterministicSortedAndSeedSensitive) {
+  Topology topo(small_topology(true));
+  const DegradationConfig dc = all_kinds_config();
+  const auto a = generate_degradation_schedule(topo, dc, 3600.0);
+  const auto b = generate_degradation_schedule(topo, dc, 3600.0);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  bool saw[4] = {false, false, false, false};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].entity, b[i].entity);
+    EXPECT_EQ(a[i].severity, b[i].severity);
+    EXPECT_LT(a[i].start, 3600.0);
+    EXPECT_GT(a[i].end, a[i].start);
+    if (i > 0) {
+      EXPECT_GE(a[i].start, a[i - 1].start);
+    }
+    saw[static_cast<int>(a[i].kind)] = true;
+    switch (a[i].kind) {
+      case DegradationKind::kLinkCapacity:
+        EXPECT_GE(a[i].entity, 0);
+        EXPECT_LT(a[i].entity, topo.link_count());
+        EXPECT_GE(a[i].severity, dc.link_capacity_floor);
+        EXPECT_LE(a[i].severity, dc.link_capacity_ceil);
+        EXPECT_EQ(a[i].period, 0.0);
+        break;
+      case DegradationKind::kLinkFlap:
+        // Flaps stay on the inter-switch fabric.
+        EXPECT_TRUE(is_inter_switch(topo.link(LinkId{a[i].entity}).kind));
+        EXPECT_GE(a[i].severity, dc.link_flap_duty_min);
+        EXPECT_LE(a[i].severity, dc.link_flap_duty_max);
+        EXPECT_GE(a[i].period, dc.link_flap_period_min);
+        EXPECT_LE(a[i].period, dc.link_flap_period_max);
+        break;
+      case DegradationKind::kLinkLossy:
+        EXPECT_GE(a[i].entity, 0);
+        EXPECT_LT(a[i].entity, topo.link_count());
+        EXPECT_GE(a[i].severity, dc.link_lossy_floor);
+        EXPECT_LE(a[i].severity, dc.link_lossy_ceil);
+        break;
+      case DegradationKind::kServerStraggler:
+        EXPECT_GE(a[i].entity, 0);
+        EXPECT_LT(a[i].entity, topo.internal_server_count());
+        EXPECT_GE(a[i].severity, dc.straggler_slowdown_min);
+        EXPECT_LE(a[i].severity, dc.straggler_slowdown_max);
+        break;
+    }
+  }
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2] && saw[3])
+      << "an hour at these rates must sample every degradation kind";
+
+  DegradationConfig other = dc;
+  other.seed = 99;
+  const auto c = generate_degradation_schedule(topo, other, 3600.0);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].start != c[i].start || a[i].entity != c[i].entity;
+  }
+  EXPECT_TRUE(differs) << "changing the degradation seed must move the schedule";
+}
+
+TEST(DegradationSchedule, EmptyConfigYieldsNothing) {
+  Topology topo(small_topology(true));
+  DegradationConfig dc;
+  EXPECT_TRUE(dc.empty());
+  EXPECT_TRUE(generate_degradation_schedule(topo, dc, 3600.0).empty());
+}
+
+TEST(DegradationSchedule, ValidateRejectsNonsense) {
+  DegradationConfig a;
+  a.link_capacity_rate = -1.0;
+  EXPECT_THROW(a.validate(), Error);
+  DegradationConfig b;
+  b.link_capacity_rate = 1.0;
+  b.link_capacity_floor = 0.6;
+  b.link_capacity_ceil = 0.4;  // floor > ceil
+  EXPECT_THROW(b.validate(), Error);
+  DegradationConfig c;
+  c.link_flap_rate = 1.0;
+  c.link_flap_period_min = 0.1;  // below the transition-count guard
+  EXPECT_THROW(c.validate(), Error);
+  DegradationConfig d;
+  d.straggler_rate = 1.0;
+  d.straggler_slowdown_min = 0.5;  // a slowdown below 1 is a speedup
+  EXPECT_THROW(d.validate(), Error);
+  DegradationConfig ok = all_kinds_config();
+  ok.validate();
+}
+
+// --- The capacity overlay -----------------------------------------------------
+
+TEST(CapacityOverlay, ThrottledLinkStretchesFlows) {
+  const auto run_one = [](double factor) {
+    Topology topo(small_topology(true));
+    FlowSim sim(topo, exact_config(120.0));
+    const ServerId src = topo.servers_in_rack(RackId{0}).at(0);
+    const ServerId dst = topo.servers_in_rack(RackId{1}).at(0);
+    sim.set_link_capacity_factor(topo.server_up_link(src), factor);
+    FlowSpec spec;
+    spec.src = src;
+    spec.dst = dst;
+    spec.bytes = 125'000'000;  // ~1 s at the 1 Gb/s access line rate
+    sim.start_flow(spec);
+    sim.run();
+    const auto& rec = sim.records().front();
+    EXPECT_FALSE(rec.failed);
+    EXPECT_EQ(rec.bytes_sent, spec.bytes);
+    return rec.end - rec.start;
+  };
+  const TimeSec healthy = run_one(1.0);
+  const TimeSec throttled = run_one(0.25);
+  ASSERT_GT(healthy, 0.0);
+  // A link at a quarter of its capacity carries the same flow 4x slower.
+  EXPECT_NEAR(throttled / healthy, 4.0, 0.05);
+}
+
+// --- Injector replay ----------------------------------------------------------
+
+struct InjectorRig {
+  Topology topo;
+  NetworkState net;
+  FlowSim sim;
+  ClusterTrace trace;
+  FaultInjector inj;
+
+  explicit InjectorRig(TimeSec horizon)
+      : topo(small_topology(true)),
+        net(topo),
+        sim(topo, exact_config(horizon)),
+        trace(topo.server_count(), horizon),
+        inj(sim, net, &trace) {
+    sim.set_network_state(&net);
+  }
+};
+
+TEST(InjectorDegradations, CapacityEpisodeAppliesClearsAndSkipsOverlap) {
+  InjectorRig rig(30.0);
+  const LinkId link = rig.topo.tor_up_link(RackId{0});
+  std::vector<DegradationEvent> sched;
+  sched.push_back({1.0, 10.0, DegradationKind::kLinkCapacity, link.value(), 0.5, 0.0});
+  sched.push_back({4.0, 8.0, DegradationKind::kLinkCapacity, link.value(), 0.2, 0.0});
+  rig.inj.install_degradations(std::move(sched));
+
+  double mid = -1.0, after = -1.0;
+  rig.sim.at(5.0, [&](FlowSim& s) { mid = s.link_capacity_factor(link); });
+  rig.sim.at(12.0, [&](FlowSim& s) { after = s.link_capacity_factor(link); });
+  rig.sim.run();
+
+  EXPECT_DOUBLE_EQ(mid, 0.5) << "the overlapping episode must not stack";
+  EXPECT_DOUBLE_EQ(after, 1.0) << "episode end must restore full capacity";
+  EXPECT_EQ(rig.inj.degradations_injected(), 1u);
+  EXPECT_EQ(rig.inj.degradations_skipped(), 1u);
+  ASSERT_EQ(rig.trace.degradations().size(), 1u);
+  EXPECT_EQ(rig.trace.degradations()[0].kind, DegradationKind::kLinkCapacity);
+  EXPECT_DOUBLE_EQ(rig.trace.degradations()[0].severity, 0.5);
+}
+
+TEST(InjectorDegradations, LossyEpisodeUsesSameOverlay) {
+  InjectorRig rig(20.0);
+  const LinkId link = rig.topo.tor_up_link(RackId{1});
+  rig.inj.install_degradations(
+      {{2.0, 9.0, DegradationKind::kLinkLossy, link.value(), 0.4, 0.0}});
+  double mid = -1.0;
+  rig.sim.at(5.0, [&](FlowSim& s) { mid = s.link_capacity_factor(link); });
+  rig.sim.run();
+  EXPECT_DOUBLE_EQ(mid, 0.4) << "loss shows up as surviving-goodput fraction";
+  ASSERT_EQ(rig.trace.degradations().size(), 1u);
+  EXPECT_EQ(rig.trace.degradations()[0].kind, DegradationKind::kLinkLossy);
+}
+
+TEST(InjectorDegradations, FlapTogglesTheLinkAndRecovers) {
+  InjectorRig rig(30.0);
+  const LinkId link = rig.topo.tor_up_link(RackId{0});
+  // 8 s episode, 4 s period, 50% duty: down [1,3), up [3,5), down [5,7)...
+  rig.inj.install_degradations(
+      {{1.0, 9.0, DegradationKind::kLinkFlap, link.value(), 0.5, 4.0}});
+
+  bool down_mid = false, up_between = false, up_after = false;
+  rig.sim.at(2.0, [&](FlowSim&) { down_mid = !rig.net.link_usable(link); });
+  rig.sim.at(4.0, [&](FlowSim&) { up_between = rig.net.link_usable(link); });
+  rig.sim.at(12.0, [&](FlowSim&) { up_after = rig.net.link_usable(link); });
+  rig.sim.run();
+
+  EXPECT_TRUE(down_mid);
+  EXPECT_TRUE(up_between);
+  EXPECT_TRUE(up_after) << "episode end must leave the link up";
+  EXPECT_GE(rig.inj.flap_transitions(), 2u);
+  ASSERT_EQ(rig.trace.degradations().size(), 1u);
+  EXPECT_EQ(rig.trace.degradations()[0].kind, DegradationKind::kLinkFlap);
+  EXPECT_DOUBLE_EQ(rig.trace.degradations()[0].period, 4.0);
+}
+
+TEST(InjectorDegradations, StragglerFiresHandlersWithSlowdown) {
+  InjectorRig rig(20.0);
+  std::vector<std::pair<ServerId, double>> started;
+  std::vector<ServerId> cleared;
+  rig.inj.set_straggler_handler(
+      [&](ServerId s, double slow) { started.emplace_back(s, slow); });
+  rig.inj.set_straggler_clear_handler([&](ServerId s) { cleared.push_back(s); });
+  rig.inj.install_degradations(
+      {{1.5, 6.0, DegradationKind::kServerStraggler, 3, 5.0, 0.0}});
+  rig.sim.run();
+
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].first, ServerId{3});
+  EXPECT_DOUBLE_EQ(started[0].second, 5.0);
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_EQ(cleared[0], ServerId{3});
+  ASSERT_EQ(rig.trace.degradations().size(), 1u);
+  EXPECT_EQ(rig.trace.degradations()[0].kind, DegradationKind::kServerStraggler);
+}
+
+TEST(InjectorDegradations, RejectsOutOfRangeEntities) {
+  {
+    InjectorRig rig(10.0);
+    EXPECT_THROW(rig.inj.install_degradations({{1.0, 2.0, DegradationKind::kLinkCapacity,
+                                                rig.topo.link_count(), 0.5, 0.0}}),
+                 Error);
+  }
+  {
+    InjectorRig rig(10.0);
+    EXPECT_THROW(
+        rig.inj.install_degradations(
+            {{1.0, 2.0, DegradationKind::kServerStraggler, -1, 2.0, 0.0}}),
+        Error);
+  }
+}
+
+// --- Mitigations end-to-end ---------------------------------------------------
+
+// Straggler-dominated scenario: every server episode is long and severe, so
+// the speculative checker has clear targets.
+ScenarioConfig straggler_scenario(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = scenarios::tiny(duration, seed);
+  cfg.name = "straggler_unit";
+  cfg.degradations.straggler_rate = 30.0;
+  cfg.degradations.straggler_mean_duration = 120.0;
+  cfg.degradations.straggler_slowdown_min = 6.0;
+  cfg.degradations.straggler_slowdown_max = 8.0;
+  cfg.workload.speculative_execution = true;
+  cfg.workload.spec_check_interval = 1.0;
+  cfg.workload.spec_slowdown_threshold = 1.8;
+  cfg.workload.spec_min_done_fraction = 0.25;
+  cfg.workload.spec_budget_per_job = 8;
+  cfg.workload.spec_relaunch_backoff = 1.0;
+  return cfg;
+}
+
+TEST(Mitigations, SpeculationLaunchesBackupsAndWins) {
+  ClusterExperiment exp(straggler_scenario(240.0, 3));
+  exp.run();
+  const auto& st = exp.workload_stats();
+  EXPECT_GT(st.stragglers_observed, 0);
+  EXPECT_GT(st.spec_launched, 0);
+  EXPECT_GT(st.spec_wins, 0) << "some backup must beat its straggling primary";
+  EXPECT_GT(st.jobs_completed, 0);
+  ASSERT_NE(exp.fault_injector(), nullptr);
+  EXPECT_GT(exp.fault_injector()->degradations_injected(), 0u);
+}
+
+// Sparse-but-severe throttling: at any instant only a few links run at
+// 2-5% of line rate while the rest of the fabric is healthy.  A remote
+// read whose SOURCE sits behind such a link crawls while the block's other
+// replicas stay fast — the hedged-read case.  (Dense degradation would slow
+// the reader and the fabric too, which a hedge cannot escape.)
+ScenarioConfig slow_replica_scenario(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = scenarios::tiny(duration, seed);
+  cfg.name = "slow_replica_unit";
+  cfg.degradations.link_capacity_rate = 6.0;
+  cfg.degradations.link_capacity_mean_duration = 60.0;
+  cfg.degradations.link_capacity_floor = 0.02;
+  cfg.degradations.link_capacity_ceil = 0.05;
+  // Locality off: nearly every extract read is remote, so the run samples
+  // many (source, reader) pairs and reliably hits the slow-source case.
+  cfg.workload.locality_enabled = false;
+  cfg.workload.hedged_reads = true;
+  cfg.workload.hedge_quantile = 0.5;
+  cfg.workload.hedge_min_timeout = 0.5;
+  cfg.workload.hedge_budget_per_job = 32;
+  return cfg;
+}
+
+TEST(Mitigations, HedgedReadsFireAndWin) {
+  ClusterExperiment exp(slow_replica_scenario(240.0, 3));
+  exp.run();
+  const auto& st = exp.workload_stats();
+  EXPECT_GT(st.extract_reads_remote, 0);
+  EXPECT_GT(st.hedges_launched, 0);
+  EXPECT_GT(st.hedge_wins, 0) << "a hedge must beat a crawling primary read";
+  EXPECT_GT(st.jobs_completed, 0);
+}
+
+TEST(Mitigations, GrayFailureScenarioIsDeterministic) {
+  ClusterExperiment a(straggler_scenario(120.0, 9));
+  a.run();
+  ClusterExperiment b(straggler_scenario(120.0, 9));
+  b.run();
+  EXPECT_FALSE(a.trace().degradations().empty());
+  EXPECT_EQ(encode_trace(a.trace()), encode_trace(b.trace()));
+  EXPECT_EQ(a.schedule_hash(), b.schedule_hash());
+  EXPECT_NE(a.schedule_hash(), 0u);
+}
+
+// --- Codec --------------------------------------------------------------------
+
+TEST(DegradationCodec, RecordsRoundTripAndVersionIsGated) {
+  ClusterTrace trace(3, 10.0);
+  FlowRecord r;
+  r.id = FlowId{0};
+  r.src = ServerId{0};
+  r.dst = ServerId{1};
+  r.bytes_requested = r.bytes_sent = 1000;
+  r.start = 1.0;
+  r.end = 2.0;
+  trace.record_flow(r);
+
+  DeviceFailureRecord df;
+  df.start = 1.0;
+  df.end = 4.0;
+  df.device = DeviceKind::kServer;
+  df.entity = 1;
+  trace.record_device_failure(df);
+  EXPECT_EQ(encode_trace(trace)[1], 2) << "failures alone keep the v2 format";
+
+  DegradationRecord d;
+  d.start = 1.25;
+  d.end = 7.5;
+  d.kind = DegradationKind::kLinkFlap;
+  d.entity = 6;
+  d.severity = 0.375;
+  d.period = 3.5;
+  trace.record_degradation(d);
+
+  const auto v3 = encode_trace(trace);
+  EXPECT_EQ(v3[1], 3) << "degradations must bump the container version";
+  const auto back = decode_trace(v3);
+  ASSERT_EQ(back.degradations().size(), 1u);
+  const auto& rb = back.degradations()[0];
+  EXPECT_NEAR(rb.start, d.start, 1e-6);
+  EXPECT_NEAR(rb.end, d.end, 1e-6);
+  EXPECT_EQ(rb.kind, DegradationKind::kLinkFlap);
+  EXPECT_EQ(rb.entity, 6);
+  EXPECT_NEAR(rb.severity, 0.375, 1e-6);
+  EXPECT_NEAR(rb.period, 3.5, 1e-6);
+  ASSERT_EQ(back.device_failures().size(), 1u);
+  EXPECT_EQ(encode_trace(back), v3);
+}
+
+// --- Schedule hash ------------------------------------------------------------
+
+TEST(ScheduleHash, ZeroOnlyForEmptyAndSensitiveToEveryField) {
+  EXPECT_EQ(schedule_hash({}, {}), 0u);
+
+  std::vector<DegradationEvent> degs = {
+      {1.0, 2.0, DegradationKind::kLinkCapacity, 4, 0.5, 0.0}};
+  std::vector<FaultEvent> faults = {{3.0, 4.0, DeviceKind::kServer, 2}};
+  const auto h = schedule_hash(faults, degs);
+  EXPECT_NE(h, 0u);
+  EXPECT_EQ(schedule_hash(faults, degs), h);
+
+  auto degs2 = degs;
+  degs2[0].severity = 0.500001;  // one quantum at the 1e-6 resolution
+  EXPECT_NE(schedule_hash(faults, degs2), h);
+  auto faults2 = faults;
+  faults2[0].entity = 3;
+  EXPECT_NE(schedule_hash(faults2, degs), h);
+  EXPECT_NE(schedule_hash({}, degs), h) << "dropping the fault half must show";
+
+  // The manifest exposes the hash (masked to 48 bits) plus the enable flag.
+  ClusterExperiment exp(straggler_scenario(30.0, 1));
+  exp.run();
+  const auto m = exp.manifest("degradation_test");
+  ASSERT_TRUE(m.config.contains("degradations_enabled"));
+  EXPECT_EQ(m.config.at("degradations_enabled"), 1.0);
+  ASSERT_TRUE(m.config.contains("fault_schedule_hash"));
+  EXPECT_EQ(m.config.at("fault_schedule_hash"),
+            static_cast<double>(exp.schedule_hash() & ((1ull << 48) - 1)));
+}
+
+}  // namespace
+}  // namespace dct

@@ -405,6 +405,30 @@ TEST(FaultDeterminism, FaultFreeOverlayIsByteIdenticalToNoOverlay) {
   EXPECT_EQ(encode_trace(trace_a), encode_trace(trace_b));
 }
 
+TEST(FaultDeterminism, FaultStormManifestIsByteIdentical) {
+  // The reproducibility contract for the whole fault stack: two runs of the
+  // same storm must agree on every manifest byte once the only legitimately
+  // nondeterministic fields (wall-clock measurements) are removed.
+  const auto stable_manifest = [](const ClusterExperiment& exp) {
+    obs::RunManifest m = exp.manifest("faults_test");
+    m.wall_seconds = 0;
+    std::erase_if(m.metrics, [](const obs::MetricSnapshot& s) {
+      return s.full_name.find("wall_ns") != std::string::npos;
+    });
+    return m.to_json();
+  };
+  ScenarioConfig cfg = scenarios::fault_storm(60.0, 13);
+  // Ride the degradation layer too, so the manifest covers both schedules.
+  cfg.degradations.link_capacity_rate = 0.5;
+  cfg.degradations.straggler_rate = 1.0;
+  ClusterExperiment a(cfg);
+  a.run();
+  ClusterExperiment b(cfg);
+  b.run();
+  EXPECT_NE(a.schedule_hash(), 0u);
+  EXPECT_EQ(stable_manifest(a), stable_manifest(b));
+}
+
 // --- Workload-level crash recovery --------------------------------------------
 
 TEST(CrashRecovery, ServerCrashesTriggerReexecutionAndRereplication) {

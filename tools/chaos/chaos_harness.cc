@@ -1,0 +1,182 @@
+// Seeded chaos harness for the fault + gray-failure subsystems.
+//
+// Each round draws a randomized-but-reproducible scenario (fail-stop fault
+// rates, degradation rates, mitigation knobs — all derived from the round
+// seed), runs it TWICE, and checks the invariants the simulator promises no
+// matter what the fault layer throws at it:
+//
+//   1. byte conservation   — no flow sends more than it asked for, and a
+//                            flow that completed sent exactly its request;
+//   2. no orphaned flows   — the active set is empty once the run ends;
+//   3. monotone sim time   — every record fits inside [0, horizon] with
+//                            end >= start;
+//   4. capacity respected  — no link's per-bin utilization exceeds 1;
+//   5. determinism         — the two runs produce byte-identical traces and
+//                            byte-identical manifests (after removing the
+//                            wall-clock fields, the only nondeterminism the
+//                            manifest is allowed to carry).
+//
+// Usage: chaos_harness [rounds=25] [duration_s=40] [base_seed=1]
+// Exits non-zero on the first violated invariant, printing the round seed
+// so the failure replays with `chaos_harness 1 <duration> <seed>`.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <random>
+#include <string>
+
+#include "core/experiment.h"
+#include "trace/codec.h"
+
+namespace {
+
+int g_violations = 0;
+
+void check(bool ok, std::uint64_t seed, const std::string& what) {
+  if (ok) return;
+  ++g_violations;
+  std::cerr << "[chaos] VIOLATION (seed " << seed << "): " << what << "\n";
+}
+
+// A small cluster under a randomized storm of fail-stop and gray failures,
+// with the degraded-mode mitigations usually (not always) on.  Every draw
+// comes from `gen`, which is seeded from the round seed, so a round is
+// fully reproducible from its seed alone.
+dct::ScenarioConfig chaos_scenario(double duration, std::uint64_t seed) {
+  std::mt19937_64 gen(seed * 0x9E3779B97F4A7C15ull + 1);
+  auto uni = [&](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen);
+  };
+  dct::ScenarioConfig cfg = dct::scenarios::tiny(duration, seed);
+  cfg.name = "chaos";
+  cfg.topology.redundant_tor_uplinks = true;
+  cfg.workload.jobs_per_second = uni(0.5, 1.5);
+
+  cfg.faults.link_flap_rate = uni(0.0, 4.0);
+  cfg.faults.link_flap_mean_duration = uni(5.0, 15.0);
+  cfg.faults.server_crash_rate = uni(0.0, 4.0);
+  cfg.faults.server_mean_repair = uni(20.0, 60.0);
+  cfg.faults.tor_crash_rate = uni(0.0, 1.0);
+  cfg.faults.tor_mean_repair = uni(10.0, 30.0);
+
+  cfg.degradations.link_capacity_rate = uni(0.0, 20.0);
+  cfg.degradations.link_capacity_mean_duration = uni(5.0, 30.0);
+  cfg.degradations.link_flap_rate = uni(0.0, 10.0);
+  cfg.degradations.link_flap_mean_duration = uni(5.0, 20.0);
+  cfg.degradations.link_lossy_rate = uni(0.0, 20.0);
+  cfg.degradations.link_lossy_mean_duration = uni(5.0, 30.0);
+  cfg.degradations.straggler_rate = uni(0.0, 40.0);
+  cfg.degradations.straggler_mean_duration = uni(10.0, 40.0);
+
+  cfg.workload.speculative_execution = uni(0.0, 1.0) < 0.75;
+  cfg.workload.hedged_reads = uni(0.0, 1.0) < 0.75;
+  if (cfg.workload.hedged_reads) {
+    cfg.workload.hedge_quantile = uni(0.80, 0.99);
+    cfg.workload.hedge_min_timeout = uni(0.5, 3.0);
+  }
+  if (cfg.workload.speculative_execution) {
+    cfg.workload.spec_slowdown_threshold = uni(1.5, 4.0);
+    cfg.workload.spec_check_interval = uni(1.0, 4.0);
+  }
+  cfg.workload.read_retry_jitter = uni(0.0, 0.9);
+  return cfg;
+}
+
+// The manifest minus its wall-clock content (run wall time and the scoped
+// wall-ns timer metrics), which is the only part allowed to differ between
+// two runs of the same seed.
+std::string stable_manifest(const dct::ClusterExperiment& exp) {
+  dct::obs::RunManifest m = exp.manifest("chaos_harness");
+  m.wall_seconds = 0;
+  std::erase_if(m.metrics, [](const dct::obs::MetricSnapshot& s) {
+    return s.full_name.find("wall_ns") != std::string::npos;
+  });
+  return m.to_json();
+}
+
+void check_invariants(dct::ClusterExperiment& exp, std::uint64_t seed,
+                      double horizon) {
+  constexpr double kEps = 1e-6;
+  for (const auto& f : exp.trace().flows()) {
+    check(f.bytes >= 0 && f.bytes <= f.bytes_requested, seed,
+          "byte conservation: flow sent more than requested");
+    if (!f.failed && !f.truncated) {
+      check(f.bytes == f.bytes_requested, seed,
+            "byte conservation: completed flow short of its request");
+    }
+    check(f.end >= f.start - kEps, seed, "monotone time: flow ends before it starts");
+    check(f.start >= -kEps && f.end <= horizon + kEps, seed,
+          "monotone time: flow outside [0, horizon]");
+  }
+  check(exp.sim().active_flow_count() == 0, seed,
+        "orphaned flows: active set non-empty after the run");
+  for (const auto& j : exp.trace().jobs()) {
+    check(j.end >= j.start - kEps && j.submit <= j.start + kEps, seed,
+          "monotone time: job log out of order");
+  }
+  // Utilization is measured against NOMINAL capacity, so even a degraded
+  // link can never report more than 100% of a bin.
+  for (const auto& series : exp.utilization().per_link) {
+    for (double v : series.values()) {
+      check(v <= 1.0 + 1e-3, seed, "capacity: link bin above nominal capacity");
+      if (v > 1.0 + 1e-3) return;  // one report per round is plenty
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 25;
+  const double duration = argc > 2 ? std::atof(argv[2]) : 40.0;
+  const std::uint64_t base_seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  std::cerr << "[chaos] " << rounds << " rounds x 2 runs, " << duration
+            << " s horizon, seeds " << base_seed << ".." << (base_seed + rounds - 1)
+            << "\n";
+  for (int i = 0; i < rounds; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const dct::ScenarioConfig cfg = chaos_scenario(duration, seed);
+
+    dct::ClusterExperiment a(cfg);
+    a.run();
+    check_invariants(a, seed, cfg.sim.end_time);
+
+    dct::ClusterExperiment b(cfg);
+    b.run();
+    // Manifests first: encode_trace feeds the process-global codec counters,
+    // which are bound into the most recent run's registry.
+    const std::string ma = stable_manifest(a);
+    const std::string mb = stable_manifest(b);
+    check(encode_trace(a.trace()) == encode_trace(b.trace()), seed,
+          "determinism: traces differ between identical runs");
+    check(a.schedule_hash() == b.schedule_hash(), seed,
+          "determinism: schedule hashes differ between identical runs");
+    check(ma == mb, seed, "determinism: manifests differ between identical runs");
+    if (ma != mb) {
+      std::size_t pos = 0;
+      while (pos < ma.size() && pos < mb.size() && ma[pos] == mb[pos]) ++pos;
+      const std::size_t from = pos > 80 ? pos - 80 : 0;
+      std::cerr << "[chaos]   first divergence at byte " << pos << ":\n"
+                << "[chaos]   A: ..." << ma.substr(from, 160) << "\n"
+                << "[chaos]   B: ..." << mb.substr(from, 160) << "\n";
+    }
+
+    std::cerr << "[chaos] seed " << seed << ": " << a.trace().flow_count()
+              << " flows, "
+              << (a.fault_injector() != nullptr ? a.fault_injector()->injected() : 0)
+              << " faults, "
+              << (a.fault_injector() != nullptr
+                      ? a.fault_injector()->degradations_injected()
+                      : 0)
+              << " degradations"
+              << (g_violations != 0 ? "  <-- VIOLATIONS" : "") << "\n";
+    if (g_violations != 0) break;
+  }
+  if (g_violations != 0) {
+    std::cerr << "[chaos] FAILED with " << g_violations << " violation(s)\n";
+    return 1;
+  }
+  std::cerr << "[chaos] all invariants held over " << rounds << " rounds\n";
+  return 0;
+}
