@@ -35,7 +35,7 @@ struct Options {
 [[noreturn]] void usage() {
   std::cerr << "usage: run_scenario [--scenario canonical|weekend|heavy|no_locality|"
                "uncapped_connections|unchunked|full_bisection|paper_scale|"
-               "fault_storm|gray_failure|tiny]\n"
+               "fault_storm|gray_failure|correlated_burst|tiny]\n"
                "                    [--duration S] [--seed N] [--jobs-per-second R]\n"
                "                    [--racks N] [--servers-per-rack N]\n"
                "                    [--csv-flows PATH] [--csv-links PATH]\n";
@@ -95,6 +95,8 @@ dct::ScenarioConfig make_config(const Options& opt) {
     cfg = dct::scenarios::fault_storm(opt.duration, opt.seed);
   } else if (opt.scenario == "gray_failure") {
     cfg = dct::scenarios::gray_failure(opt.duration, opt.seed);
+  } else if (opt.scenario == "correlated_burst") {
+    cfg = dct::scenarios::correlated_burst(opt.duration, opt.seed);
   } else if (opt.scenario == "tiny") {
     cfg = dct::scenarios::tiny(opt.duration, opt.seed);
   } else {

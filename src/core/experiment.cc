@@ -24,9 +24,22 @@ ClusterExperiment::ClusterExperiment(ScenarioConfig config)
       trace_(topo_.server_count(), config_.sim.end_time),
       collector_(sim_, trace_),
       driver_(topo_, sim_, trace_, config_.workload, config_.seed) {
+  // Fail fast on bad fault/degradation/cascade knobs, before any scheduling.
+  // (WorkloadConfig, including RepairConfig, is validated by the driver.)
+  config_.faults.validate();
+  config_.degradations.validate();
+  config_.cascades.validate();
   // The overlay is always installed; while every device is up it delegates
   // to the immutable topology, so a fault-free run is unchanged.
   sim_.set_network_state(&net_);
+}
+
+ClusterExperiment::~ClusterExperiment() {
+  // The codec metrics are process-wide and may point into registry_; a later
+  // encode/decode outside any experiment must not touch freed counters.
+  // (If another live experiment had re-bound them its codec metrics go
+  // silently quiet, which is harmless — the hooks are null-tolerant.)
+  if (ran_ && config_.obs_bind_metrics) bind_codec_metrics(nullptr);
 }
 
 void ClusterExperiment::run() {
@@ -38,7 +51,8 @@ void ClusterExperiment::run() {
     bind_codec_metrics(&registry_);
   }
   driver_.install();
-  if (!config_.faults.empty() || !config_.degradations.empty()) {
+  if (!config_.faults.empty() || !config_.degradations.empty() ||
+      !config_.cascades.empty()) {
     injector_ = std::make_unique<FaultInjector>(sim_, net_, &trace_);
     if (config_.obs_bind_metrics) injector_->bind_metrics(registry_);
     injector_->set_server_crash_handler(
@@ -59,6 +73,7 @@ void ClusterExperiment::run() {
     if (!degradations.empty() || !config_.degradations.empty()) {
       injector_->install_degradations(std::move(degradations));
     }
+    if (!config_.cascades.empty()) injector_->enable_cascades(config_.cascades);
   }
   // Sampling is opt-in: each tick is a user callback in the event queue, so
   // enabling it shifts event sequence numbers.  With the default interval of
@@ -103,6 +118,8 @@ obs::RunManifest ClusterExperiment::manifest(const std::string& harness) const {
   m.config["per_flow_rate_cap_Bps"] = config_.sim.per_flow_rate_cap;
   m.config["faults_enabled"] = config_.faults.empty() ? 0.0 : 1.0;
   m.config["degradations_enabled"] = config_.degradations.empty() ? 0.0 : 1.0;
+  m.config["cascades_enabled"] = config_.cascades.empty() ? 0.0 : 1.0;
+  m.config["repair_paced"] = config_.workload.repair.paced ? 1.0 : 0.0;
   // Masked to 48 bits so the value is exactly representable as a double and
   // survives the manifest's JSON round-trip bit-for-bit.
   m.config["fault_schedule_hash"] =

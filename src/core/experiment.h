@@ -34,6 +34,9 @@ namespace dct {
 class ClusterExperiment {
  public:
   explicit ClusterExperiment(ScenarioConfig config);
+  // Unbinds the codec's process-wide metric pointers, which would otherwise
+  // dangle into this experiment's registry after it is gone.
+  ~ClusterExperiment();
 
   // The simulator, trace and driver hold references into this object, so it
   // must stay put.  Construct in place (guaranteed prvalue elision makes

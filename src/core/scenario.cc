@@ -126,6 +126,40 @@ ScenarioConfig gray_failure(TimeSec duration, std::uint64_t seed) {
   return cfg;
 }
 
+ScenarioConfig correlated_burst(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = canonical(duration, seed);
+  cfg.name = "correlated_burst";
+  // Redundant uplinks so a domain event leaves the fabric degraded rather
+  // than partitioned (total-rack disconnects still happen under rack power
+  // events, which take both uplinks' servers down together).
+  cfg.topology.redundant_tor_uplinks = true;
+  // Rack power events: per rack per hour, inflated (like fault_storm) so a
+  // ten minute run sees several whole-rack bursts.
+  cfg.faults.rack_power_rate = 1.2;
+  cfg.faults.rack_power_mean_repair = 150.0;
+  cfg.faults.domain_burst_jitter = 1.5;
+  // A sprinkling of independent crashes on top of the correlated bursts.
+  cfg.faults.server_crash_rate = 0.15;
+  cfg.faults.server_mean_repair = 120.0;
+  // Domain-level gray failures: a rack's (or VLAN's) uplinks go lossy
+  // together.
+  cfg.degradations.tor_domain_rate = 0.8;
+  cfg.degradations.tor_domain_mean_duration = 45.0;
+  cfg.degradations.vlan_domain_rate = 0.4;
+  cfg.degradations.vlan_domain_mean_duration = 60.0;
+  // Overload cascades: sustained >90% fabric-link utilization can trip a
+  // secondary lossy episode, chains capped at depth 3.
+  cfg.cascades.util_threshold = 0.9;
+  cfg.cascades.sustain_window = 4.0;
+  cfg.cascades.check_interval = 1.0;
+  cfg.cascades.trip_probability = 0.3;
+  cfg.cascades.max_depth = 3;
+  // Recovery-storm control on; bench/recovery_storm turns it off for the
+  // control arm against the identical fault schedule.
+  cfg.workload.repair.paced = true;
+  return cfg;
+}
+
 ScenarioConfig tiny(TimeSec duration, std::uint64_t seed) {
   ScenarioConfig cfg;
   cfg.name = "tiny";

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/units.h"
+#include "faults/cascade.h"
 #include "faults/degradation.h"
 #include "faults/fault_schedule.h"
 #include "flowsim/flowsim.h"
@@ -34,6 +35,10 @@ struct ScenarioConfig {
   /// degradation schedule is generated and the run is byte-identical to a
   /// build without the degradation subsystem.
   DegradationConfig degradations;
+  /// Overload-cascade feedback (faults/cascade.h); empty (threshold zero) by
+  /// default, in which case no monitor is armed, no callbacks are scheduled
+  /// and the run is byte-identical to a build without cascades.
+  CascadeConfig cascades;
   std::uint64_t seed = 42;
   /// When > 0, ClusterExperiment samples every registered counter/gauge
   /// onto this simulated-time grid (obs::Sampler) during run(); 0 (the
@@ -99,6 +104,17 @@ namespace scenarios {
 /// mitigations off.
 [[nodiscard]] ScenarioConfig gray_failure(TimeSec duration = 600.0,
                                           std::uint64_t seed = 42);
+
+/// Robustness study: correlated failure domains + overload cascades +
+/// recovery-storm control, all at once.  Rack power events take whole racks
+/// down in a jittered burst, domain-level gray failures degrade a rack's or
+/// VLAN's uplinks together, the cascade monitor trips secondary lossy
+/// episodes on sustained overload, and the repair path runs paced
+/// (prioritized queue + token bucket + congestion backoff).
+/// bench/recovery_storm compares this against the identical schedule with
+/// pacing off.
+[[nodiscard]] ScenarioConfig correlated_burst(TimeSec duration = 600.0,
+                                              std::uint64_t seed = 42);
 
 /// A very small, fast configuration for unit tests (4 racks, exact-mode
 /// simulator).

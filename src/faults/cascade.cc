@@ -1,0 +1,31 @@
+#include "faults/cascade.h"
+
+#include <string>
+
+#include "common/require.h"
+
+namespace dct {
+
+void CascadeConfig::validate() const {
+  require(util_threshold >= 0 && util_threshold <= 1,
+          "CascadeConfig: util_threshold must be in [0, 1], got " +
+              std::to_string(util_threshold));
+  if (empty()) return;  // remaining knobs are unused when disabled
+  require(sustain_window > 0, "CascadeConfig: sustain_window must be > 0, got " +
+                                  std::to_string(sustain_window));
+  require(check_interval > 0, "CascadeConfig: check_interval must be > 0, got " +
+                                  std::to_string(check_interval));
+  require(trip_probability >= 0 && trip_probability <= 1,
+          "CascadeConfig: trip_probability must be in [0, 1], got " +
+              std::to_string(trip_probability));
+  require(max_depth >= 1,
+          "CascadeConfig: max_depth must be >= 1, got " + std::to_string(max_depth));
+  require(severity_floor > 0 && severity_ceil < 1 && severity_floor <= severity_ceil,
+          "CascadeConfig: severity must satisfy 0 < floor <= ceil < 1, got [" +
+              std::to_string(severity_floor) + ", " + std::to_string(severity_ceil) +
+              "]");
+  require(mean_duration > 0, "CascadeConfig: mean_duration must be > 0, got " +
+                                 std::to_string(mean_duration));
+}
+
+}  // namespace dct

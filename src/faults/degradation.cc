@@ -2,27 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <tuple>
 
 #include "common/require.h"
 #include "common/rng.h"
+#include "faults/fault_domain.h"
 
 namespace dct {
 
+namespace {
+
+void require_rate(double value, const char* what) {
+  require(value >= 0, std::string(what) + " must be >= 0, got " + std::to_string(value));
+}
+
+void require_duration(double value, const char* what) {
+  require(value > 0, std::string(what) + " must be > 0, got " + std::to_string(value));
+}
+
+void require_severity_band(double floor, double ceil, const char* what) {
+  require(floor > 0 && ceil < 1 && floor <= ceil,
+          std::string(what) + " must satisfy 0 < floor <= ceil < 1, got [" +
+              std::to_string(floor) + ", " + std::to_string(ceil) + "]");
+}
+
+}  // namespace
+
 void DegradationConfig::validate() const {
-  require(link_capacity_rate >= 0, "DegradationConfig: link_capacity_rate must be >= 0");
-  require(link_flap_rate >= 0, "DegradationConfig: link_flap_rate must be >= 0");
-  require(link_lossy_rate >= 0, "DegradationConfig: link_lossy_rate must be >= 0");
-  require(straggler_rate >= 0, "DegradationConfig: straggler_rate must be >= 0");
-  require(link_capacity_mean_duration > 0 && link_flap_mean_duration > 0 &&
-              link_lossy_mean_duration > 0 && straggler_mean_duration > 0,
-          "DegradationConfig: mean durations must be > 0");
-  require(link_capacity_floor > 0 && link_capacity_ceil < 1 &&
-              link_capacity_floor <= link_capacity_ceil,
-          "DegradationConfig: capacity severity must satisfy 0 < floor <= ceil < 1");
-  require(link_lossy_floor > 0 && link_lossy_ceil < 1 &&
-              link_lossy_floor <= link_lossy_ceil,
-          "DegradationConfig: lossy severity must satisfy 0 < floor <= ceil < 1");
+  require_rate(link_capacity_rate, "DegradationConfig: link_capacity_rate");
+  require_rate(link_flap_rate, "DegradationConfig: link_flap_rate");
+  require_rate(link_lossy_rate, "DegradationConfig: link_lossy_rate");
+  require_rate(straggler_rate, "DegradationConfig: straggler_rate");
+  require_rate(tor_domain_rate, "DegradationConfig: tor_domain_rate");
+  require_rate(vlan_domain_rate, "DegradationConfig: vlan_domain_rate");
+  require_duration(link_capacity_mean_duration,
+                   "DegradationConfig: link_capacity_mean_duration");
+  require_duration(link_flap_mean_duration, "DegradationConfig: link_flap_mean_duration");
+  require_duration(link_lossy_mean_duration, "DegradationConfig: link_lossy_mean_duration");
+  require_duration(straggler_mean_duration, "DegradationConfig: straggler_mean_duration");
+  require_duration(tor_domain_mean_duration, "DegradationConfig: tor_domain_mean_duration");
+  require_duration(vlan_domain_mean_duration,
+                   "DegradationConfig: vlan_domain_mean_duration");
+  require_rate(domain_burst_jitter, "DegradationConfig: domain_burst_jitter");
+  require_severity_band(link_capacity_floor, link_capacity_ceil,
+                        "DegradationConfig: capacity severity");
+  require_severity_band(link_lossy_floor, link_lossy_ceil,
+                        "DegradationConfig: lossy severity");
+  require_severity_band(domain_severity_floor, domain_severity_ceil,
+                        "DegradationConfig: domain severity");
   // The period floor bounds the number of down/up transitions one flap
   // episode can schedule.
   require(link_flap_period_min >= 0.5 && link_flap_period_min <= link_flap_period_max,
@@ -79,6 +107,38 @@ void emit_entity(const Rng& base, std::uint64_t stream, double rate_per_hour,
   }
 }
 
+// Renewal process for one link *domain*: domain-level events at
+// `rate_per_hour`, each expanding into one kLinkLossy episode per member
+// link.  Members share the event's duration; each draws its own severity
+// from the domain band and a start jittered inside [t, t + jitter), in the
+// domain's fixed member order.  The next domain event starts after the
+// whole burst window has cleared, so one domain never overlaps itself.
+void emit_domain(const Rng& base, std::uint64_t stream, const FaultDomain& domain,
+                 double rate_per_hour, TimeSec mean_duration, TimeSec horizon,
+                 const DegradationConfig& cfg, std::vector<DegradationEvent>& out) {
+  Rng rng = base.fork(stream);
+  const double mean_gap = 3600.0 / rate_per_hour;
+  const TimeSec jitter = cfg.domain_burst_jitter;
+  TimeSec t = rng.exponential(mean_gap);
+  while (t < horizon) {
+    const TimeSec duration = std::max(1e-3, rng.exponential(mean_duration));
+    for (const FaultDomainMember& m : domain.members) {
+      const TimeSec start = t + (jitter > 0 ? rng.uniform(0.0, jitter) : 0.0);
+      const double severity =
+          rng.uniform(cfg.domain_severity_floor, cfg.domain_severity_ceil);
+      if (start >= horizon) continue;  // draws made either way: stream stays aligned
+      DegradationEvent e;
+      e.start = start;
+      e.end = start + duration;
+      e.kind = DegradationKind::kLinkLossy;
+      e.entity = m.entity;
+      e.severity = severity;
+      out.push_back(e);
+    }
+    t = t + jitter + duration + rng.exponential(mean_gap);
+  }
+}
+
 }  // namespace
 
 DegradationModel::DegradationModel(DegradationConfig config) : config_(config) {
@@ -131,6 +191,23 @@ std::vector<DegradationEvent> DegradationModel::schedule(const Topology& topo,
                       static_cast<std::uint64_t>(s),
                   config_.straggler_rate, config_.straggler_mean_duration, horizon,
                   DegradationKind::kServerStraggler, s, config_, out);
+    }
+  }
+  // Domain streams live above the four per-kind strides (kinds 0..3), so
+  // enabling them never perturbs the i.i.d. draws.
+  if (config_.tor_domain_rate > 0) {
+    for (const FaultDomain& d :
+         build_fault_domains(topo, FaultDomainKind::kTorUplinks)) {
+      emit_domain(base, 4 * kStreamStride + static_cast<std::uint64_t>(d.id), d,
+                  config_.tor_domain_rate, config_.tor_domain_mean_duration, horizon,
+                  config_, out);
+    }
+  }
+  if (config_.vlan_domain_rate > 0) {
+    for (const FaultDomain& d : build_fault_domains(topo, FaultDomainKind::kAggVlan)) {
+      emit_domain(base, 5 * kStreamStride + static_cast<std::uint64_t>(d.id), d,
+                  config_.vlan_domain_rate, config_.vlan_domain_mean_duration, horizon,
+                  config_, out);
     }
   }
 

@@ -65,6 +65,22 @@ struct DegradationConfig {
   double straggler_slowdown_min = 2.0;
   double straggler_slowdown_max = 6.0;
 
+  /// Correlated link-domain episodes (fault_domain.h): one domain event
+  /// turns EVERY uplink of the domain lossy at once.  `tor_domain_rate` is
+  /// events per rack per hour over all uplink/downlink pairs of one ToR (a
+  /// failing uplink linecard); `vlan_domain_rate` is events per VLAN per
+  /// hour over the ToR uplinks of every rack in the VLAN (a sick
+  /// aggregation VLAN).  Each member draws its own severity (surviving
+  /// goodput fraction) from [floor, ceil] and a start jittered inside
+  /// [t, t + domain_burst_jitter); all members share the event's duration.
+  double tor_domain_rate = 0.0;
+  TimeSec tor_domain_mean_duration = 45.0;
+  double vlan_domain_rate = 0.0;
+  TimeSec vlan_domain_mean_duration = 60.0;
+  double domain_severity_floor = 0.3;
+  double domain_severity_ceil = 0.7;
+  TimeSec domain_burst_jitter = 2.0;
+
   /// Seed of the degradation stream, independent of the fail-stop,
   /// workload and simulator seeds.
   std::uint64_t seed = 0x6DE6ULL;
@@ -72,7 +88,7 @@ struct DegradationConfig {
   /// True when every rate is zero — no schedule, no overlay, no handlers.
   [[nodiscard]] bool empty() const noexcept {
     return link_capacity_rate <= 0 && link_flap_rate <= 0 && link_lossy_rate <= 0 &&
-           straggler_rate <= 0;
+           straggler_rate <= 0 && tor_domain_rate <= 0 && vlan_domain_rate <= 0;
   }
 
   void validate() const;

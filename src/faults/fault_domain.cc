@@ -1,0 +1,78 @@
+#include "faults/fault_domain.h"
+
+#include "common/require.h"
+
+namespace dct {
+
+std::string_view to_string(FaultDomainKind kind) {
+  switch (kind) {
+    case FaultDomainKind::kRackPower: return "rack_power";
+    case FaultDomainKind::kTorUplinks: return "tor_uplinks";
+    case FaultDomainKind::kAggVlan: return "agg_vlan";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// A rack's ToR uplink/downlink pairs: primary always, secondary when the
+// topology is dual-homed.  Fixed order: up before down, primary before
+// secondary.
+void append_tor_uplinks(const Topology& topo, RackId r,
+                        std::vector<FaultDomainMember>& out) {
+  out.push_back({DeviceKind::kLink, topo.tor_up_link(r).value()});
+  out.push_back({DeviceKind::kLink, topo.tor_down_link(r).value()});
+  if (topo.has_redundant_uplinks()) {
+    out.push_back({DeviceKind::kLink, topo.tor_up2_link(r).value()});
+    out.push_back({DeviceKind::kLink, topo.tor_down2_link(r).value()});
+  }
+}
+
+}  // namespace
+
+std::vector<FaultDomain> build_fault_domains(const Topology& topo,
+                                             FaultDomainKind kind) {
+  std::vector<FaultDomain> out;
+  switch (kind) {
+    case FaultDomainKind::kRackPower:
+      out.reserve(static_cast<std::size_t>(topo.rack_count()));
+      for (std::int32_t r = 0; r < topo.rack_count(); ++r) {
+        FaultDomain d;
+        d.kind = kind;
+        d.id = r;
+        d.members.push_back({DeviceKind::kTor, r});
+        for (ServerId s : topo.servers_in_rack(RackId{r})) {
+          d.members.push_back({DeviceKind::kServer, s.value()});
+        }
+        out.push_back(std::move(d));
+      }
+      return out;
+    case FaultDomainKind::kTorUplinks:
+      out.reserve(static_cast<std::size_t>(topo.rack_count()));
+      for (std::int32_t r = 0; r < topo.rack_count(); ++r) {
+        FaultDomain d;
+        d.kind = kind;
+        d.id = r;
+        append_tor_uplinks(topo, RackId{r}, d.members);
+        out.push_back(std::move(d));
+      }
+      return out;
+    case FaultDomainKind::kAggVlan:
+      out.reserve(static_cast<std::size_t>(topo.vlan_count()));
+      for (std::int32_t v = 0; v < topo.vlan_count(); ++v) {
+        FaultDomain d;
+        d.kind = kind;
+        d.id = v;
+        for (std::int32_t r = 0; r < topo.rack_count(); ++r) {
+          if (topo.vlan_of(RackId{r}).value() != v) continue;
+          append_tor_uplinks(topo, RackId{r}, d.members);
+        }
+        out.push_back(std::move(d));
+      }
+      return out;
+  }
+  ensure(false, "build_fault_domains: unknown domain kind");
+  return out;
+}
+
+}  // namespace dct

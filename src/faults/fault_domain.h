@@ -1,0 +1,63 @@
+// Correlated failure domains: groups of entities that share fate.
+//
+// The paper's congestion analysis (Figs. 5-6) shows hotspots are highly
+// correlated across links and in time; the incidents behind them cluster by
+// shared infrastructure rather than striking devices independently.  This
+// header names the three domain shapes the schedule generators sample
+// *domain-level* events over:
+//
+//   * kRackPower — a rack's power feed: the ToR and every server in the
+//     rack fail-stop together (fault_schedule.h samples these).
+//   * kTorUplinks — a ToR's uplink linecard: every uplink/downlink of one
+//     rack degrades together (degradation.h samples these).
+//   * kAggVlan — an aggregation VLAN: the ToR uplinks of every rack in one
+//     VLAN degrade together (degradation.h samples these).
+//
+// A domain event expands into one per-member event per domain member, each
+// start jittered inside a small burst window, so the members fall like a
+// real incident: near-simultaneous but not byte-identical.  Membership is a
+// pure function of the topology, so domain schedules inherit the generators'
+// determinism guarantees unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.h"
+#include "trace/events.h"
+
+namespace dct {
+
+/// The shared-infrastructure shapes domain events are sampled over.
+enum class FaultDomainKind : std::uint8_t {
+  kRackPower,   ///< ToR + every server of one rack (fail-stop)
+  kTorUplinks,  ///< all uplink/downlink pairs of one rack's ToR (degradation)
+  kAggVlan      ///< ToR uplinks of every rack in one VLAN (degradation)
+};
+
+[[nodiscard]] std::string_view to_string(FaultDomainKind kind);
+
+/// One member of a domain: the device kind + entity id the per-member event
+/// will carry.  kRackPower members are kTor/kServer devices; the link
+/// domains' members are kLink devices (entity = link id).
+struct FaultDomainMember {
+  DeviceKind device = DeviceKind::kServer;
+  std::int32_t entity = -1;
+};
+
+/// One failure domain: its kind, its id (rack id for kRackPower /
+/// kTorUplinks, VLAN id for kAggVlan) and its members in a fixed,
+/// deterministic order.
+struct FaultDomain {
+  FaultDomainKind kind = FaultDomainKind::kRackPower;
+  std::int32_t id = -1;
+  std::vector<FaultDomainMember> members;
+};
+
+/// Enumerates every domain of `kind` in the topology, ids ascending, members
+/// in a fixed order (ToR before servers; links in topology id order).  Pure
+/// function of the topology: safe to call from schedule generators.
+[[nodiscard]] std::vector<FaultDomain> build_fault_domains(const Topology& topo,
+                                                           FaultDomainKind kind);
+
+}  // namespace dct

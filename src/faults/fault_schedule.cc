@@ -1,22 +1,42 @@
 #include "faults/fault_schedule.h"
 
 #include <algorithm>
+#include <string>
 #include <tuple>
 
 #include "common/require.h"
 #include "common/rng.h"
+#include "faults/fault_domain.h"
 
 namespace dct {
 
+namespace {
+
+// Shared by FaultConfig / DegradationConfig validation: a named knob with
+// the offending value in the message, so a bad config fails loudly at
+// construction instead of misbehaving deep in the schedule generator.
+void require_rate(double value, const char* what) {
+  require(value >= 0, std::string(what) + " must be >= 0, got " + std::to_string(value));
+}
+
+void require_positive(double value, const char* what) {
+  require(value > 0, std::string(what) + " must be > 0, got " + std::to_string(value));
+}
+
+}  // namespace
+
 void FaultConfig::validate() const {
-  require(link_flap_rate >= 0, "FaultConfig: link_flap_rate must be >= 0");
-  require(server_crash_rate >= 0, "FaultConfig: server_crash_rate must be >= 0");
-  require(tor_crash_rate >= 0, "FaultConfig: tor_crash_rate must be >= 0");
-  require(agg_crash_rate >= 0, "FaultConfig: agg_crash_rate must be >= 0");
-  require(link_flap_mean_duration > 0, "FaultConfig: link flap duration must be > 0");
-  require(server_mean_repair > 0, "FaultConfig: server repair time must be > 0");
-  require(tor_mean_repair > 0, "FaultConfig: ToR repair time must be > 0");
-  require(agg_mean_repair > 0, "FaultConfig: agg repair time must be > 0");
+  require_rate(link_flap_rate, "FaultConfig: link_flap_rate");
+  require_rate(server_crash_rate, "FaultConfig: server_crash_rate");
+  require_rate(tor_crash_rate, "FaultConfig: tor_crash_rate");
+  require_rate(agg_crash_rate, "FaultConfig: agg_crash_rate");
+  require_rate(rack_power_rate, "FaultConfig: rack_power_rate");
+  require_positive(link_flap_mean_duration, "FaultConfig: link_flap_mean_duration");
+  require_positive(server_mean_repair, "FaultConfig: server_mean_repair");
+  require_positive(tor_mean_repair, "FaultConfig: tor_mean_repair");
+  require_positive(agg_mean_repair, "FaultConfig: agg_mean_repair");
+  require_positive(rack_power_mean_repair, "FaultConfig: rack_power_mean_repair");
+  require_rate(domain_burst_jitter, "FaultConfig: domain_burst_jitter");
 }
 
 namespace {
@@ -43,6 +63,35 @@ void emit_device(const Rng& base, std::uint64_t stream, double rate_per_hour,
     e.entity = entity;
     out.push_back(e);
     t = e.end + rng.exponential(mean_gap);
+  }
+}
+
+// Renewal process for one fault *domain*: domain-level events at
+// `rate_per_hour`, each expanding into one event per member.  All members
+// share the event's repair duration; each member's start is jittered inside
+// [t, t + jitter) in the domain's fixed member order, so the burst lands
+// like a real incident (near-simultaneous, not byte-identical).  The next
+// domain event starts after the whole burst window has cleared, so one
+// domain never overlaps itself.
+void emit_domain(const Rng& base, std::uint64_t stream, const FaultDomain& domain,
+                 double rate_per_hour, TimeSec mean_duration, TimeSec jitter,
+                 TimeSec horizon, std::vector<FaultEvent>& out) {
+  Rng rng = base.fork(stream);
+  const double mean_gap = 3600.0 / rate_per_hour;
+  TimeSec t = rng.exponential(mean_gap);
+  while (t < horizon) {
+    const TimeSec duration = std::max(1e-3, rng.exponential(mean_duration));
+    for (const FaultDomainMember& m : domain.members) {
+      const TimeSec start = t + (jitter > 0 ? rng.uniform(0.0, jitter) : 0.0);
+      if (start >= horizon) continue;  // draw made either way: stream stays aligned
+      FaultEvent e;
+      e.start = start;
+      e.end = start + duration;
+      e.device = m.device;
+      e.entity = m.entity;
+      out.push_back(e);
+    }
+    t = t + jitter + duration + rng.exponential(mean_gap);
   }
 }
 
@@ -83,6 +132,14 @@ std::vector<FaultEvent> generate_fault_schedule(const Topology& topo,
       emit_device(base, 3 * kStreamStride + static_cast<std::uint64_t>(a),
                   config.agg_crash_rate, config.agg_mean_repair, horizon,
                   DeviceKind::kAgg, a, out);
+    }
+  }
+  if (config.rack_power_rate > 0) {
+    for (const FaultDomain& d :
+         build_fault_domains(topo, FaultDomainKind::kRackPower)) {
+      emit_domain(base, 4 * kStreamStride + static_cast<std::uint64_t>(d.id), d,
+                  config.rack_power_rate, config.rack_power_mean_repair,
+                  config.domain_burst_jitter, horizon, out);
     }
   }
 

@@ -45,13 +45,24 @@ struct FaultConfig {
   double agg_crash_rate = 0.0;
   TimeSec agg_mean_repair = 300.0;
 
+  /// Correlated rack-power domain events per rack per hour: one event
+  /// fail-stops the rack's ToR AND every server in the rack, each member
+  /// start jittered inside [t, t + domain_burst_jitter) so the burst lands
+  /// like a real incident (near-simultaneous, not byte-identical).  All
+  /// members share the event's repair duration.  Expanded per-member events
+  /// fold into the same schedule (and schedule_hash) as i.i.d. events.
+  double rack_power_rate = 0.0;
+  TimeSec rack_power_mean_repair = 240.0;
+  /// Width of the burst window domain members' starts are jittered over.
+  TimeSec domain_burst_jitter = 2.0;
+
   /// Seed of the fault stream, independent of the workload/simulator seeds.
   std::uint64_t seed = 0xFA17ULL;
 
   /// True when every rate is zero — no schedule, no injector, no overlay.
   [[nodiscard]] bool empty() const noexcept {
     return link_flap_rate <= 0 && server_crash_rate <= 0 && tor_crash_rate <= 0 &&
-           agg_crash_rate <= 0;
+           agg_crash_rate <= 0 && rack_power_rate <= 0;
   }
 
   void validate() const;

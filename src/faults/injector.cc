@@ -180,6 +180,101 @@ void FaultInjector::flap_cycle(const DegradationEvent& e, TimeSec cycle_start) {
   });
 }
 
+void FaultInjector::enable_cascades(const CascadeConfig& config) {
+  config.validate();
+  if (config.empty()) return;
+  cascade_cfg_ = config;
+  cascades_enabled_ = true;
+  cascade_rng_ = Rng(config.seed);
+  const Topology& topo = sim_.topology();
+  monitored_links_ = topo.inter_switch_links();
+  above_since_.assign(topo.link_count(), -1.0);
+  cascade_depth_.assign(topo.link_count(), 0);
+  // The occupancy guard is shared with scheduled degradations; size it here
+  // in case install_degradations() is never called this run.
+  if (link_degraded_.empty()) link_degraded_.assign(topo.link_count(), 0);
+  if (cascade_cfg_.check_interval < sim_.config().end_time) {
+    sim_.at(cascade_cfg_.check_interval, [this](FlowSim&) { cascade_poll(); });
+  }
+}
+
+void FaultInjector::cascade_poll() {
+  const TimeSec now = sim_.now();
+  sim_.snapshot_link_rates(rate_snapshot_);
+  const Topology& topo = sim_.topology();
+  for (LinkId l : monitored_links_) {
+    const auto slot = static_cast<std::size_t>(l.value());
+    const double cap = topo.link(l).capacity;
+    const double util = cap > 0 ? rate_snapshot_[slot] / cap : 0.0;
+    // A down link carries nothing; its overload clock resets.
+    if (!net_.link_up(l) || util < cascade_cfg_.util_threshold) {
+      above_since_[slot] = -1;
+      continue;
+    }
+    if (above_since_[slot] < 0) {
+      above_since_[slot] = now;
+      continue;
+    }
+    if (now - above_since_[slot] + 1e-9 < cascade_cfg_.sustain_window) continue;
+    maybe_trip_cascade(l, util);
+    // Tripped, suppressed or coin said no: either way the sustained window
+    // is consumed and the overload clock restarts.
+    above_since_[slot] = -1;
+  }
+  const TimeSec next = now + cascade_cfg_.check_interval;
+  if (next < sim_.config().end_time) {
+    sim_.at(next, [this](FlowSim&) { cascade_poll(); });
+  }
+}
+
+void FaultInjector::maybe_trip_cascade(LinkId link, double utilization) {
+  const auto slot = static_cast<std::size_t>(link.value());
+  // Already degraded (possibly by this very monitor): nothing left to trip.
+  if (link_degraded_[slot] != 0) return;
+  // This trip's depth: one deeper than the deepest induced episode still
+  // active anywhere — cascades chain through the traffic they displace.
+  std::int32_t deepest = 0;
+  for (std::int32_t d : cascade_depth_) deepest = std::max(deepest, d);
+  const std::int32_t depth = deepest + 1;
+  // The cap is checked before the coin: a would-be over-deep trip is
+  // suppressed without consuming a draw, so max_depth also bounds rng use.
+  if (depth > cascade_cfg_.max_depth) {
+    ++cascades_suppressed_;
+    DCT_OBS_INC(m_cascades_suppressed_);
+    return;
+  }
+  if (!cascade_rng_.bernoulli(cascade_cfg_.trip_probability)) return;
+
+  const TimeSec now = sim_.now();
+  DegradationEvent e;
+  e.start = now;
+  e.end = now + std::max(1e-3, cascade_rng_.exponential(cascade_cfg_.mean_duration));
+  e.kind = DegradationKind::kLinkLossy;
+  e.entity = link.value();
+  e.severity =
+      cascade_rng_.uniform(cascade_cfg_.severity_floor, cascade_cfg_.severity_ceil);
+  inject_degradation(e);  // slot is free: never skipped
+
+  cascade_depth_[slot] = depth;
+  max_cascade_depth_observed_ = std::max(max_cascade_depth_observed_, depth);
+  ++cascade_trips_;
+  DCT_OBS_INC(m_cascade_trips_);
+  DCT_OBS_SET(m_cascade_depth_, max_cascade_depth_observed_);
+  if (trace_ != nullptr) {
+    CascadeRecord rec;
+    rec.start = now;
+    rec.end = e.end;
+    rec.link = link.value();
+    rec.depth = depth;
+    rec.severity = e.severity;
+    rec.utilization = utilization;
+    trace_->record_cascade(rec);
+  }
+  if (e.end < sim_.config().end_time) {
+    sim_.at(e.end, [this, slot](FlowSim&) { cascade_depth_[slot] = 0; });
+  }
+}
+
 void FaultInjector::bind_metrics(obs::Registry& registry) {
 #if DCT_OBS_ENABLED
   m_injected_ = registry.counter("faults", "injected", "incidents");
@@ -197,6 +292,9 @@ void FaultInjector::bind_metrics(obs::Registry& registry) {
   // Episode durations share the repair-time scale.
   m_degraded_link_s_ = registry.histogram("faults", "degraded_link_seconds", "s", 1.0, 1.6, 24);
   m_straggler_s_ = registry.histogram("faults", "straggler_seconds", "s", 1.0, 1.6, 24);
+  m_cascade_trips_ = registry.counter("faults", "cascade_trips", "trips");
+  m_cascades_suppressed_ = registry.counter("faults", "cascades_suppressed", "trips");
+  m_cascade_depth_ = registry.gauge("faults", "cascade_max_depth", "depth");
 #else
   (void)registry;
 #endif

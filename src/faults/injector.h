@@ -18,6 +18,8 @@
 #include <functional>
 #include <vector>
 
+#include "common/rng.h"
+#include "faults/cascade.h"
 #include "faults/degradation.h"
 #include "faults/fault_schedule.h"
 #include "flowsim/flowsim.h"
@@ -64,6 +66,13 @@ class FaultInjector {
   /// transition); straggler episodes fire the straggler handlers.
   void install_degradations(std::vector<DegradationEvent> schedule);
 
+  /// Arms the overload-cascade monitor (faults/cascade.h): polls link
+  /// utilization every `check_interval` and probabilistically trips
+  /// secondary lossy degradations on links sustaining overload, with chain
+  /// depth capped at `config.max_depth`.  Call once, before FlowSim::run();
+  /// a no-op for an empty config (nothing scheduled, nothing drawn).
+  void enable_cascades(const CascadeConfig& config);
+
   /// Faults actually applied (excludes overlaps on already-down devices).
   [[nodiscard]] std::size_t injected() const noexcept { return injected_; }
   /// Faults skipped because the device was already down when they fired.
@@ -80,6 +89,17 @@ class FaultInjector {
   [[nodiscard]] std::size_t flap_transitions() const noexcept {
     return flap_transitions_;
   }
+  /// Overload-cascade trips actually injected.
+  [[nodiscard]] std::size_t cascade_trips() const noexcept { return cascade_trips_; }
+  /// Eligible trips suppressed by the depth cap.
+  [[nodiscard]] std::size_t cascades_suppressed() const noexcept {
+    return cascades_suppressed_;
+  }
+  /// Deepest cascade chain observed (0 when no trip ever fired; never
+  /// exceeds CascadeConfig::max_depth by construction).
+  [[nodiscard]] std::int32_t max_cascade_depth_observed() const noexcept {
+    return max_cascade_depth_observed_;
+  }
 
   /// Registers the injector's metrics (docs/METRICS.md, subsystem "faults")
   /// and starts feeding them.  Optional; call before install().  No-op in a
@@ -94,6 +114,8 @@ class FaultInjector {
   void inject_degradation(const DegradationEvent& e);
   void end_degradation(const DegradationEvent& e);
   void flap_cycle(const DegradationEvent& e, TimeSec cycle_start);
+  void cascade_poll();
+  void maybe_trip_cascade(LinkId link, double utilization);
 
   FlowSim& sim_;
   NetworkState& net_;
@@ -113,6 +135,18 @@ class FaultInjector {
   std::vector<std::uint8_t> link_degraded_;
   std::vector<std::uint8_t> server_straggling_;
 
+  // Cascade-monitor state; all empty/zero until enable_cascades().
+  CascadeConfig cascade_cfg_;
+  bool cascades_enabled_ = false;
+  Rng cascade_rng_{0};
+  std::vector<LinkId> monitored_links_;       // inter-switch fabric
+  std::vector<TimeSec> above_since_;          // per link, -1 = below threshold
+  std::vector<std::int32_t> cascade_depth_;   // per link, 0 = no active cascade
+  std::vector<double> rate_snapshot_;         // scratch for snapshot_link_rates
+  std::size_t cascade_trips_ = 0;
+  std::size_t cascades_suppressed_ = 0;
+  std::int32_t max_cascade_depth_observed_ = 0;
+
   // Self-instrumentation handles; null until bind_metrics() (obs/obs.h).
   obs::Counter* m_injected_ = nullptr;
   obs::Counter* m_skipped_ = nullptr;
@@ -126,6 +160,9 @@ class FaultInjector {
   obs::Counter* m_flap_transitions_ = nullptr;
   obs::Histogram* m_degraded_link_s_ = nullptr;
   obs::Histogram* m_straggler_s_ = nullptr;
+  obs::Counter* m_cascade_trips_ = nullptr;
+  obs::Counter* m_cascades_suppressed_ = nullptr;
+  obs::Gauge* m_cascade_depth_ = nullptr;
 };
 
 }  // namespace dct

@@ -575,4 +575,13 @@ BinnedSeries FlowSim::link_utilization(LinkId link) const {
   return out;
 }
 
+void FlowSim::snapshot_link_rates(std::vector<double>& out) const {
+  out.assign(static_cast<std::size_t>(topo_.link_count()), 0.0);
+  for (const ActiveFlow& f : active_) {
+    for (LinkId l : f.path) {
+      out[static_cast<std::size_t>(l.value())] += f.rate;
+    }
+  }
+}
+
 }  // namespace dct

@@ -193,6 +193,13 @@ class FlowSim {
   /// Convenience: utilization (0..1+) series for a link.
   [[nodiscard]] BinnedSeries link_utilization(LinkId link) const;
 
+  /// Instantaneous allocated rate (bytes/s) per link: `out` is resized to
+  /// link_count() and out[l] sums the current rate of every active flow
+  /// whose path crosses link l.  Reflects the latest (possibly batched)
+  /// max-min recompute.  Used by the cascade monitor and the repair pacer
+  /// to read utilization without touching the binned series.
+  void snapshot_link_rates(std::vector<double>& out) const;
+
   [[nodiscard]] std::size_t active_flow_count() const noexcept { return active_.size(); }
   /// Number of flows ever started.
   [[nodiscard]] std::size_t started_flow_count() const noexcept { return started_; }

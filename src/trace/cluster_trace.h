@@ -48,6 +48,7 @@ class ClusterTrace {
   void record_degradation(const DegradationRecord& rec) {
     degradations_.push_back(rec);
   }
+  void record_cascade(const CascadeRecord& rec) { cascades_.push_back(rec); }
 
   // --- Metadata -------------------------------------------------------------
   [[nodiscard]] std::int32_t server_count() const noexcept {
@@ -86,6 +87,9 @@ class ClusterTrace {
   [[nodiscard]] const std::vector<DegradationRecord>& degradations() const noexcept {
     return degradations_;
   }
+  [[nodiscard]] const std::vector<CascadeRecord>& cascades() const noexcept {
+    return cascades_;
+  }
 
   /// Looks up the phase-kind of a phase id (the app-log join that lets
   /// analysis attribute flows to map/reduce activity).  Empty when the
@@ -108,6 +112,7 @@ class ClusterTrace {
   std::vector<EvacuationRecord> evacuations_;
   std::vector<DeviceFailureRecord> device_failures_;
   std::vector<DegradationRecord> degradations_;
+  std::vector<CascadeRecord> cascades_;
   std::vector<std::int32_t> phase_kind_index_;  // PhaseId -> PhaseKind ordinal, -1 unset
 };
 

@@ -114,9 +114,13 @@ constexpr std::uint8_t kTraceMagic = 0xDC;
 // Version 3: appends a degradation section (gray failures).  Emitted only
 // when degradations were recorded, so fail-stop-only traces stay
 // bit-identical to version 2 and clean traces to version 1.
+// Version 4: appends a cascade-lineage section (overload-induced secondary
+// degradations).  Emitted only when cascades were recorded, so cascade-free
+// traces stay bit-identical to version 3 (and below).
 constexpr std::uint8_t kTraceVersion = 1;
 constexpr std::uint8_t kTraceVersionFailures = 2;
 constexpr std::uint8_t kTraceVersionDegradations = 3;
+constexpr std::uint8_t kTraceVersionCascades = 4;
 
 // A corrupt count field must not drive a multi-gigabyte reserve() or a
 // billion-iteration decode loop.  Every record of every section costs at
@@ -237,9 +241,11 @@ std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
   ByteWriter w;
   const bool has_failures = !trace.device_failures().empty();
   const bool has_degradations = !trace.degradations().empty();
-  const std::uint8_t version = has_degradations ? kTraceVersionDegradations
-                               : has_failures   ? kTraceVersionFailures
-                                                : kTraceVersion;
+  const bool has_cascades = !trace.cascades().empty();
+  const std::uint8_t version = has_cascades       ? kTraceVersionCascades
+                               : has_degradations ? kTraceVersionDegradations
+                               : has_failures     ? kTraceVersionFailures
+                                                  : kTraceVersion;
   w.u8(kTraceMagic);
   w.u8(version);
   w.svarint(trace.server_count());
@@ -314,6 +320,18 @@ std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
       w.time_us(d.period);
     }
   }
+  if (version >= kTraceVersionCascades) {
+    w.uvarint(trace.cascades().size());
+    for (const CascadeRecord& c : trace.cascades()) {
+      w.time_us(c.start);
+      w.time_us(c.end);
+      w.svarint(c.link);
+      w.svarint(c.depth);
+      // Severity / utilization quantized to 1e-6, like timestamps.
+      w.svarint(std::llround(c.severity * 1e6));
+      w.svarint(std::llround(c.utilization * 1e6));
+    }
+  }
 #if DCT_OBS_ENABLED
   if (g_codec_metrics.encoded_bytes != nullptr) {
     g_codec_metrics.encoded_bytes->inc(w.size());
@@ -333,7 +351,7 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   require(r.u8() == kTraceMagic, "decode_trace: bad magic");
   const std::uint8_t version = r.u8();
-  require(version >= kTraceVersion && version <= kTraceVersionDegradations,
+  require(version >= kTraceVersion && version <= kTraceVersionCascades,
           "decode_trace: unsupported version");
   const auto servers = static_cast<std::int32_t>(r.svarint());
   require(servers >= 0, "decode_trace: negative server count");
@@ -456,6 +474,21 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
       d.severity = static_cast<double>(r.svarint()) * 1e-6;
       d.period = r.time_us();
       trace.record_degradation(d);
+    }
+  }
+  if (version >= kTraceVersionCascades) {
+    const std::uint64_t n_cs = r.uvarint();
+    check_count(n_cs, r.remaining(), "decode_trace: cascade count exceeds payload");
+    for (std::uint64_t i = 0; i < n_cs; ++i) {
+      CascadeRecord c;
+      c.start = r.time_us();
+      c.end = r.time_us();
+      c.link = static_cast<std::int32_t>(r.svarint());
+      c.depth = static_cast<std::int32_t>(r.svarint());
+      require(c.depth >= 1, "decode_trace: cascade depth must be >= 1");
+      c.severity = static_cast<double>(r.svarint()) * 1e-6;
+      c.utilization = static_cast<double>(r.svarint()) * 1e-6;
+      trace.record_cascade(c);
     }
   }
   trace.build_indices();

@@ -148,4 +148,20 @@ struct DegradationRecord {
   TimeSec period = 0.0;
 };
 
+/// Lineage of one overload-induced cascade trip (faults/cascade.h): sustained
+/// overload on `link` injected a secondary kLinkLossy degradation on it.  The
+/// matching DegradationRecord carries the episode itself; this record carries
+/// the *cause* — the utilization that tripped it and the chain depth (1 =
+/// induced by organic congestion, d > 1 = induced while a depth d-1 cascade
+/// was still active).  Codec section is v4-gated: traces without cascades
+/// encode bit-identically to v3.
+struct CascadeRecord {
+  TimeSec start = 0;           ///< trip time
+  TimeSec end = 0;             ///< end of the induced lossy episode
+  std::int32_t link = -1;      ///< the overloaded (and degraded) link
+  std::int32_t depth = 0;      ///< chain depth, capped by CascadeConfig::max_depth
+  double severity = 0.0;       ///< surviving goodput fraction of the episode
+  double utilization = 0.0;    ///< observed utilization at trip time
+};
+
 }  // namespace dct

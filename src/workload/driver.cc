@@ -51,6 +51,7 @@ void WorkloadConfig::validate() const {
   require(evacuation_concurrency >= 1 && ingest_concurrency >= 1 &&
               egress_concurrency >= 1,
           "WorkloadConfig: concurrencies must be >= 1");
+  repair.validate();
 }
 
 namespace {
@@ -161,7 +162,8 @@ WorkloadDriver::WorkloadDriver(const Topology& topo, FlowSim& sim, ClusterTrace&
       server_down_(static_cast<std::size_t>(topo.server_count()), 0),
       server_slowdown_(static_cast<std::size_t>(topo.server_count()), 1.0),
       mitigation_rng_(rng_.fork(3)),
-      core_waiters_(static_cast<std::size_t>(topo.server_count())) {
+      core_waiters_(static_cast<std::size_t>(topo.server_count())),
+      repair_queue_(config_.repair) {
   config_.validate();
 }
 
@@ -279,6 +281,13 @@ void WorkloadDriver::bind_metrics(obs::Registry& registry) {
   m_spec_wins_ = registry.counter("workload", "spec_wins", "vertices");
   m_hedges_ = registry.counter("workload", "hedges_launched", "reads");
   m_hedge_wins_ = registry.counter("workload", "hedge_wins", "reads");
+  m_repair_queue_depth_ = registry.gauge("workload", "repair_queue_depth", "blocks");
+  m_repairs_dispatched_ = registry.counter("workload", "repairs_dispatched", "flows");
+  m_repairs_deferred_ =
+      registry.counter("workload", "repairs_deferred", "dispatches");
+  m_under_replicated_ =
+      registry.gauge("workload", "under_replicated_blocks", "blocks");
+  m_time_to_redundancy_s_ = registry.gauge("workload", "time_to_redundancy", "s");
 #else
   (void)registry;
 #endif
@@ -1452,6 +1461,10 @@ void WorkloadDriver::handle_server_crash(ServerId server) {
   if (si >= server_down_.size() || server_down_[si]) return;
   server_down_[si] = 1;
   ++stats_.server_crashes;
+  {
+    const TimeSec now = sim_.now();
+    for (BlockId b : store_.blocks_on(server)) note_replica_lost(b, now);
+  }
   // Waiters queued for a core on the dead machine will never run there;
   // their vertices get a fresh epoch and a new placement below.  Clear the
   // queue *before* any release_core so no waiter is handed a dead core.
@@ -1544,7 +1557,12 @@ void WorkloadDriver::handle_server_crash(ServerId server) {
 
 void WorkloadDriver::handle_server_recovery(ServerId server) {
   const auto si = static_cast<std::size_t>(server.value());
-  if (si < server_down_.size()) server_down_[si] = 0;
+  if (si >= server_down_.size() || !server_down_[si]) return;
+  server_down_[si] = 0;
+  // Replicas the server still holds come back with it; any blocks healed
+  // elsewhere in the meantime were already restored by the repair path.
+  const TimeSec now = sim_.now();
+  for (BlockId b : store_.blocks_on(server)) note_replica_restored(b, now);
 }
 
 void WorkloadDriver::handle_straggler_start(ServerId server, double slowdown) {
@@ -1562,6 +1580,10 @@ void WorkloadDriver::handle_straggler_end(ServerId server) {
 
 void WorkloadDriver::run_rereplication(ServerId failed) {
   if (horizon_reached()) return;
+  if (config_.repair.paced) {
+    enqueue_repairs(failed);
+    return;
+  }
   std::vector<BlockId> blocks = store_.blocks_on(failed);
   if (blocks.empty()) return;
   if (static_cast<std::int32_t>(blocks.size()) > config_.evacuation_max_blocks) {
@@ -1612,12 +1634,251 @@ void WorkloadDriver::run_rereplication(ServerId failed) {
           store_.move_replica(bid, failed, target);
           ++stats_.blocks_rereplicated;
           DCT_OBS_ADD(m_rereplication_bytes_, rec.bytes_sent);
+          if (is_server_down(failed)) note_replica_restored(bid, sim_.now());
         }
         (*pump)();
       });
     }
   };
   (*pump)();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery-storm control (workload/repair.h)
+// ---------------------------------------------------------------------------
+
+void WorkloadDriver::enqueue_repairs(ServerId failed) {
+  std::vector<BlockId> blocks = store_.blocks_on(failed);
+  if (static_cast<std::int32_t>(blocks.size()) > config_.evacuation_max_blocks) {
+    blocks.resize(static_cast<std::size_t>(config_.evacuation_max_blocks));
+  }
+  const TimeSec now = sim_.now();
+  for (BlockId bid : blocks) {
+    repair_queue_.enqueue(bid, failed, live_replica_count(bid), now);
+    ++stats_.repairs_enqueued;
+  }
+  DCT_OBS_SET(m_repair_queue_depth_, static_cast<double>(repair_queue_.depth()));
+  schedule_repair_pacer();
+}
+
+void WorkloadDriver::schedule_repair_pacer() {
+  if (repair_pacer_scheduled_ || repair_queue_.idle()) return;
+  const TimeSec t = sim_.now() + config_.repair.pacer_interval;
+  if (t >= sim_.config().end_time) return;
+  repair_pacer_scheduled_ = true;
+  sim_.at(t, [this](FlowSim&) {
+    repair_pacer_scheduled_ = false;
+    repair_pacer_tick();
+  });
+}
+
+void WorkloadDriver::repair_pacer_tick() {
+  const TimeSec now = sim_.now();
+  repair_queue_.refill(now);
+  sim_.snapshot_link_rates(repair_rate_snapshot_);
+  // Bound the scan to the depth at tick start so requeued items (backoffs,
+  // cap deferrals) are not reconsidered until the next tick.
+  std::size_t budget = repair_queue_.depth();
+  while (budget-- > 0 && repair_queue_.has_token() &&
+         repair_queue_.in_flight() < config_.repair.max_in_flight) {
+    std::optional<RepairItem> popped = repair_queue_.pop_ready(now);
+    if (!popped) break;
+    RepairItem item = *popped;
+    const BlockId bid = item.block;
+    // The block may have healed (or its loss become moot) while queued.
+    if (!store_.has_replica(bid, item.failed) || !is_server_down(item.failed)) {
+      continue;
+    }
+    // Source: the surviving replica whose access link is least loaded right
+    // now (the legacy path grabs the first one it sees), so repair flows
+    // both finish sooner and stay off already-hot servers.
+    ServerId src = item.failed;
+    double src_util = 0;
+    for (ServerId r : store_.block(bid).replicas) {
+      if (r == item.failed || is_server_down(r)) continue;
+      const auto slot =
+          static_cast<std::size_t>(topo_.server_up_link(r).value());
+      const double cap = topo_.link(topo_.server_up_link(r)).capacity;
+      const double util = slot < repair_rate_snapshot_.size() && cap > 0
+                              ? repair_rate_snapshot_[slot] / cap
+                              : 0.0;
+      if (src == item.failed || util < src_util) {
+        src = r;
+        src_util = util;
+      }
+    }
+    if (src == item.failed) {
+      // No live copy right now; retry after backoff in case a holder recovers.
+      ++item.attempts;
+      if (item.attempts < config_.repair.max_attempts) {
+        repair_queue_.requeue(item, now + repair_backoff(item.attempts));
+      } else {
+        ++stats_.repairs_abandoned;
+      }
+      continue;
+    }
+    ServerId target = store_.pick_evacuation_target(bid, item.failed);
+    for (int attempt = 0;
+         attempt < 4 && (is_server_down(target) || store_.has_replica(bid, target));
+         ++attempt) {
+      target = store_.pick_evacuation_target(bid, item.failed);
+    }
+    if (is_server_down(target) || store_.has_replica(bid, target)) {
+      ++item.attempts;
+      if (item.attempts < config_.repair.max_attempts) {
+        repair_queue_.requeue(item, now + repair_backoff(item.attempts));
+      } else {
+        ++stats_.repairs_abandoned;
+      }
+      continue;
+    }
+    if (!repair_queue_.can_dispatch(src, target)) {
+      // Concurrency cap, not a failure: revisit next tick, no attempt charged.
+      repair_queue_.requeue(item, now + config_.repair.pacer_interval);
+      continue;
+    }
+    if (repair_path_congested(src, target)) {
+      // Back off without charging an attempt: congestion is the fabric's
+      // problem, not this block's, and the retry budget is for real failures.
+      ++stats_.repairs_deferred;
+      DCT_OBS_INC(m_repairs_deferred_);
+      repair_queue_.requeue(item, now + config_.repair.congestion_backoff_base);
+      continue;
+    }
+    dispatch_repair(item, src, target);
+  }
+  DCT_OBS_SET(m_repair_queue_depth_, static_cast<double>(repair_queue_.depth()));
+  schedule_repair_pacer();
+}
+
+void WorkloadDriver::dispatch_repair(RepairItem item, ServerId src,
+                                     ServerId target) {
+  repair_queue_.take_token();
+  repair_queue_.note_dispatch(src, target);
+  ++stats_.repairs_dispatched;
+  DCT_OBS_INC(m_repairs_dispatched_);
+  FlowSpec fs;
+  fs.src = src;
+  fs.dst = target;
+  fs.bytes = store_.block(item.block).size;
+  fs.kind = FlowKind::kEvacuation;  // recovery traffic shares the kind
+  sim_.start_flow(fs, [this, item, src, target](FlowSim&, const FlowRecord& rec) {
+    repair_queue_.note_done(src, target);
+    const BlockId bid = item.block;
+    if (!rec.failed && store_.has_replica(bid, item.failed) &&
+        !store_.has_replica(bid, target)) {
+      store_.move_replica(bid, item.failed, target);
+      ++stats_.blocks_rereplicated;
+      DCT_OBS_ADD(m_rereplication_bytes_, rec.bytes_sent);
+      if (is_server_down(item.failed)) note_replica_restored(bid, sim_.now());
+    } else if (rec.failed && !horizon_reached()) {
+      RepairItem retry = item;
+      ++retry.attempts;
+      if (retry.attempts < config_.repair.max_attempts) {
+        ++stats_.repairs_retried;
+        repair_queue_.requeue(retry, sim_.now() + repair_backoff(retry.attempts));
+      } else {
+        ++stats_.repairs_abandoned;
+      }
+    }
+    DCT_OBS_SET(m_repair_queue_depth_, static_cast<double>(repair_queue_.depth()));
+    schedule_repair_pacer();
+  });
+}
+
+bool WorkloadDriver::repair_path_congested(ServerId src, ServerId dst) const {
+  if (repair_rate_snapshot_.empty()) return false;
+  const auto util_above = [this](LinkId l) {
+    const auto slot = static_cast<std::size_t>(l.value());
+    if (slot >= repair_rate_snapshot_.size()) return false;
+    const double cap = topo_.link(l).capacity;
+    return cap > 0 && repair_rate_snapshot_[slot] / cap >
+                          config_.repair.congestion_util_threshold;
+  };
+  if (util_above(topo_.server_up_link(src)) ||
+      util_above(topo_.server_down_link(dst))) {
+    return true;
+  }
+  if (!topo_.is_external(src) && !topo_.is_external(dst) &&
+      topo_.rack_of(src) != topo_.rack_of(dst)) {
+    if (util_above(topo_.tor_up_link(topo_.rack_of(src))) ||
+        util_above(topo_.tor_down_link(topo_.rack_of(dst)))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int32_t WorkloadDriver::live_replica_count(BlockId block) const {
+  std::int32_t live = 0;
+  for (ServerId r : store_.block(block).replicas) {
+    if (!is_server_down(r)) ++live;
+  }
+  return live;
+}
+
+TimeSec WorkloadDriver::repair_backoff(std::int32_t attempts) const {
+  const double doubled = config_.repair.congestion_backoff_base *
+                         std::ldexp(1.0, std::min(attempts - 1, 30));
+  return std::min<double>(config_.repair.congestion_backoff_max, doubled);
+}
+
+// ---------------------------------------------------------------------------
+// Redundancy accounting
+// ---------------------------------------------------------------------------
+
+void WorkloadDriver::redundancy_advance(TimeSec now) {
+  if (now > redundancy_last_update_) {
+    redundancy_debt_ += static_cast<double>(under_replicated_blocks_) *
+                        (now - redundancy_last_update_);
+    redundancy_last_update_ = now;
+  }
+}
+
+void WorkloadDriver::note_replica_lost(BlockId block, TimeSec now) {
+  redundancy_advance(now);
+  const auto slot = static_cast<std::size_t>(block.value());
+  if (slot >= block_down_replicas_.size()) {
+    block_down_replicas_.resize(slot + 1, 0);
+  }
+  if (block_down_replicas_[slot]++ == 0) {
+    ++under_replicated_blocks_;
+    ++redundancy_loss_episodes_;
+    if (redundancy_first_loss_ < 0) redundancy_first_loss_ = now;
+    DCT_OBS_SET(m_under_replicated_, static_cast<double>(under_replicated_blocks_));
+  }
+}
+
+void WorkloadDriver::note_replica_restored(BlockId block, TimeSec now) {
+  redundancy_advance(now);
+  const auto slot = static_cast<std::size_t>(block.value());
+  if (slot >= block_down_replicas_.size() || block_down_replicas_[slot] == 0) {
+    return;  // e.g. replica placed on a down server, never counted as lost
+  }
+  if (--block_down_replicas_[slot] == 0) {
+    --under_replicated_blocks_;
+    DCT_OBS_SET(m_under_replicated_, static_cast<double>(under_replicated_blocks_));
+    if (under_replicated_blocks_ == 0) {
+      redundancy_last_restore_ = now;
+      if (redundancy_first_loss_ >= 0) {
+        DCT_OBS_SET(m_time_to_redundancy_s_, now - redundancy_first_loss_);
+      }
+    }
+  }
+}
+
+RedundancyStats WorkloadDriver::redundancy(TimeSec now) const {
+  RedundancyStats out;
+  out.under_replicated = under_replicated_blocks_;
+  out.loss_episodes = redundancy_loss_episodes_;
+  out.first_loss = redundancy_first_loss_;
+  out.last_full_restore = redundancy_last_restore_;
+  out.debt_block_seconds = redundancy_debt_;
+  if (now > redundancy_last_update_) {
+    out.debt_block_seconds += static_cast<double>(under_replicated_blocks_) *
+                              (now - redundancy_last_update_);
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------

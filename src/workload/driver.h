@@ -33,6 +33,7 @@
 #include "workload/blockstore.h"
 #include "workload/job.h"
 #include "workload/placement.h"
+#include "workload/repair.h"
 
 namespace dct {
 
@@ -162,6 +163,12 @@ struct WorkloadConfig {
   TimeSec hedge_min_timeout = 2.0;        ///< hedge-timer floor, seconds
   std::int32_t hedge_budget_per_job = 8;  ///< max hedges per job
 
+  // --- Recovery-storm control ---------------------------------------------------
+  /// Paced block repair after server crashes (workload/repair.h).  Off by
+  /// default: crash recovery uses the legacy immediate fan-out, bit-identical
+  /// to older builds.
+  RepairConfig repair;
+
   void validate() const;
 };
 
@@ -185,6 +192,11 @@ struct WorkloadStats {
   std::int64_t spec_cancelled = 0;        ///< losing twins cancelled (either side)
   std::int64_t hedges_launched = 0;       ///< hedged second reads issued
   std::int64_t hedge_wins = 0;            ///< hedges that settled their read
+  std::int64_t repairs_enqueued = 0;      ///< block repairs queued (paced mode)
+  std::int64_t repairs_dispatched = 0;    ///< repair flows actually started
+  std::int64_t repairs_deferred = 0;      ///< dispatches deferred by congestion
+  std::int64_t repairs_retried = 0;       ///< failed repairs re-queued
+  std::int64_t repairs_abandoned = 0;     ///< repairs dropped after max_attempts
   std::int64_t placement_tier[4] = {0, 0, 0, 0};
 
   [[nodiscard]] double remote_read_fraction() const noexcept {
@@ -192,6 +204,21 @@ struct WorkloadStats {
         static_cast<double>(extract_reads_local + extract_reads_remote);
     return total > 0 ? static_cast<double>(extract_reads_remote) / total : 0.0;
   }
+};
+
+/// Replica-redundancy accounting over a run: how many blocks are currently
+/// missing at least one replica (a replica on a crashed server is lost until
+/// the block is healed or the server recovers), when redundancy was first
+/// lost and last fully restored, and the integral of the under-replicated
+/// count over time (block-seconds of exposure).  Maintained identically in
+/// paced and legacy repair modes so the recovery-storm bench can compare
+/// time-to-full-redundancy across arms.
+struct RedundancyStats {
+  std::int64_t under_replicated = 0;  ///< blocks missing >= 1 replica now
+  std::int64_t loss_episodes = 0;     ///< per-block fully->under transitions
+  TimeSec first_loss = -1;            ///< first 0 -> >0 transition, -1 = never
+  TimeSec last_full_restore = -1;     ///< last >0 -> 0 transition, -1 = never
+  double debt_block_seconds = 0;      ///< integral of under_replicated dt
 };
 
 /// Drives the workload on a FlowSim.  Construct, call install(), then run
@@ -212,6 +239,14 @@ class WorkloadDriver {
   [[nodiscard]] const WorkloadStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const BlockStore& block_store() const noexcept { return store_; }
   [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+
+  /// Redundancy accounting as of `now` (typically the horizon); the debt
+  /// integral is extended to `now` without mutating driver state.
+  [[nodiscard]] RedundancyStats redundancy(TimeSec now) const;
+  /// Peak depth the repair queue reached (0 on the legacy path).
+  [[nodiscard]] std::size_t repair_queue_peak() const noexcept {
+    return repair_queue_.peak_depth();
+  }
 
   /// Registers the workload's metrics (docs/METRICS.md, subsystem
   /// "workload") and starts feeding them.  Optional; call before install().
@@ -282,7 +317,26 @@ class WorkloadDriver {
   /// Heals blocks that lost the replica on `failed`: copies them from a
   /// surviving replica to a fresh target (the crash-triggered
   /// generalization of run_evacuation, which streams off the victim).
+  /// Legacy immediate fan-out when `repair.paced` is off; queue-based
+  /// (enqueue_repairs + pacer) when on.
   void run_rereplication(ServerId failed);
+
+  // --- Recovery-storm control (workload/repair.h) ----------------------------------
+  void enqueue_repairs(ServerId failed);
+  void schedule_repair_pacer();
+  void repair_pacer_tick();
+  void dispatch_repair(RepairItem item, ServerId src, ServerId target);
+  /// True when the repair path src -> dst crosses a link already running
+  /// above the congestion threshold (per the last pacer-tick snapshot).
+  [[nodiscard]] bool repair_path_congested(ServerId src, ServerId dst) const;
+  [[nodiscard]] std::int32_t live_replica_count(BlockId block) const;
+  /// Deterministic capped exponential backoff for repair attempt `attempts`.
+  [[nodiscard]] TimeSec repair_backoff(std::int32_t attempts) const;
+
+  // --- Redundancy accounting --------------------------------------------------------
+  void redundancy_advance(TimeSec now);
+  void note_replica_lost(BlockId block, TimeSec now);
+  void note_replica_restored(BlockId block, TimeSec now);
   void schedule_next_ingest();
   void run_ingest();
 
@@ -348,6 +402,21 @@ class WorkloadDriver {
   std::int32_t next_phase_ = 0;
   std::int32_t next_job_ = 0;
 
+  // Recovery-storm control state (all quiescent when repair.paced is off).
+  RepairQueue repair_queue_;
+  bool repair_pacer_scheduled_ = false;
+  std::vector<double> repair_rate_snapshot_;  // refreshed each pacer tick
+
+  // Redundancy accounting (maintained in both repair modes; empty/zero in
+  // fault-free runs, so default-off behavior is untouched).
+  std::vector<std::int32_t> block_down_replicas_;  // lazily sized by block id
+  std::int64_t under_replicated_blocks_ = 0;
+  std::int64_t redundancy_loss_episodes_ = 0;
+  TimeSec redundancy_first_loss_ = -1;
+  TimeSec redundancy_last_restore_ = -1;
+  double redundancy_debt_ = 0;
+  TimeSec redundancy_last_update_ = 0;
+
   // Self-instrumentation handles; null until bind_metrics() (obs/obs.h).
   obs::Counter* m_jobs_submitted_ = nullptr;
   obs::Counter* m_jobs_completed_ = nullptr;
@@ -367,6 +436,11 @@ class WorkloadDriver {
   obs::Counter* m_spec_wins_ = nullptr;
   obs::Counter* m_hedges_ = nullptr;
   obs::Counter* m_hedge_wins_ = nullptr;
+  obs::Gauge* m_repair_queue_depth_ = nullptr;
+  obs::Counter* m_repairs_dispatched_ = nullptr;
+  obs::Counter* m_repairs_deferred_ = nullptr;
+  obs::Gauge* m_under_replicated_ = nullptr;
+  obs::Gauge* m_time_to_redundancy_s_ = nullptr;
 };
 
 }  // namespace dct

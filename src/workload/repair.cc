@@ -1,0 +1,110 @@
+#include "workload/repair.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/require.h"
+
+namespace dct {
+
+void RepairConfig::validate() const {
+  if (!paced) return;  // remaining knobs are unused on the legacy path
+  require(max_in_flight >= 1, "RepairConfig: max_in_flight must be >= 1, got " +
+                                  std::to_string(max_in_flight));
+  require(per_source_cap >= 1, "RepairConfig: per_source_cap must be >= 1, got " +
+                                   std::to_string(per_source_cap));
+  require(per_dest_cap >= 1, "RepairConfig: per_dest_cap must be >= 1, got " +
+                                 std::to_string(per_dest_cap));
+  require(tokens_per_second > 0, "RepairConfig: tokens_per_second must be > 0, got " +
+                                     std::to_string(tokens_per_second));
+  require(token_burst >= 1, "RepairConfig: token_burst must be >= 1, got " +
+                                std::to_string(token_burst));
+  require(pacer_interval > 0, "RepairConfig: pacer_interval must be > 0, got " +
+                                  std::to_string(pacer_interval));
+  require(congestion_util_threshold > 0 && congestion_util_threshold <= 1,
+          "RepairConfig: congestion_util_threshold must be in (0, 1], got " +
+              std::to_string(congestion_util_threshold));
+  require(congestion_backoff_base > 0 &&
+              congestion_backoff_base <= congestion_backoff_max,
+          "RepairConfig: backoff must satisfy 0 < base <= max, got [" +
+              std::to_string(congestion_backoff_base) + ", " +
+              std::to_string(congestion_backoff_max) + "]");
+  require(max_attempts >= 1, "RepairConfig: max_attempts must be >= 1, got " +
+                                 std::to_string(max_attempts));
+}
+
+RepairQueue::RepairQueue(const RepairConfig& config)
+    : cfg_(config), tokens_(config.token_burst) {}
+
+void RepairQueue::enqueue(BlockId block, ServerId failed,
+                          std::int32_t live_replicas, TimeSec now) {
+  RepairItem item;
+  item.block = block;
+  item.failed = failed;
+  item.live_replicas = live_replicas;
+  item.not_before = now;
+  item.seq = next_seq_++;
+  items_.push_back(item);
+  peak_depth_ = std::max(peak_depth_, items_.size());
+}
+
+void RepairQueue::requeue(RepairItem item, TimeSec not_before) {
+  item.not_before = not_before;
+  items_.push_back(item);
+  peak_depth_ = std::max(peak_depth_, items_.size());
+}
+
+std::optional<RepairItem> RepairQueue::pop_ready(TimeSec now) {
+  std::size_t best = items_.size();
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].not_before > now) continue;
+    if (best == items_.size() ||
+        items_[i].live_replicas < items_[best].live_replicas ||
+        (items_[i].live_replicas == items_[best].live_replicas &&
+         items_[i].seq < items_[best].seq)) {
+      best = i;
+    }
+  }
+  if (best == items_.size()) return std::nullopt;
+  RepairItem out = items_[best];
+  items_[best] = items_.back();
+  items_.pop_back();
+  return out;
+}
+
+void RepairQueue::refill(TimeSec now) {
+  if (now <= last_refill_) return;
+  tokens_ = std::min(cfg_.token_burst,
+                     tokens_ + cfg_.tokens_per_second * (now - last_refill_));
+  last_refill_ = now;
+}
+
+void RepairQueue::take_token() {
+  require(tokens_ >= 1.0, "RepairQueue: take_token without a token");
+  tokens_ -= 1.0;
+}
+
+bool RepairQueue::can_dispatch(ServerId src, ServerId dst) const {
+  if (in_flight_ >= cfg_.max_in_flight) return false;
+  const auto s = src_in_flight_.find(src.value());
+  if (s != src_in_flight_.end() && s->second >= cfg_.per_source_cap) return false;
+  const auto d = dst_in_flight_.find(dst.value());
+  if (d != dst_in_flight_.end() && d->second >= cfg_.per_dest_cap) return false;
+  return true;
+}
+
+void RepairQueue::note_dispatch(ServerId src, ServerId dst) {
+  ++in_flight_;
+  ++src_in_flight_[src.value()];
+  ++dst_in_flight_[dst.value()];
+}
+
+void RepairQueue::note_done(ServerId src, ServerId dst) {
+  --in_flight_;
+  auto s = src_in_flight_.find(src.value());
+  if (s != src_in_flight_.end() && --s->second <= 0) src_in_flight_.erase(s);
+  auto d = dst_in_flight_.find(dst.value());
+  if (d != dst_in_flight_.end() && --d->second <= 0) dst_in_flight_.erase(d);
+}
+
+}  // namespace dct

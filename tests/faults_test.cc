@@ -11,6 +11,7 @@
 #include "anomaly/detectors.h"
 #include "common/require.h"
 #include "core/experiment.h"
+#include "faults/fault_domain.h"
 #include "faults/fault_schedule.h"
 #include "faults/injector.h"
 #include "topology/network_state.h"
@@ -112,6 +113,85 @@ TEST(FaultSchedule, ValidateRejectsNonsense) {
   FaultConfig ok;
   EXPECT_TRUE(ok.empty());
   ok.validate();  // all-zero config is valid
+}
+
+// --- Correlated failure domains -----------------------------------------------
+
+TEST(FaultDomains, RackPowerDomainCoversTorAndEveryServer) {
+  Topology topo(small_topology(true));
+  const auto domains = build_fault_domains(topo, FaultDomainKind::kRackPower);
+  ASSERT_EQ(domains.size(), static_cast<std::size_t>(topo.rack_count()));
+  for (const FaultDomain& d : domains) {
+    ASSERT_FALSE(d.members.empty());
+    EXPECT_EQ(d.members.front().device, DeviceKind::kTor);
+    EXPECT_EQ(d.members.front().entity, d.id);
+    const auto servers = topo.servers_in_rack(RackId{d.id});
+    ASSERT_EQ(d.members.size(), servers.size() + 1);
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      EXPECT_EQ(d.members[i + 1].device, DeviceKind::kServer);
+      EXPECT_EQ(d.members[i + 1].entity, servers[i].value());
+    }
+  }
+}
+
+TEST(FaultDomains, RackPowerScheduleIsAJitteredBurst) {
+  Topology topo(small_topology(true));
+  FaultConfig fc;
+  fc.rack_power_rate = 6.0;
+  fc.rack_power_mean_repair = 20.0;
+  fc.domain_burst_jitter = 2.0;
+  const auto schedule = generate_fault_schedule(topo, fc, 600.0);
+  ASSERT_FALSE(schedule.empty());
+  // Every ToR outage must be accompanied by its whole rack's servers going
+  // down inside the jitter window, all sharing the event's duration.
+  std::size_t tor_events = 0;
+  for (const FaultEvent& e : schedule) {
+    if (e.device != DeviceKind::kTor) continue;
+    ++tor_events;
+    const TimeSec duration = e.end - e.start;
+    for (ServerId s : topo.servers_in_rack(RackId{e.entity})) {
+      bool found = false;
+      for (const FaultEvent& m : schedule) {
+        if (m.device != DeviceKind::kServer || m.entity != s.value()) continue;
+        if (std::abs(m.start - e.start) <= fc.domain_burst_jitter &&
+            std::abs((m.end - m.start) - duration) < 1e-9) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "server " << s.value()
+                         << " missing from the rack " << e.entity << " burst";
+    }
+  }
+  EXPECT_GT(tor_events, 0u);
+  // The expansion is deterministic and folds into the schedule hash.
+  const auto again = generate_fault_schedule(topo, fc, 600.0);
+  EXPECT_EQ(schedule_hash(schedule, {}), schedule_hash(again, {}));
+  // Turning the domain off removes exactly the domain events and nothing
+  // else (no other rate is set, so the schedule must be empty).
+  FaultConfig off;
+  EXPECT_TRUE(off.empty());
+  EXPECT_TRUE(generate_fault_schedule(topo, off, 600.0).empty());
+}
+
+TEST(FaultDomains, DomainConfigValidateIsValueBearing) {
+  FaultConfig fc;
+  fc.rack_power_rate = -0.5;
+  try {
+    fc.validate();
+    FAIL() << "negative rack_power_rate must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("-0.5"), std::string::npos)
+        << "message must carry the offending value: " << e.what();
+  }
+  FaultConfig fc2;
+  fc2.rack_power_rate = 1.0;
+  fc2.rack_power_mean_repair = 0.0;
+  EXPECT_THROW(fc2.validate(), Error);
+  FaultConfig fc3;
+  fc3.rack_power_rate = 1.0;
+  fc3.domain_burst_jitter = -1.0;
+  EXPECT_THROW(fc3.validate(), Error);
 }
 
 // --- Failure-aware routing ----------------------------------------------------
@@ -306,6 +386,70 @@ TEST(FlowSimFaults, UnreachableDestinationFailsTheConnection) {
   EXPECT_TRUE(completed);
   ASSERT_EQ(sim.records().size(), 1u);
   EXPECT_TRUE(sim.records().front().failed);
+}
+
+TEST(FlowSimFaults, TotalRackDisconnectKillsFlowsAndRecovers) {
+  // Regression for the correlated-domain case: BOTH ToR uplinks (and their
+  // down twins) fail at once, so even the redundant fabric cannot save the
+  // rack.  In-flight flows must die promptly (no hang), new flows must fail
+  // cleanly while the rack is dark, repair must restore service, and no
+  // flow may ever double-count bytes.
+  Topology topo(small_topology(true));
+  ASSERT_TRUE(topo.has_redundant_uplinks());
+  NetworkState net(topo);
+  FlowSim sim(topo, exact_config(60.0));
+  sim.set_network_state(&net);
+
+  const ServerId src = server_in_rack(topo, 0, 0);
+  const ServerId dst = server_in_rack(topo, 2, 0);
+  const std::vector<LinkId> uplinks = {
+      topo.tor_up_link(RackId{0}), topo.tor_down_link(RackId{0}),
+      topo.tor_up2_link(RackId{0}), topo.tor_down2_link(RackId{0})};
+
+  FlowSpec spec;
+  spec.src = src;
+  spec.dst = dst;
+  spec.bytes = 250'000'000;  // ~2 s at the 125 MB/s NIC bottleneck
+  sim.start_flow(spec);
+
+  bool unreachable_mid = false;
+  sim.at(1.0, [&](FlowSim& s) {
+    for (LinkId l : uplinks) net.set_link_up(l, false);
+    const auto stats = s.handle_network_change();
+    EXPECT_EQ(stats.flows_killed, 1);
+    EXPECT_EQ(stats.flows_rerouted, 0);
+    unreachable_mid = !net.reachable(src, dst) && !net.reachable(dst, src);
+    // A flow started while the rack is dark fails immediately, zero bytes.
+    FlowSpec dark = spec;
+    s.start_flow(dark, [](FlowSim&, const FlowRecord& rec) {
+      EXPECT_TRUE(rec.failed);
+      EXPECT_EQ(rec.bytes_sent, 0);
+    });
+  });
+  sim.at(5.0, [&](FlowSim& s) {
+    for (LinkId l : uplinks) net.set_link_up(l, true);
+    s.handle_network_change();
+    FlowSpec healed = spec;
+    s.start_flow(healed, [](FlowSim&, const FlowRecord& rec) {
+      EXPECT_FALSE(rec.failed);
+      EXPECT_EQ(rec.bytes_sent, rec.bytes_requested);
+    });
+  });
+  sim.run();
+
+  EXPECT_TRUE(unreachable_mid) << "four dead uplinks must cut the rack off";
+  EXPECT_EQ(sim.active_flow_count(), 0u) << "no flow may hang past the run";
+  ASSERT_EQ(sim.records().size(), 3u);
+  for (const auto& rec : sim.records()) {
+    EXPECT_LE(rec.bytes_sent, rec.bytes_requested) << "bytes double-counted";
+    EXPECT_GE(rec.end, rec.start);
+  }
+  // Exactly one flow (the post-repair one) completed in full.
+  std::size_t completed = 0;
+  for (const auto& rec : sim.records()) {
+    if (!rec.failed && rec.bytes_sent == rec.bytes_requested) ++completed;
+  }
+  EXPECT_EQ(completed, 1u);
 }
 
 // --- The injector -------------------------------------------------------------

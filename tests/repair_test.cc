@@ -1,0 +1,227 @@
+// Recovery-storm control tests: RepairConfig validation, RepairQueue policy
+// (priority order, backoff gates, token bucket, concurrency caps), and the
+// paced repair path wired through the workload driver.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/require.h"
+#include "core/experiment.h"
+#include "workload/repair.h"
+
+namespace dct {
+namespace {
+
+RepairConfig paced_config() {
+  RepairConfig cfg;
+  cfg.paced = true;
+  return cfg;
+}
+
+TEST(RepairConfigTest, ValidateRejectsNonsenseWithValues) {
+  RepairConfig off;
+  off.max_in_flight = 0;
+  off.validate();  // knobs are unused (and unchecked) on the legacy path
+
+  RepairConfig cfg = paced_config();
+  cfg.validate();  // defaults are always valid
+
+  cfg.max_in_flight = 0;
+  try {
+    cfg.validate();
+    FAIL() << "max_in_flight of 0 must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find('0'), std::string::npos)
+        << "message must carry the offending value: " << e.what();
+  }
+  cfg.max_in_flight = 8;
+
+  cfg.per_source_cap = -1;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.per_source_cap = 1;
+  cfg.tokens_per_second = -2.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.tokens_per_second = 4.0;
+  cfg.token_burst = 0.5;  // burst below one token can never dispatch
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.token_burst = 8.0;
+  cfg.pacer_interval = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.pacer_interval = 0.5;
+  cfg.congestion_util_threshold = 1.5;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.congestion_util_threshold = 0.9;
+  cfg.congestion_backoff_max = 0.1;  // below the base
+  cfg.congestion_backoff_base = 1.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.congestion_backoff_max = 8.0;
+  cfg.max_attempts = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(RepairQueueTest, FewestLiveReplicasFirstThenFifo) {
+  RepairQueue q(paced_config());
+  q.enqueue(BlockId{10}, ServerId{1}, 2, 0.0);
+  q.enqueue(BlockId{11}, ServerId{1}, 1, 0.0);  // most endangered
+  q.enqueue(BlockId{12}, ServerId{2}, 1, 0.0);  // ties block 11, arrived later
+  q.enqueue(BlockId{13}, ServerId{2}, 3, 0.0);
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_EQ(q.peak_depth(), 4u);
+
+  auto a = q.pop_ready(0.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->block, BlockId{11});
+  auto b = q.pop_ready(0.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->block, BlockId{12}) << "FIFO within a priority class";
+  auto c = q.pop_ready(0.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->block, BlockId{10});
+  auto d = q.pop_ready(0.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->block, BlockId{13});
+  EXPECT_FALSE(q.pop_ready(0.0).has_value());
+}
+
+TEST(RepairQueueTest, BackoffGateHidesItemsUntilNotBefore) {
+  RepairQueue q(paced_config());
+  q.enqueue(BlockId{1}, ServerId{0}, 1, 0.0);
+  auto item = q.pop_ready(0.0);
+  ASSERT_TRUE(item.has_value());
+  q.requeue(*item, 5.0);
+  EXPECT_FALSE(q.pop_ready(4.999).has_value()) << "gated until not_before";
+  auto again = q.pop_ready(5.0);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->block, BlockId{1});
+
+  // A gated urgent item must not block a ready lower-priority one.
+  q.enqueue(BlockId{2}, ServerId{0}, 1, 10.0);
+  auto urgent = q.pop_ready(10.0);
+  ASSERT_TRUE(urgent.has_value());
+  q.requeue(*urgent, 20.0);
+  q.enqueue(BlockId{3}, ServerId{0}, 3, 10.0);
+  auto ready = q.pop_ready(10.0);
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(ready->block, BlockId{3});
+}
+
+TEST(RepairQueueTest, TokenBucketRefillsAndClampsAtBurst) {
+  RepairConfig cfg = paced_config();
+  cfg.tokens_per_second = 2.0;
+  cfg.token_burst = 4.0;
+  RepairQueue q(cfg);
+
+  // The bucket starts full at the burst ceiling.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.has_token()) << "token " << i;
+    q.take_token();
+  }
+  EXPECT_FALSE(q.has_token());
+
+  q.refill(0.5);  // 0.5 s * 2 tok/s = 1 token
+  EXPECT_TRUE(q.has_token());
+  q.take_token();
+  EXPECT_FALSE(q.has_token());
+
+  q.refill(100.0);  // long idle clamps at the burst, not 199 tokens
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.has_token()) << "token " << i;
+    q.take_token();
+  }
+  EXPECT_FALSE(q.has_token());
+}
+
+TEST(RepairQueueTest, ConcurrencyCapsBindPerServerAndGlobally) {
+  RepairConfig cfg = paced_config();
+  cfg.max_in_flight = 3;
+  cfg.per_source_cap = 1;
+  cfg.per_dest_cap = 2;
+  RepairQueue q(cfg);
+
+  ASSERT_TRUE(q.can_dispatch(ServerId{0}, ServerId{9}));
+  q.note_dispatch(ServerId{0}, ServerId{9});
+  EXPECT_FALSE(q.can_dispatch(ServerId{0}, ServerId{8}))
+      << "per-source cap of 1 binds";
+  ASSERT_TRUE(q.can_dispatch(ServerId{1}, ServerId{9}));
+  q.note_dispatch(ServerId{1}, ServerId{9});
+  EXPECT_FALSE(q.can_dispatch(ServerId{2}, ServerId{9}))
+      << "per-dest cap of 2 binds";
+  ASSERT_TRUE(q.can_dispatch(ServerId{2}, ServerId{8}));
+  q.note_dispatch(ServerId{2}, ServerId{8});
+  EXPECT_EQ(q.in_flight(), 3);
+  EXPECT_FALSE(q.can_dispatch(ServerId{3}, ServerId{7}))
+      << "global in-flight ceiling binds";
+
+  q.note_done(ServerId{0}, ServerId{9});
+  EXPECT_TRUE(q.can_dispatch(ServerId{0}, ServerId{7}))
+      << "finishing a repair frees the source and global slots";
+  q.note_done(ServerId{1}, ServerId{9});
+  q.note_done(ServerId{2}, ServerId{8});
+  EXPECT_EQ(q.in_flight(), 0);
+  EXPECT_TRUE(q.idle());
+}
+
+// End-to-end: crashes under the paced path flow through the queue, heal
+// blocks, and keep the redundancy ledger coherent.
+TEST(RepairDriverTest, PacedRepairsHealCrashedServersBlocks) {
+  ScenarioConfig cfg = scenarios::tiny(120.0, 21);
+  cfg.faults.server_crash_rate = 20.0;
+  cfg.faults.server_mean_repair = 40.0;
+  cfg.workload.repair = RepairConfig{};
+  cfg.workload.repair.paced = true;
+
+  ClusterExperiment exp(cfg);
+  exp.run();
+  const auto& st = exp.workload_stats();
+  EXPECT_GT(st.server_crashes, 0);
+  EXPECT_GT(st.repairs_enqueued, 0);
+  EXPECT_GT(st.repairs_dispatched, 0);
+  EXPECT_GT(st.blocks_rereplicated, 0);
+  EXPECT_GT(exp.workload().repair_queue_peak(), 0u);
+  EXPECT_LE(st.repairs_dispatched,
+            st.repairs_enqueued + st.repairs_retried + st.repairs_deferred);
+
+  const RedundancyStats red = exp.workload().redundancy(120.0);
+  EXPECT_GE(red.loss_episodes, st.repairs_enqueued > 0 ? 1 : 0);
+  EXPECT_GT(red.debt_block_seconds, 0.0);
+  EXPECT_GE(red.first_loss, 0.0);
+  EXPECT_GE(red.under_replicated, 0);
+}
+
+// The pacing knob must not perturb the fault schedule: both arms of an A/B
+// see the same world.
+TEST(RepairDriverTest, PacingDoesNotChangeTheFaultSchedule) {
+  ScenarioConfig cfg = scenarios::tiny(60.0, 33);
+  cfg.faults.server_crash_rate = 8.0;
+  cfg.faults.server_mean_repair = 20.0;
+
+  cfg.workload.repair.paced = true;
+  ClusterExperiment paced(cfg);
+  paced.run();
+  cfg.workload.repair.paced = false;
+  ClusterExperiment unpaced(cfg);
+  unpaced.run();
+  EXPECT_EQ(paced.schedule_hash(), unpaced.schedule_hash());
+  EXPECT_EQ(paced.workload_stats().server_crashes,
+            unpaced.workload_stats().server_crashes);
+}
+
+// Without faults the paced flag alone must leave the run untouched: the
+// queue never sees an item and the redundancy ledger stays quiescent.
+TEST(RepairDriverTest, PacedFlagIsInertWithoutFaults) {
+  ScenarioConfig cfg = scenarios::tiny(30.0, 5);
+  cfg.workload.repair.paced = true;
+  ClusterExperiment exp(cfg);
+  exp.run();
+  const auto& st = exp.workload_stats();
+  EXPECT_EQ(st.repairs_enqueued, 0);
+  EXPECT_EQ(st.repairs_dispatched, 0);
+  EXPECT_EQ(exp.workload().repair_queue_peak(), 0u);
+  const RedundancyStats red = exp.workload().redundancy(30.0);
+  EXPECT_EQ(red.loss_episodes, 0);
+  EXPECT_EQ(red.debt_block_seconds, 0.0);
+  EXPECT_LT(red.first_loss, 0.0);
+}
+
+}  // namespace
+}  // namespace dct

@@ -14,11 +14,14 @@
 //   5. determinism         — the two runs produce byte-identical traces and
 //                            byte-identical manifests (after removing the
 //                            wall-clock fields, the only nondeterminism the
-//                            manifest is allowed to carry).
+//                            manifest is allowed to carry);
+//   6. cascade depth bound — the overload-cascade monitor never chains
+//                            deeper than its configured max_depth.
 //
 // Usage: chaos_harness [rounds=25] [duration_s=40] [base_seed=1]
-// Exits non-zero on the first violated invariant, printing the round seed
-// so the failure replays with `chaos_harness 1 <duration> <seed>`.
+//        chaos_harness [--rounds=N] [--duration=S] [--seed=S]
+// Exits non-zero on the first violated invariant, printing the failing
+// round's seed, scenario knobs and the exact replay command.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -58,6 +61,9 @@ dct::ScenarioConfig chaos_scenario(double duration, std::uint64_t seed) {
   cfg.faults.server_mean_repair = uni(20.0, 60.0);
   cfg.faults.tor_crash_rate = uni(0.0, 1.0);
   cfg.faults.tor_mean_repair = uni(10.0, 30.0);
+  cfg.faults.rack_power_rate = uni(0.0, 2.0);
+  cfg.faults.rack_power_mean_repair = uni(10.0, 40.0);
+  cfg.faults.domain_burst_jitter = uni(0.0, 3.0);
 
   cfg.degradations.link_capacity_rate = uni(0.0, 20.0);
   cfg.degradations.link_capacity_mean_duration = uni(5.0, 30.0);
@@ -67,6 +73,40 @@ dct::ScenarioConfig chaos_scenario(double duration, std::uint64_t seed) {
   cfg.degradations.link_lossy_mean_duration = uni(5.0, 30.0);
   cfg.degradations.straggler_rate = uni(0.0, 40.0);
   cfg.degradations.straggler_mean_duration = uni(10.0, 40.0);
+  cfg.degradations.tor_domain_rate = uni(0.0, 6.0);
+  cfg.degradations.tor_domain_mean_duration = uni(5.0, 30.0);
+  cfg.degradations.vlan_domain_rate = uni(0.0, 3.0);
+  cfg.degradations.vlan_domain_mean_duration = uni(5.0, 30.0);
+  cfg.degradations.domain_burst_jitter = uni(0.0, 3.0);
+
+  if (uni(0.0, 1.0) < 0.75) {
+    cfg.cascades.util_threshold = uni(0.5, 0.95);
+    cfg.cascades.sustain_window = uni(1.0, 4.0);
+    cfg.cascades.check_interval = uni(0.5, 1.5);
+    cfg.cascades.trip_probability = uni(0.1, 0.9);
+    cfg.cascades.max_depth =
+        std::uniform_int_distribution<std::int32_t>(1, 4)(gen);
+    cfg.cascades.severity_floor = uni(0.1, 0.4);
+    cfg.cascades.severity_ceil = uni(0.5, 0.9);
+    cfg.cascades.mean_duration = uni(5.0, 20.0);
+    cfg.cascades.seed = seed;
+  }
+
+  cfg.workload.repair.paced = uni(0.0, 1.0) < 0.5;
+  if (cfg.workload.repair.paced) {
+    cfg.workload.repair.max_in_flight =
+        std::uniform_int_distribution<std::int32_t>(4, 64)(gen);
+    cfg.workload.repair.per_source_cap =
+        std::uniform_int_distribution<std::int32_t>(1, 3)(gen);
+    cfg.workload.repair.per_dest_cap =
+        std::uniform_int_distribution<std::int32_t>(1, 3)(gen);
+    cfg.workload.repair.tokens_per_second = uni(2.0, 40.0);
+    cfg.workload.repair.token_burst = uni(4.0, 64.0);
+    cfg.workload.repair.pacer_interval = uni(0.2, 1.0);
+    cfg.workload.repair.congestion_util_threshold = uni(0.5, 0.99);
+    cfg.workload.repair.max_attempts =
+        std::uniform_int_distribution<std::int32_t>(1, 6)(gen);
+  }
 
   cfg.workload.speculative_execution = uni(0.0, 1.0) < 0.75;
   cfg.workload.hedged_reads = uni(0.0, 1.0) < 0.75;
@@ -127,9 +167,35 @@ void check_invariants(dct::ClusterExperiment& exp, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int rounds = argc > 1 ? std::atoi(argv[1]) : 25;
-  const double duration = argc > 2 ? std::atof(argv[2]) : 40.0;
-  const std::uint64_t base_seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  // `--rounds=N --duration=S --seed=S` flags override the positional
+  // `[rounds] [duration] [base_seed]` form; the two styles can be mixed.
+  int rounds = 25;
+  double duration = 40.0;
+  std::uint64_t base_seed = 1;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rounds=", 0) == 0) {
+      rounds = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      duration = std::atof(arg.c_str() + 11);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      base_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "usage: chaos_harness [rounds] [duration_s] [base_seed]\n"
+                << "       chaos_harness [--rounds=N] [--duration=S] [--seed=S]\n";
+      return 2;
+    } else if (positional == 0) {
+      rounds = std::atoi(arg.c_str());
+      ++positional;
+    } else if (positional == 1) {
+      duration = std::atof(arg.c_str());
+      ++positional;
+    } else {
+      base_seed = std::strtoull(arg.c_str(), nullptr, 10);
+      ++positional;
+    }
+  }
 
   std::cerr << "[chaos] " << rounds << " rounds x 2 runs, " << duration
             << " s horizon, seeds " << base_seed << ".." << (base_seed + rounds - 1)
@@ -141,6 +207,11 @@ int main(int argc, char** argv) {
     dct::ClusterExperiment a(cfg);
     a.run();
     check_invariants(a, seed, cfg.sim.end_time);
+    if (const dct::FaultInjector* inj = a.fault_injector();
+        inj != nullptr && !cfg.cascades.empty()) {
+      check(inj->max_cascade_depth_observed() <= cfg.cascades.max_depth, seed,
+            "cascade depth: chain deeper than the configured max_depth");
+    }
 
     dct::ClusterExperiment b(cfg);
     b.run();
@@ -171,7 +242,18 @@ int main(int argc, char** argv) {
                       : 0)
               << " degradations"
               << (g_violations != 0 ? "  <-- VIOLATIONS" : "") << "\n";
-    if (g_violations != 0) break;
+    if (g_violations != 0) {
+      std::cerr << "[chaos] failing round: seed " << seed << ", "
+                << cfg.topology.racks << " racks, jobs/s "
+                << cfg.workload.jobs_per_second << ", rack_power_rate "
+                << cfg.faults.rack_power_rate << ", cascades "
+                << (cfg.cascades.empty() ? "off" : "on") << " (max_depth "
+                << cfg.cascades.max_depth << "), repair "
+                << (cfg.workload.repair.paced ? "paced" : "unpaced") << "\n"
+                << "[chaos] replay: chaos_harness --rounds=1 --duration="
+                << duration << " --seed=" << seed << "\n";
+      break;
+    }
   }
   if (g_violations != 0) {
     std::cerr << "[chaos] FAILED with " << g_violations << " violation(s)\n";
