@@ -35,7 +35,7 @@ struct Options {
 [[noreturn]] void usage() {
   std::cerr << "usage: run_scenario [--scenario canonical|weekend|heavy|no_locality|"
                "uncapped_connections|unchunked|full_bisection|paper_scale|"
-               "fault_storm|gray_failure|correlated_burst|tiny]\n"
+               "fault_storm|gray_failure|correlated_burst|lossy_telemetry|tiny]\n"
                "                    [--duration S] [--seed N] [--jobs-per-second R]\n"
                "                    [--racks N] [--servers-per-rack N]\n"
                "                    [--csv-flows PATH] [--csv-links PATH]\n";
@@ -97,6 +97,8 @@ dct::ScenarioConfig make_config(const Options& opt) {
     cfg = dct::scenarios::gray_failure(opt.duration, opt.seed);
   } else if (opt.scenario == "correlated_burst") {
     cfg = dct::scenarios::correlated_burst(opt.duration, opt.seed);
+  } else if (opt.scenario == "lossy_telemetry") {
+    cfg = dct::scenarios::lossy_telemetry(opt.duration, opt.seed);
   } else if (opt.scenario == "tiny") {
     cfg = dct::scenarios::tiny(opt.duration, opt.seed);
   } else {
@@ -152,6 +154,23 @@ int main(int argc, char** argv) {
     report.row({"hedged reads launched / won",
                 std::to_string(stats.hedges_launched) + " / " +
                     std::to_string(stats.hedge_wins)});
+  }
+  if (!exp.scenario().telemetry.empty()) {
+    // The analyst's view: what the lossy measurement plane actually handed
+    // over, versus the perfectly collected trace above.
+    const auto& observed = exp.observed_trace();
+    const auto& ts = exp.telemetry_stats();
+    report.row({"observed flows (lossy collection)",
+                std::to_string(observed.flow_count())});
+    report.row({"socket records lost / duplicates dropped",
+                std::to_string(ts.records_lost) + " / " +
+                    std::to_string(ts.duplicates_dropped)});
+    report.row({"flows recovered from peer copy / lost outright",
+                std::to_string(ts.flows_recovered) + " / " +
+                    std::to_string(ts.flows_lost)});
+    report.row({"mean log coverage", dct::TextTable::pct(observed.mean_coverage())});
+    report.row({"coverage gap time (s)",
+                dct::TextTable::num(observed.gap_seconds())});
   }
 
   const auto durations = dct::flow_duration_stats(trace);

@@ -125,6 +125,59 @@ CongestionReport congestion_report(const LinkUtilizationMap& util, const Topolog
   return out;
 }
 
+std::size_t annotate_coverage(CongestionReport& report, const ClusterTrace& trace,
+                              const Topology& topo, double min_coverage) {
+  require(min_coverage >= 0 && min_coverage <= 1,
+          "annotate_coverage: min_coverage must be in [0, 1]");
+  if (trace.gaps().empty()) return 0;
+
+  // Mean whole-trace coverage per rack, computed once.
+  std::vector<double> rack_cov(static_cast<std::size_t>(topo.rack_count()), 1.0);
+  for (std::int32_t r = 0; r < topo.rack_count(); ++r) {
+    const auto members = topo.servers_in_rack(RackId{r});
+    if (members.empty()) continue;
+    double sum = 0;
+    for (const ServerId s : members) {
+      sum += s.value() < trace.server_count() ? trace.coverage(s) : 1.0;
+    }
+    rack_cov[static_cast<std::size_t>(r)] = sum / static_cast<double>(members.size());
+  }
+  // Mean over the racks an aggregation switch serves.
+  std::vector<double> agg_cov(static_cast<std::size_t>(topo.agg_count()), 1.0);
+  std::vector<std::size_t> agg_racks(static_cast<std::size_t>(topo.agg_count()), 0);
+  std::vector<double> agg_sum(static_cast<std::size_t>(topo.agg_count()), 0.0);
+  for (std::int32_t r = 0; r < topo.rack_count(); ++r) {
+    const auto a = static_cast<std::size_t>(topo.agg_of(RackId{r}));
+    agg_sum[a] += rack_cov[static_cast<std::size_t>(r)];
+    ++agg_racks[a];
+  }
+  for (std::size_t a = 0; a < agg_cov.size(); ++a) {
+    if (agg_racks[a] > 0) agg_cov[a] = agg_sum[a] / static_cast<double>(agg_racks[a]);
+  }
+
+  std::size_t flagged = 0;
+  for (LinkCongestion& lc : report.inter_switch) {
+    const Link& link = topo.link(lc.link);
+    switch (link.kind) {
+      case LinkKind::kTorUp:
+      case LinkKind::kTorDown:
+        lc.endpoint_coverage = rack_cov[static_cast<std::size_t>(link.entity)];
+        break;
+      case LinkKind::kAggUp:
+      case LinkKind::kAggDown:
+        lc.endpoint_coverage = agg_cov[static_cast<std::size_t>(link.entity)];
+        break;
+      default:
+        lc.endpoint_coverage = trace.mean_coverage();
+        break;
+    }
+    lc.low_confidence = lc.endpoint_coverage < min_coverage;
+    if (lc.low_confidence) ++flagged;
+  }
+  report.low_confidence_links = flagged;
+  return flagged;
+}
+
 namespace {
 
 // True if [start,end) of the flow overlaps a hot bin on any path link.

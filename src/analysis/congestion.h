@@ -48,6 +48,14 @@ struct LinkCongestion {
   LinkKind kind = LinkKind::kServerUp;
   std::vector<ThresholdEpisode> episodes;
 
+  /// Mean whole-trace log coverage of the servers behind this link (set by
+  /// annotate_coverage; 1.0 until then, and on gap-free traces).
+  double endpoint_coverage = 1.0;
+  /// True when the endpoint rack was under-observed: utilization derived
+  /// from socket logs may miss flows, so episode boundaries (and absence of
+  /// episodes) on this link deserve less trust.
+  bool low_confidence = false;
+
   [[nodiscard]] double longest() const noexcept;
   [[nodiscard]] double total_hot_seconds() const noexcept;
 };
@@ -69,10 +77,23 @@ struct CongestionReport {
 
   /// Fig. 5 "when": number of simultaneously hot inter-switch links per bin.
   BinnedSeries hot_links_over_time{0.0, 1.0, 1};
+
+  /// Number of inter-switch links flagged low-confidence by
+  /// annotate_coverage (0 until it runs, and on gap-free traces).
+  std::size_t low_confidence_links = 0;
 };
 
 [[nodiscard]] CongestionReport congestion_report(const LinkUtilizationMap& util,
                                                  const Topology& topo, double threshold);
+
+/// Annotates a report built from a lossily collected trace: for every
+/// inter-switch link, computes the mean whole-trace coverage of the servers
+/// whose traffic the link carries (the rack's servers for ToR links, the
+/// served racks' servers for agg links) and flags links below
+/// `min_coverage` as low-confidence.  Returns the number flagged.  A
+/// gap-free trace leaves the report untouched.
+std::size_t annotate_coverage(CongestionReport& report, const ClusterTrace& trace,
+                              const Topology& topo, double min_coverage = 0.9);
 
 /// Fig. 7: flow-rate distributions, split by whether the flow overlapped a
 /// hot period on any link of its path.

@@ -25,6 +25,7 @@ FlowDurationStats flow_duration_stats(const ClusterTrace& trace) {
   if (out.by_bytes.sample_count() > 0) {
     out.median_bytes_duration = out.by_bytes.quantile(0.5);
   }
+  out.coverage = trace.mean_coverage();
   return out;
 }
 
@@ -87,6 +88,9 @@ InterArrivalStats inter_arrival_stats(const ClusterTrace& trace, const Topology&
     out.max_ms = out.inter_arrival_ms.quantile(1.0);
     if (out.median_ms > 0) out.median_rate_per_s = 1000.0 / out.median_ms;
   }
+  out.coverage = trace.mean_coverage();
+  out.corrected_rate_per_s =
+      out.median_rate_per_s / std::max(out.coverage, 0.05);
   return out;
 }
 

@@ -26,6 +26,11 @@ struct FlowDurationStats {
   double frac_flows_under_10s = 0;
   double frac_flows_over_200s = 0;
   double median_bytes_duration = 0;  ///< duration containing half the bytes
+  /// Mean telemetry coverage of the trace these shapes were computed from
+  /// (ClusterTrace::mean_coverage; 1.0 for a perfectly collected trace).
+  /// The CDFs describe *surviving* flows only — under heavy loss, treat
+  /// them as estimates from a sample.
+  double coverage = 1.0;
 };
 [[nodiscard]] FlowDurationStats flow_duration_stats(const ClusterTrace& trace);
 
@@ -42,6 +47,13 @@ struct InterArrivalStats {
   double max_ms = 0;
   /// Median arrival rate (flows/second) observed at this scope.
   double median_rate_per_s = 0;
+  /// Mean telemetry coverage of the source trace (1.0 when gap-free).
+  double coverage = 1.0;
+  /// Count statistics scale with observation: the coverage-corrected
+  /// arrival rate median_rate_per_s / coverage (capped at 20x) estimates
+  /// the true rate under lossy collection.  Equals median_rate_per_s on a
+  /// gap-free trace.
+  double corrected_rate_per_s = 0;
 };
 [[nodiscard]] InterArrivalStats inter_arrival_stats(const ClusterTrace& trace,
                                                     const Topology& topo,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/require.h"
 #include "common/stats.h"
@@ -72,6 +73,7 @@ std::int32_t scope_node(const Topology& topo, ServerId s, TmScope scope) {
   return topo.rack_of(s).value();
 }
 
+
 }  // namespace
 
 std::vector<SparseTm> build_tm_series(const ClusterTrace& trace, const Topology& topo,
@@ -105,6 +107,168 @@ std::vector<SparseTm> build_tm_series(const ClusterTrace& trace, const Topology&
       if (w_lo >= end) break;
       const TimeSec overlap = std::min(w_hi, end) - std::max(w_lo, start);
       if (overlap > 0) tms[w].add(from, to, density * overlap);
+    }
+  }
+  return tms;
+}
+
+double pair_observability(const ClusterTrace& trace, ServerId a, ServerId b,
+                          TimeSec t0, TimeSec t1) {
+  require(t1 >= t0, "pair_observability: t1 must be >= t0");
+  if (trace.gaps().empty() || t1 <= t0) return 1.0;
+  // A merged flow is lost iff its end time lies inside BOTH endpoints' gaps
+  // (the hardened merge drops a record whose end falls in its server's gap,
+  // and the flow dies only when both copies are dropped).  Survival over the
+  // window is therefore one minus the joint-gap overlap fraction; the naive
+  // product of per-server losses would overstate loss whenever the two
+  // servers' gaps do not coincide in time.
+  const auto& ia = trace.gap_intervals(a);
+  const auto& ib = trace.gap_intervals(b);
+  if (ia.empty() || ib.empty()) return 1.0;
+  double joint = 0;
+  std::size_t i = 0, j = 0;
+  while (i < ia.size() && j < ib.size()) {
+    const TimeSec lo = std::max({ia[i].first, ib[j].first, t0});
+    const TimeSec hi = std::min({ia[i].second, ib[j].second, t1});
+    if (hi > lo) joint += hi - lo;
+    if (ia[i].second < ib[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return std::clamp(1.0 - joint / (t1 - t0), 0.0, 1.0);
+}
+
+std::vector<SparseTm> build_tm_series_gap_aware(const ClusterTrace& trace,
+                                                const Topology& topo, TimeSec window,
+                                                TmScope scope,
+                                                const TmCoverageOptions& options) {
+  require(window > 0, "build_tm_series_gap_aware: window must be > 0");
+  require(options.reference_halo >= 0,
+          "build_tm_series_gap_aware: reference_halo must be >= 0");
+  require(options.count_shrinkage >= 0,
+          "build_tm_series_gap_aware: count_shrinkage must be >= 0");
+  if (trace.gaps().empty()) {
+    return build_tm_series(trace, topo, window, scope);  // identical by construction
+  }
+
+  // Pass 1 — naive deposits.  Every surviving flow contributes exactly as in
+  // build_tm_series; the ledger below only ever adds mass on top, so cells
+  // no correction touches stay bit-identical.
+  std::vector<SparseTm> tms = build_tm_series(trace, topo, window, scope);
+
+  // Index the surviving records by endpoint.  Server a's log holds exactly
+  // one record per flow with endpoint a (a send or a recv copy), so these
+  // buckets are what remains of each per-server ledger after the merge.
+  std::vector<std::vector<const SocketFlowLog*>> by_server(
+      static_cast<std::size_t>(topo.server_count()));
+  for (const SocketFlowLog& f : trace.flows()) {
+    if (f.local.value() >= 0 && f.local.value() < topo.server_count()) {
+      by_server[static_cast<std::size_t>(f.local.value())].push_back(&f);
+    }
+    if (f.peer != f.local && f.peer.value() >= 0 &&
+        f.peer.value() < topo.server_count()) {
+      by_server[static_cast<std::size_t>(f.peer.value())].push_back(&f);
+    }
+  }
+
+  // Sum the exact lost-record counts into each server's merged coverage
+  // holes.  A raw gap is a connected interval, so it lies inside exactly one
+  // merged hole; the per-hole total is exact no matter how overlapping raw
+  // gaps split the blame between themselves.
+  const TimeSec duration = trace.duration();
+  std::unordered_map<std::int32_t, std::vector<std::int64_t>> lost_by_server;
+  for (const GapRecord& g : trace.gaps()) {
+    if (g.records_lost <= 0) continue;
+    const auto& holes = trace.gap_intervals(g.server);
+    auto [it, inserted] = lost_by_server.try_emplace(g.server.value());
+    if (inserted) it->second.assign(holes.size(), 0);
+    const TimeSec at = std::clamp<TimeSec>(g.start, 0.0, duration);
+    for (std::size_t h = 0; h < holes.size(); ++h) {
+      if (at >= holes[h].first && at < holes[h].second) {
+        it->second[h] += g.records_lost;
+        break;
+      }
+    }
+  }
+
+  // Pass 2 — settle each hole's ledger.
+  for (const auto& [server, lost] : lost_by_server) {
+    const auto& holes = trace.gap_intervals(ServerId{server});
+    const auto& mine = by_server[static_cast<std::size_t>(server)];
+    for (std::size_t h = 0; h < holes.size(); ++h) {
+      if (lost[h] <= 0) continue;
+      const TimeSec lo = holes[h].first;
+      const TimeSec hi = holes[h].second;
+      // Flows still ending inside the hole are the records peer recovery
+      // (or a duplicated upload) saved; the remainder vanished entirely —
+      // both endpoint copies ended inside gaps.
+      std::int64_t saved = 0;
+      for (const SocketFlowLog* f : mine) {
+        if (f->end >= lo && f->end < hi) ++saved;
+      }
+      if (lost[h] <= saved) continue;  // ledger balances: nothing dual-lost
+      const double d = static_cast<double>(lost[h] - saved);
+
+      // References: the server's surviving records ending around the hole
+      // stand in for the lost ones (size, peers, direction, duration),
+      // falling back to its whole record set when the neighbourhood is
+      // quiet.
+      std::vector<const SocketFlowLog*> refs;
+      for (const SocketFlowLog* f : mine) {
+        if (f->end >= lo - options.reference_halo &&
+            f->end < hi + options.reference_halo) {
+          refs.push_back(f);
+        }
+      }
+      if (refs.empty()) refs = mine;
+      double sum_b = 0;
+      for (const SocketFlowLog* f : refs) sum_b += static_cast<double>(f->bytes);
+      if (refs.empty() || sum_b <= 0) continue;
+
+      // Price the d dual-lost flows at the references' median size (robust
+      // to a server's few giant transfers), shrunk by d / (d + k) against
+      // singleton-count variance; halve because each dual-lost flow sits in
+      // both endpoints' ledgers.
+      std::vector<double> sizes;
+      sizes.reserve(refs.size());
+      for (const SocketFlowLog* f : refs) {
+        sizes.push_back(static_cast<double>(f->bytes));
+      }
+      std::nth_element(sizes.begin(),
+                       sizes.begin() + static_cast<std::ptrdiff_t>(sizes.size() / 2),
+                       sizes.end());
+      const double ref_size = sizes[sizes.size() / 2];
+      const double shrink =
+          options.count_shrinkage > 0 ? d / (d + options.count_shrinkage) : 1.0;
+      const double mass = 0.5 * d * ref_size * shrink;
+
+      // A lost flow deposited bytes before its fatal end, exactly as its
+      // references did: widen the deposit span backwards by the references'
+      // byte-weighted mean duration.
+      double mean_dur = 0;
+      for (const SocketFlowLog* f : refs) {
+        mean_dur += std::max<double>(f->end - f->start, 0.0) *
+                    static_cast<double>(f->bytes) / sum_b;
+      }
+      const TimeSec span_lo = std::max<TimeSec>(0.0, lo - mean_dur);
+      const TimeSec span = hi - span_lo;
+      if (span <= 0) continue;
+      for (const SocketFlowLog* f : refs) {
+        const std::int32_t from = scope_node(topo, f->local, scope);
+        const std::int32_t to = scope_node(topo, f->peer, scope);
+        if (from < 0 || to < 0) continue;
+        if (scope == TmScope::kToR && from == to) continue;
+        const double share = mass * static_cast<double>(f->bytes) / sum_b;
+        auto w = static_cast<std::size_t>(span_lo / window);
+        for (; w < tms.size(); ++w) {
+          const TimeSec w_lo = static_cast<double>(w) * window;
+          if (w_lo >= hi) break;
+          const TimeSec overlap = std::min(w_lo + window, hi) - std::max(w_lo, span_lo);
+          if (overlap > 0) tms[w].add(from, to, share * overlap / span);
+        }
+      }
     }
   }
   return tms;

@@ -81,6 +81,63 @@ enum class TmScope : std::uint8_t { kServer, kToR };
                                 TimeSec t0, TimeSec window, TmScope scope);
 
 // ---------------------------------------------------------------------------
+// Gap-aware TM construction from a lossily collected trace
+// ---------------------------------------------------------------------------
+
+/// Probability that a flow between `a` and `b` ending uniformly in [t0, t1)
+/// survived the lossy merge.  The hardened merge drops a record iff its end
+/// time falls inside the logging server's gap, and loses the flow only when
+/// BOTH copies are dropped (peer recovery), so survival is one minus the
+/// fraction of the window covered by gaps(a) AND gaps(b) simultaneously.
+/// Gaps on one endpoint alone cost nothing; 1.0 on a gap-free trace.
+[[nodiscard]] double pair_observability(const ClusterTrace& trace, ServerId a,
+                                        ServerId b, TimeSec t0, TimeSec t1);
+
+/// Knobs for coverage-corrected TM construction.
+struct TmCoverageOptions {
+  /// Seconds around a gap from which a server's surviving records are drawn
+  /// as references for the records the gap destroyed (size, peers and
+  /// direction of the lost traffic).  A tight halo keeps the references
+  /// contemporaneous with the loss; when it captures nothing, the server's
+  /// whole observed record set is the fallback.
+  TimeSec reference_halo = 5.0;
+  /// Shrinkage constant k in the correction factor d / (d + k) applied to a
+  /// gap whose estimated dual-loss count is d.  Singleton counts carry the
+  /// highest relative variance (one lost record priced off a handful of
+  /// references), so small d is deliberately under-corrected; the factor
+  /// approaches 1 as the evidence grows.  0 disables shrinkage.
+  double count_shrinkage = 1.0;
+};
+
+/// build_tm_series hardened with ledger-based gap accounting.  Naive
+/// deposits first: every surviving flow contributes exactly as in
+/// build_tm_series, so a gap-free trace is bit-identical by construction.
+/// Then, per server and per merged coverage hole, the builder settles the
+/// gap's ledger:
+///
+///   dual_lost = records_lost (GapRecord, exact via sequence numbers)
+///             - flows still present with an end inside the hole
+///               (records peer recovery saved);
+///
+/// dual_lost flows vanished entirely — both endpoint copies ended inside
+/// gaps — and each is charged to both endpoints' ledgers, so corrections
+/// carry a factor 1/2.  Their bytes are priced at the median size of the
+/// server's reference records (reference_halo), shrunk by d / (d + k)
+/// against small-count variance, and re-deposited along the reference
+/// records' own cells and byte shares, spread over the hole widened
+/// backwards by the references' byte-weighted mean duration (a lost flow
+/// deposited mass before its fatal end, like its references did).
+///
+/// The exact count is what makes this safe where estimators that scale by
+/// gap geometry are not: a gap over an idle stretch has an empty ledger and
+/// triggers no correction, so no mass is ever invented where nothing was
+/// lost.  Gaps lacking counts (records_lost == 0, e.g. decoder-salvage
+/// gaps) degrade to the naive estimate.
+[[nodiscard]] std::vector<SparseTm> build_tm_series_gap_aware(
+    const ClusterTrace& trace, const Topology& topo, TimeSec window, TmScope scope,
+    const TmCoverageOptions& options = {});
+
+// ---------------------------------------------------------------------------
 // §4.1 pattern statistics
 // ---------------------------------------------------------------------------
 

@@ -29,6 +29,7 @@ ClusterExperiment::ClusterExperiment(ScenarioConfig config)
   config_.faults.validate();
   config_.degradations.validate();
   config_.cascades.validate();
+  config_.telemetry.validate();
   // The overlay is always installed; while every device is up it delegates
   // to the immutable topology, so a fault-free run is unchanged.
   sim_.set_network_state(&net_);
@@ -51,6 +52,8 @@ void ClusterExperiment::run() {
     bind_codec_metrics(&registry_);
   }
   driver_.install();
+  std::vector<FaultEvent> faults;
+  std::vector<DegradationEvent> degradations;
   if (!config_.faults.empty() || !config_.degradations.empty() ||
       !config_.cascades.empty()) {
     injector_ = std::make_unique<FaultInjector>(sim_, net_, &trace_);
@@ -64,11 +67,20 @@ void ClusterExperiment::run() {
     });
     injector_->set_straggler_clear_handler(
         [this](ServerId s) { driver_.handle_straggler_end(s); });
-    std::vector<FaultEvent> faults =
-        generate_fault_schedule(topo_, config_.faults, config_.sim.end_time);
-    std::vector<DegradationEvent> degradations = generate_degradation_schedule(
-        topo_, config_.degradations, config_.sim.end_time);
+    faults = generate_fault_schedule(topo_, config_.faults, config_.sim.end_time);
+    degradations = generate_degradation_schedule(topo_, config_.degradations,
+                                                 config_.sim.end_time);
     schedule_hash_ = dct::schedule_hash(faults, degradations);
+  }
+  // The telemetry plan couples to the device schedules (crash tails,
+  // straggler uploads, reboot resets), so derive it before they are moved
+  // into the injector.  An empty telemetry config generates nothing.
+  if (!config_.telemetry.empty()) {
+    telemetry_schedule_ = generate_telemetry_schedule(
+        topo_, config_.telemetry, faults, degradations, config_.sim.end_time);
+    telemetry_hash_ = dct::telemetry_schedule_hash(telemetry_schedule_);
+  }
+  if (injector_) {
     injector_->install(std::move(faults));
     if (!degradations.empty() || !config_.degradations.empty()) {
       injector_->install_degradations(std::move(degradations));
@@ -99,6 +111,35 @@ void ClusterExperiment::schedule_sampler_tick() {
   });
 }
 
+const ClusterTrace& ClusterExperiment::observed_trace() {
+  require(ran_, "ClusterExperiment::observed_trace: call run() first");
+  if (config_.telemetry.empty()) return trace_;
+  if (!observed_cache_) {
+    observed_cache_ =
+        std::make_unique<LossyCollection>(apply_telemetry_faults(trace_, telemetry_schedule_));
+    telemetry_stats_ = observed_cache_->stats;
+    if (config_.obs_bind_metrics) publish_telemetry_metrics();
+  }
+  return observed_cache_->trace;
+}
+
+void ClusterExperiment::publish_telemetry_metrics() {
+  const TelemetryMergeStats& s = telemetry_stats_;
+  registry_.counter("telemetry", "uploads_lost", "uploads")->inc(s.uploads_lost);
+  registry_.counter("telemetry", "uploads_truncated", "uploads")
+      ->inc(s.uploads_truncated);
+  registry_.counter("telemetry", "uploads_duplicated", "uploads")
+      ->inc(s.uploads_duplicated);
+  registry_.counter("telemetry", "records_lost", "records")->inc(s.records_lost);
+  registry_.counter("telemetry", "duplicates_dropped", "records")
+      ->inc(s.duplicates_dropped);
+  registry_.counter("telemetry", "flows_recovered", "flows")->inc(s.flows_recovered);
+  registry_.counter("telemetry", "flows_lost", "flows")->inc(s.flows_lost);
+  const ClusterTrace& obs = observed_cache_->trace;
+  registry_.gauge("telemetry", "gap_seconds", "s")->set(obs.gap_seconds());
+  registry_.gauge("telemetry", "mean_coverage", "ratio")->set(obs.mean_coverage());
+}
+
 obs::RunManifest ClusterExperiment::manifest(const std::string& harness) const {
   require(ran_, "ClusterExperiment::manifest: call run() first");
   obs::RunManifest m;
@@ -124,6 +165,9 @@ obs::RunManifest ClusterExperiment::manifest(const std::string& harness) const {
   // survives the manifest's JSON round-trip bit-for-bit.
   m.config["fault_schedule_hash"] =
       static_cast<double>(schedule_hash_ & ((1ull << 48) - 1));
+  m.config["telemetry_enabled"] = config_.telemetry.empty() ? 0.0 : 1.0;
+  m.config["telemetry_schedule_hash"] =
+      static_cast<double>(telemetry_hash_ & ((1ull << 48) - 1));
   m.config["obs_sample_interval_s"] = config_.obs_sample_interval;
   m.build = obs::current_build_info();
   m.wall_seconds = wall_seconds_;

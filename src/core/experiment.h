@@ -76,6 +76,28 @@ class ClusterExperiment {
     return schedule_hash_;
   }
 
+  // --- Lossy measurement plane (trace/collector_faults.h) -----------------
+  /// The trace as the (possibly faulty) measurement plane delivered it: the
+  /// telemetry fault schedule applied to trace(), computed once and cached.
+  /// When the scenario's telemetry config is empty this returns trace()
+  /// itself — same object, no copy, bit-identical encoding.  Requires run().
+  [[nodiscard]] const ClusterTrace& observed_trace();
+  /// The deterministic telemetry fault plan (empty when the config is).
+  /// Available after run().
+  [[nodiscard]] const TelemetryFaultSchedule& telemetry_schedule() const noexcept {
+    return telemetry_schedule_;
+  }
+  /// Stable FNV-1a hash of the telemetry schedule; 0 when it is empty.
+  /// Folded into manifests as config key `telemetry_schedule_hash`.
+  [[nodiscard]] std::uint64_t telemetry_schedule_hash() const noexcept {
+    return telemetry_hash_;
+  }
+  /// What the hardened merge did (all zero until observed_trace() runs the
+  /// merge, and forever on an empty telemetry config).
+  [[nodiscard]] const TelemetryMergeStats& telemetry_stats() const noexcept {
+    return telemetry_stats_;
+  }
+
   // --- Self-instrumentation (src/obs, docs/METRICS.md) --------------------
   /// The run's metric registry.  run() binds every subsystem into it; all
   /// values are final once run() returns.  In a DCT_OBS=OFF build the
@@ -93,6 +115,7 @@ class ClusterExperiment {
 
  private:
   void schedule_sampler_tick();
+  void publish_telemetry_metrics();
   ScenarioConfig config_;
   Topology topo_;
   NetworkState net_;
@@ -102,6 +125,10 @@ class ClusterExperiment {
   WorkloadDriver driver_;
   std::unique_ptr<FaultInjector> injector_;
   std::uint64_t schedule_hash_ = 0;
+  TelemetryFaultSchedule telemetry_schedule_;
+  std::uint64_t telemetry_hash_ = 0;
+  std::unique_ptr<LossyCollection> observed_cache_;
+  TelemetryMergeStats telemetry_stats_;
   bool ran_ = false;
   std::unique_ptr<LinkUtilizationMap> util_cache_;
   obs::Registry registry_;

@@ -160,6 +160,49 @@ ScenarioConfig correlated_burst(TimeSec duration, std::uint64_t seed) {
   return cfg;
 }
 
+ScenarioConfig lossy_telemetry(TimeSec duration, std::uint64_t seed) {
+  ScenarioConfig cfg = canonical(duration, seed);
+  cfg.name = "lossy_telemetry";
+  // A moderate device-failure + straggler process supplies the *events* the
+  // telemetry faults couple to: crashes for tail loss, stragglers for late /
+  // truncated uploads, switch reboots for counter resets.  Single ToR
+  // uplinks, deliberately: the SNMP side of the bench runs tomography, and
+  // RoutingMatrix models the canonical single-uplink paths.
+  cfg.faults.server_crash_rate = 0.6;
+  cfg.faults.server_mean_repair = 120.0;
+  cfg.faults.tor_crash_rate = 0.4;
+  cfg.faults.tor_mean_repair = 60.0;
+  cfg.faults.agg_crash_rate = 0.2;
+  cfg.faults.agg_mean_repair = 45.0;
+  cfg.degradations.straggler_rate = 2.0;
+  cfg.degradations.straggler_mean_duration = 90.0;
+  // The measurement plane itself: tuned so a ten-minute run loses well over
+  // 10% of socket-log records (crash tails + lost uploads + straggler
+  // truncation), the regime bench/telemetry_loss certifies gap-aware
+  // analysis in.
+  // Periodic chunked collection on a staggered per-server grid: every lost
+  // or truncated chunk is an *interior* gap with observable data on both
+  // sides, which is what lets gap-aware reconstruction actually recover the
+  // missing mass (one-shot collection would lose suffixes to the horizon,
+  // where no estimator has anything to extrapolate from).
+  cfg.telemetry.upload_interval = 20.0;
+  cfg.telemetry.crash_buffer_window = 45.0;
+  cfg.telemetry.upload_loss_prob = 0.08;
+  cfg.telemetry.upload_truncate_prob = 0.08;
+  cfg.telemetry.straggler_truncate_prob = 0.5;
+  cfg.telemetry.duplicate_prob = 0.06;
+  cfg.telemetry.snmp_timeout_prob = 0.05;
+  cfg.telemetry.snmp_poll_interval = 30.0;
+  cfg.telemetry.counter_reset_on_reboot = true;
+  // 64-bit registers (ifHCInOctets): at fabric speeds a 32-bit counter laps
+  // several times per poll and every delta is garbage; with 64 bits the only
+  // bad deltas are the ones faults cause — timeouts and reboot resets —
+  // which window_reliable() flags and masked tomography drops.
+  cfg.telemetry.snmp_counter_width = 64;
+  cfg.telemetry.seed = seed ^ 0x7E1E7E1E7E1E7E1EULL;
+  return cfg;
+}
+
 ScenarioConfig tiny(TimeSec duration, std::uint64_t seed) {
   ScenarioConfig cfg;
   cfg.name = "tiny";

@@ -16,6 +16,7 @@
 #include "faults/fault_schedule.h"
 #include "flowsim/flowsim.h"
 #include "topology/topology.h"
+#include "trace/collector_faults.h"
 #include "workload/driver.h"
 
 namespace dct {
@@ -39,6 +40,12 @@ struct ScenarioConfig {
   /// default, in which case no monitor is armed, no callbacks are scheduled
   /// and the run is byte-identical to a build without cascades.
   CascadeConfig cascades;
+  /// Measurement-plane fault process (trace/collector_faults.h): telemetry
+  /// loss coupled to the fault and degradation schedules above.  Empty by
+  /// default, in which case ClusterExperiment::observed_trace() is the full
+  /// trace itself and every encoded artifact stays byte-identical to a build
+  /// without the telemetry subsystem.
+  TelemetryFaultConfig telemetry;
   std::uint64_t seed = 42;
   /// When > 0, ClusterExperiment samples every registered counter/gauge
   /// onto this simulated-time grid (obs::Sampler) during run(); 0 (the
@@ -115,6 +122,17 @@ namespace scenarios {
 /// pacing off.
 [[nodiscard]] ScenarioConfig correlated_burst(TimeSec duration = 600.0,
                                               std::uint64_t seed = 42);
+
+/// Robustness study: the canonical cluster with a realistic device-failure
+/// process AND a lossy measurement plane coupled to it — crashed servers
+/// lose their buffered socket-log tail, stragglers upload late or
+/// truncated, flaky collection paths drop or duplicate uploads, SNMP polls
+/// time out and rebooting switches reset their counters.  The *network* is
+/// the same as fault_storm-lite; what degrades is the analyst's view of it.
+/// bench/telemetry_loss compares gap-aware analysis against naive analysis
+/// on this scenario's identical telemetry schedule.
+[[nodiscard]] ScenarioConfig lossy_telemetry(TimeSec duration = 600.0,
+                                             std::uint64_t seed = 42);
 
 /// A very small, fast configuration for unit tests (4 racks, exact-mode
 /// simulator).

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "common/require.h"
+#include "trace/snmp.h"
 
 namespace dct {
 namespace {
@@ -20,9 +22,12 @@ std::int32_t tor_down_idx(const RoutingMatrix& r, std::int32_t i) {
   return r.path(j, i).back();
 }
 
-// v = A W A^T u  for W = diag(w) over OD pairs.
+// v = A W A^T u  for W = diag(w) over OD pairs.  A non-null `mask` drops
+// the masked measurement rows from the operator (their output components
+// are pinned to zero, so lambda never grows support there).
 std::vector<double> normal_matvec(const RoutingMatrix& r, const std::vector<double>& w,
-                                  const std::vector<double>& u) {
+                                  const std::vector<double>& u,
+                                  const LinkLoadMask* mask = nullptr) {
   std::vector<double> y = r.adjoint(u);  // OD-space
   for (std::size_t i = 0; i < y.size(); ++i) y[i] *= w[i];
   const std::int32_t n = r.tor_count();
@@ -35,15 +40,23 @@ std::vector<double> normal_matvec(const RoutingMatrix& r, const std::vector<doub
       for (std::int32_t l : r.path(i, j)) v[static_cast<std::size_t>(l)] += x;
     }
   }
+  if (mask != nullptr) {
+    for (std::size_t l = 0; l < v.size(); ++l) {
+      if ((*mask)[l] == 0) v[l] = 0.0;
+    }
+  }
   return v;
 }
 
 // Conjugate gradients for (A W A^T) lambda = rhs.  The operator is
 // symmetric positive semidefinite and rhs lies in its range, so CG
 // converges to a least-norm-ish solution; we stop on relative residual.
+// With a mask, rhs must already be zero on masked rows; the iteration then
+// stays inside the valid subspace.
 std::vector<double> solve_normal(const RoutingMatrix& r, const std::vector<double>& w,
                                  const std::vector<double>& rhs,
-                                 const TomogravityOptions& opts) {
+                                 const TomogravityOptions& opts,
+                                 const LinkLoadMask* mask = nullptr) {
   std::vector<double> lambda(rhs.size(), 0.0);
   std::vector<double> resid = rhs;
   std::vector<double> p = resid;
@@ -53,7 +66,7 @@ std::vector<double> solve_normal(const RoutingMatrix& r, const std::vector<doubl
   if (rr0 == 0) return lambda;
 
   for (std::int32_t it = 0; it < opts.cg_iterations; ++it) {
-    const std::vector<double> ap = normal_matvec(r, w, p);
+    const std::vector<double> ap = normal_matvec(r, w, p, mask);
     double pap = 0;
     for (std::size_t i = 0; i < p.size(); ++i) pap += p[i] * ap[i];
     if (pap <= 0) break;  // hit the operator's null space
@@ -74,21 +87,13 @@ std::vector<double> solve_normal(const RoutingMatrix& r, const std::vector<doubl
 
 }  // namespace
 
-DenseTorTm gravity_prior(const RoutingMatrix& routing,
-                         const std::vector<double>& link_loads) {
-  require(link_loads.size() == static_cast<std::size_t>(routing.link_count()),
-          "gravity_prior: load vector size mismatch");
-  const std::int32_t n = routing.tor_count();
-  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> in(static_cast<std::size_t>(n), 0.0);
+namespace {
+
+// Product prior + IPF from already-assembled per-ToR marginals.
+DenseTorTm gravity_from_marginals(std::int32_t n, const std::vector<double>& out,
+                                  const std::vector<double>& in) {
   double total = 0;
-  for (std::int32_t i = 0; i < n; ++i) {
-    out[static_cast<std::size_t>(i)] =
-        link_loads[static_cast<std::size_t>(tor_up_idx(routing, i))];
-    in[static_cast<std::size_t>(i)] =
-        link_loads[static_cast<std::size_t>(tor_down_idx(routing, i))];
-    total += out[static_cast<std::size_t>(i)];
-  }
+  for (double v : out) total += v;
   DenseTorTm g(n);
   if (total <= 0) return g;
   for (std::int32_t i = 0; i < n; ++i) {
@@ -128,8 +133,77 @@ DenseTorTm gravity_prior(const RoutingMatrix& routing,
   return g;
 }
 
-DenseTorTm tomogravity(const RoutingMatrix& routing, const std::vector<double>& link_loads,
-                       const DenseTorTm& prior, const TomogravityOptions& opts) {
+}  // namespace
+
+DenseTorTm gravity_prior(const RoutingMatrix& routing,
+                         const std::vector<double>& link_loads) {
+  require(link_loads.size() == static_cast<std::size_t>(routing.link_count()),
+          "gravity_prior: load vector size mismatch");
+  const std::int32_t n = routing.tor_count();
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> in(static_cast<std::size_t>(n), 0.0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        link_loads[static_cast<std::size_t>(tor_up_idx(routing, i))];
+    in[static_cast<std::size_t>(i)] =
+        link_loads[static_cast<std::size_t>(tor_down_idx(routing, i))];
+  }
+  return gravity_from_marginals(n, out, in);
+}
+
+DenseTorTm gravity_prior_masked(const RoutingMatrix& routing,
+                                const std::vector<double>& link_loads,
+                                const LinkLoadMask& mask) {
+  require(link_loads.size() == static_cast<std::size_t>(routing.link_count()),
+          "gravity_prior_masked: load vector size mismatch");
+  require(mask.size() == link_loads.size(),
+          "gravity_prior_masked: mask size mismatch");
+  const std::int32_t n = routing.tor_count();
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> in(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::uint8_t> out_ok(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> in_ok(static_cast<std::size_t>(n), 0);
+  double out_sum = 0;
+  double in_sum = 0;
+  std::size_t out_n = 0;
+  std::size_t in_n = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    const auto up = static_cast<std::size_t>(tor_up_idx(routing, i));
+    const auto down = static_cast<std::size_t>(tor_down_idx(routing, i));
+    if (mask[up] != 0) {
+      out[static_cast<std::size_t>(i)] = link_loads[up];
+      out_ok[static_cast<std::size_t>(i)] = 1;
+      out_sum += link_loads[up];
+      ++out_n;
+    }
+    if (mask[down] != 0) {
+      in[static_cast<std::size_t>(i)] = link_loads[down];
+      in_ok[static_cast<std::size_t>(i)] = 1;
+      in_sum += link_loads[down];
+      ++in_n;
+    }
+  }
+  // Unmeasured marginals get the mean of the measured ones: with no better
+  // information, assume the blind ToR behaves like an average one.
+  const double out_fill = out_n > 0 ? out_sum / static_cast<double>(out_n) : 0.0;
+  const double in_fill = in_n > 0 ? in_sum / static_cast<double>(in_n) : 0.0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (out_ok[static_cast<std::size_t>(i)] == 0) {
+      out[static_cast<std::size_t>(i)] = out_fill;
+    }
+    if (in_ok[static_cast<std::size_t>(i)] == 0) {
+      in[static_cast<std::size_t>(i)] = in_fill;
+    }
+  }
+  return gravity_from_marginals(n, out, in);
+}
+
+namespace {
+
+DenseTorTm tomogravity_impl(const RoutingMatrix& routing,
+                            const std::vector<double>& link_loads,
+                            const LinkLoadMask* mask, const DenseTorTm& prior,
+                            const TomogravityOptions& opts) {
   require(prior.size() == routing.tor_count(), "tomogravity: prior size mismatch");
   const std::int32_t n = routing.tor_count();
   const std::size_t odn = static_cast<std::size_t>(n) * n;
@@ -147,19 +221,36 @@ DenseTorTm tomogravity(const RoutingMatrix& routing, const std::vector<double>& 
     }
   }
 
+  // Projection with a divergence guard.  On a consistent system each round
+  // shrinks the residual and the guard is inert.  Real measured loads can be
+  // INconsistent with the routing model (SNMP quantization, carried-forward
+  // timeout polls, traffic the rack-level paths do not explain); there the
+  // normal-equation solve can push x away from every constraint and each
+  // round compounds the overshoot.  Tracking the best-residual iterate (the
+  // prior included) turns that failure mode into "return the best projection
+  // found" instead of returning garbage.
   DenseTorTm x = prior;
-  for (std::int32_t round = 0; round < opts.projection_rounds; ++round) {
-    // rhs = b - A x
+  DenseTorTm best = prior;
+  double best_norm = std::numeric_limits<double>::infinity();
+  for (std::int32_t round = 0; round <= opts.projection_rounds; ++round) {
+    // rhs = b - A x, with masked (unreliable) measurements dropped from the
+    // constraint set entirely.
     const std::vector<double> ax = routing.link_loads(x);
     std::vector<double> rhs(link_loads.size());
     double rhs_norm = 0;
     for (std::size_t l = 0; l < rhs.size(); ++l) {
-      rhs[l] = link_loads[l] - ax[l];
+      rhs[l] = mask != nullptr && (*mask)[l] == 0 ? 0.0 : link_loads[l] - ax[l];
       rhs_norm += rhs[l] * rhs[l];
     }
+    if (rhs_norm < best_norm) {
+      best = x;
+      best_norm = rhs_norm;
+    }
+    if (round == opts.projection_rounds) break;  // last iterate evaluated
     if (rhs_norm <= 1e-16 * total * total) break;
+    if (rhs_norm > 4.0 * best_norm) break;  // diverging; keep the best seen
 
-    const std::vector<double> lambda = solve_normal(routing, w, rhs, opts);
+    const std::vector<double> lambda = solve_normal(routing, w, rhs, opts, mask);
     const std::vector<double> delta = routing.adjoint(lambda);
     for (std::int32_t i = 0; i < n; ++i) {
       for (std::int32_t j = 0; j < n; ++j) {
@@ -169,12 +260,47 @@ DenseTorTm tomogravity(const RoutingMatrix& routing, const std::vector<double>& 
       }
     }
   }
-  return x;
+  return best;
+}
+
+}  // namespace
+
+DenseTorTm tomogravity(const RoutingMatrix& routing, const std::vector<double>& link_loads,
+                       const DenseTorTm& prior, const TomogravityOptions& opts) {
+  return tomogravity_impl(routing, link_loads, nullptr, prior, opts);
 }
 
 DenseTorTm tomogravity(const RoutingMatrix& routing, const std::vector<double>& link_loads,
                        const TomogravityOptions& opts) {
   return tomogravity(routing, link_loads, gravity_prior(routing, link_loads), opts);
+}
+
+LinkLoadMask reliable_link_mask(const RoutingMatrix& routing,
+                                const SnmpCounters& counters, TimeSec t0,
+                                TimeSec t1) {
+  LinkLoadMask mask(static_cast<std::size_t>(routing.link_count()), 1);
+  for (std::int32_t l = 0; l < routing.link_count(); ++l) {
+    if (!counters.window_reliable(routing.link_at(l), t0, t1)) {
+      mask[static_cast<std::size_t>(l)] = 0;
+    }
+  }
+  return mask;
+}
+
+DenseTorTm tomogravity_masked(const RoutingMatrix& routing,
+                              const std::vector<double>& link_loads,
+                              const LinkLoadMask& mask, const DenseTorTm& prior,
+                              const TomogravityOptions& opts) {
+  require(mask.size() == link_loads.size(), "tomogravity_masked: mask size mismatch");
+  return tomogravity_impl(routing, link_loads, &mask, prior, opts);
+}
+
+DenseTorTm tomogravity_masked(const RoutingMatrix& routing,
+                              const std::vector<double>& link_loads,
+                              const LinkLoadMask& mask,
+                              const TomogravityOptions& opts) {
+  return tomogravity_masked(routing, link_loads, mask,
+                            gravity_prior_masked(routing, link_loads, mask), opts);
 }
 
 std::vector<std::vector<double>> job_tor_activity(const ClusterTrace& trace,

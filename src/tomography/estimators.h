@@ -49,6 +49,47 @@ struct TomogravityOptions {
                                      const std::vector<double>& link_loads,
                                      const TomogravityOptions& opts = {});
 
+// ---------------------------------------------------------------------------
+// Gap-aware estimation under a lossy SNMP plane (trace/collector_faults.h)
+// ---------------------------------------------------------------------------
+
+/// Per-measured-link validity for one estimation window: 0 marks a load the
+/// counters cannot vouch for (timed-out poll, counter reset inside the
+/// window).  Indexed like the `link_loads` vectors.
+using LinkLoadMask = std::vector<std::uint8_t>;
+
+class SnmpCounters;
+
+/// Builds the window's mask from hardened counters: measured link `l` is
+/// valid iff SnmpCounters::window_reliable holds over [t0, t1).
+[[nodiscard]] LinkLoadMask reliable_link_mask(const RoutingMatrix& routing,
+                                              const SnmpCounters& counters,
+                                              TimeSec t0, TimeSec t1);
+
+/// Gravity prior that tolerates invalid marginals: a ToR whose uplink
+/// (downlink) measurement is masked out gets the mean of the valid uplink
+/// (downlink) loads substituted — the estimator's best guess absent a
+/// measurement — before the usual product-and-IPF construction.
+[[nodiscard]] DenseTorTm gravity_prior_masked(const RoutingMatrix& routing,
+                                              const std::vector<double>& link_loads,
+                                              const LinkLoadMask& mask);
+
+/// Tomogravity that drops masked rows from the constraint set A x = b: the
+/// least-squares adjustment never sees the unreliable loads, so a reset
+/// counter's wrap-"corrected" garbage cannot pull the estimate.  With an
+/// all-valid mask this is exactly tomogravity(routing, loads, prior, opts).
+[[nodiscard]] DenseTorTm tomogravity_masked(const RoutingMatrix& routing,
+                                            const std::vector<double>& link_loads,
+                                            const LinkLoadMask& mask,
+                                            const DenseTorTm& prior,
+                                            const TomogravityOptions& opts = {});
+
+/// Convenience: masked gravity prior + masked adjustment in one call.
+[[nodiscard]] DenseTorTm tomogravity_masked(const RoutingMatrix& routing,
+                                            const std::vector<double>& link_loads,
+                                            const LinkLoadMask& mask,
+                                            const TomogravityOptions& opts = {});
+
 /// Per-job ToR activity: activity[job][tor] = number of distinct servers
 /// under `tor` that participated in the job (recovered from the app-log /
 /// socket-log join, the metadata §5.3 leverages).

@@ -29,6 +29,16 @@ std::string_view to_string(DeviceKind kind) {
   return "unknown";
 }
 
+std::string_view to_string(GapCause cause) {
+  switch (cause) {
+    case GapCause::kCrashTailLoss: return "crash_tail_loss";
+    case GapCause::kUploadLost: return "upload_lost";
+    case GapCause::kUploadTruncated: return "upload_truncated";
+    case GapCause::kDecodeTruncation: return "decode_truncation";
+  }
+  return "unknown";
+}
+
 std::string_view to_string(DegradationKind kind) {
   switch (kind) {
     case DegradationKind::kLinkCapacity: return "link_capacity";
@@ -52,10 +62,18 @@ ClusterTrace::ClusterTrace(std::int32_t server_count, TimeSec duration)
 void ClusterTrace::record_flow(const FlowRecord& rec) {
   // Loopback transfers never reach a socket; skip them like ETW would.
   if (rec.src == rec.dst) return;
-  require(rec.src.valid() && rec.src.value() < server_count(),
-          "record_flow: src out of range");
-  require(rec.dst.valid() && rec.dst.value() < server_count(),
-          "record_flow: dst out of range");
+  // Value-bearing rejection: a decoded (possibly corrupt) payload can carry
+  // arbitrary ids, and "out of range" without the offending value makes the
+  // resulting report useless for triage.
+  const auto check_endpoint = [&](ServerId s, const char* which) {
+    if (s.valid() && s.value() < server_count()) return;
+    require(false, std::string("record_flow: ") + which + " server id " +
+                       std::to_string(s.value()) + " outside [0, " +
+                       std::to_string(server_count()) + ") for flow " +
+                       std::to_string(rec.id.value()));
+  };
+  check_endpoint(rec.src, "src");
+  check_endpoint(rec.dst, "dst");
 
   SocketFlowLog log;
   log.flow = rec.id;
@@ -125,6 +143,82 @@ void ClusterTrace::build_indices() {
     phase_kind_index_[static_cast<std::size_t>(p.phase.value())] =
         static_cast<std::int32_t>(p.kind);
   }
+}
+
+void ClusterTrace::record_gap(const GapRecord& rec) {
+  require(rec.server.valid() && rec.server.value() < server_count(),
+          "record_gap: server id " + std::to_string(rec.server.value()) +
+              " outside [0, " + std::to_string(server_count()) + ")");
+  GapRecord g = rec;
+  g.start = std::max<TimeSec>(0.0, g.start);
+  g.end = std::min<TimeSec>(duration_, g.end);
+  if (g.end <= g.start) return;
+  gaps_.push_back(g);
+  merged_gaps_stale_ = true;
+}
+
+void ClusterTrace::rebuild_merged_gaps() const {
+  merged_gaps_.assign(server_logs_.size(), {});
+  for (const GapRecord& g : gaps_) {
+    merged_gaps_[static_cast<std::size_t>(g.server.value())].emplace_back(g.start,
+                                                                          g.end);
+  }
+  for (auto& intervals : merged_gaps_) {
+    if (intervals.empty()) continue;
+    std::sort(intervals.begin(), intervals.end());
+    std::vector<std::pair<TimeSec, TimeSec>> merged;
+    for (const auto& [lo, hi] : intervals) {
+      if (!merged.empty() && lo <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, hi);
+      } else {
+        merged.emplace_back(lo, hi);
+      }
+    }
+    intervals = std::move(merged);
+  }
+  merged_gaps_stale_ = false;
+}
+
+double ClusterTrace::coverage(ServerId s, TimeSec t0, TimeSec t1) const {
+  require(s.valid() && s.value() < server_count(), "coverage: server out of range");
+  require(t1 >= t0, "coverage: t1 must be >= t0");
+  if (gaps_.empty()) return 1.0;
+  if (t1 <= t0) return 1.0;
+  if (merged_gaps_stale_ || merged_gaps_.empty()) rebuild_merged_gaps();
+  double lost = 0;
+  for (const auto& [lo, hi] : merged_gaps_[static_cast<std::size_t>(s.value())]) {
+    lost += std::max<TimeSec>(0.0, std::min(hi, t1) - std::max(lo, t0));
+  }
+  return std::clamp(1.0 - lost / (t1 - t0), 0.0, 1.0);
+}
+
+double ClusterTrace::coverage(ServerId s) const { return coverage(s, 0.0, duration_); }
+
+double ClusterTrace::mean_coverage() const {
+  if (gaps_.empty()) return 1.0;
+  double sum = 0;
+  for (std::int32_t s = 0; s < server_count(); ++s) sum += coverage(ServerId{s});
+  return sum / static_cast<double>(server_count());
+}
+
+const std::vector<std::pair<TimeSec, TimeSec>>& ClusterTrace::gap_intervals(
+    ServerId s) const {
+  require(s.valid() && s.value() < server_count(),
+          "gap_intervals: server out of range");
+  static const std::vector<std::pair<TimeSec, TimeSec>> kNone;
+  if (gaps_.empty()) return kNone;
+  if (merged_gaps_stale_ || merged_gaps_.empty()) rebuild_merged_gaps();
+  return merged_gaps_[static_cast<std::size_t>(s.value())];
+}
+
+double ClusterTrace::gap_seconds() const {
+  if (gaps_.empty()) return 0.0;
+  if (merged_gaps_stale_ || merged_gaps_.empty()) rebuild_merged_gaps();
+  double total = 0;
+  for (const auto& intervals : merged_gaps_) {
+    for (const auto& [lo, hi] : intervals) total += hi - lo;
+  }
+  return total;
 }
 
 TraceCollector::TraceCollector(FlowSim& sim, ClusterTrace& trace) : trace_(trace) {

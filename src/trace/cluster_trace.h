@@ -49,6 +49,10 @@ class ClusterTrace {
     degradations_.push_back(rec);
   }
   void record_cascade(const CascadeRecord& rec) { cascades_.push_back(rec); }
+  /// Records a per-server telemetry coverage gap (lossy collection; see
+  /// trace/collector_faults.h).  Times are clamped to [0, duration); empty
+  /// or inverted intervals are dropped.  Invalidates the coverage index.
+  void record_gap(const GapRecord& rec);
 
   // --- Metadata -------------------------------------------------------------
   [[nodiscard]] std::int32_t server_count() const noexcept {
@@ -91,6 +95,31 @@ class ClusterTrace {
     return cascades_;
   }
 
+  // --- Telemetry coverage (lossy measurement plane) --------------------------
+  /// All recorded coverage gaps, in recording order.  Empty for a trace
+  /// collected with a perfect (fault-free) telemetry plane.
+  [[nodiscard]] const std::vector<GapRecord>& gaps() const noexcept { return gaps_; }
+
+  /// Fraction of [t0, t1) over which server `s`'s socket log is present
+  /// (1.0 when the server has no gaps).  Overlapping gaps are merged, so
+  /// the result is always in [0, 1].
+  [[nodiscard]] double coverage(ServerId s, TimeSec t0, TimeSec t1) const;
+
+  /// Whole-trace coverage of one server: coverage(s, 0, duration()).
+  [[nodiscard]] double coverage(ServerId s) const;
+
+  /// Mean whole-trace coverage over all servers (1.0 when gap-free).
+  [[nodiscard]] double mean_coverage() const;
+
+  /// Total gap seconds summed over servers (after per-server merging).
+  [[nodiscard]] double gap_seconds() const;
+
+  /// Server `s`'s gaps as merged, sorted, disjoint [start, end) intervals
+  /// (empty when the server has none).  The reference stays valid until the
+  /// next record_gap.
+  [[nodiscard]] const std::vector<std::pair<TimeSec, TimeSec>>& gap_intervals(
+      ServerId s) const;
+
   /// Looks up the phase-kind of a phase id (the app-log join that lets
   /// analysis attribute flows to map/reduce activity).  Empty when the
   /// phase id was never logged.
@@ -113,7 +142,13 @@ class ClusterTrace {
   std::vector<DeviceFailureRecord> device_failures_;
   std::vector<DegradationRecord> degradations_;
   std::vector<CascadeRecord> cascades_;
+  std::vector<GapRecord> gaps_;
   std::vector<std::int32_t> phase_kind_index_;  // PhaseId -> PhaseKind ordinal, -1 unset
+  /// Per-server merged gap intervals (sorted, disjoint), built lazily from
+  /// gaps_; empty while no gaps are recorded.
+  mutable std::vector<std::vector<std::pair<TimeSec, TimeSec>>> merged_gaps_;
+  mutable bool merged_gaps_stale_ = false;
+  void rebuild_merged_gaps() const;
 };
 
 /// Connects a FlowSim to a ClusterTrace: installs a record sink that turns

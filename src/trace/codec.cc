@@ -1,7 +1,9 @@
 #include "trace/codec.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "common/require.h"
 
@@ -117,10 +119,15 @@ constexpr std::uint8_t kTraceMagic = 0xDC;
 // Version 4: appends a cascade-lineage section (overload-induced secondary
 // degradations).  Emitted only when cascades were recorded, so cascade-free
 // traces stay bit-identical to version 3 (and below).
+// Version 5: appends a telemetry-gap section (per-server coverage gaps from
+// a lossy collection pipeline).  Emitted only when gaps were recorded, so
+// traces merged under a perfect telemetry plane stay bit-identical to
+// version 4 (and below).
 constexpr std::uint8_t kTraceVersion = 1;
 constexpr std::uint8_t kTraceVersionFailures = 2;
 constexpr std::uint8_t kTraceVersionDegradations = 3;
 constexpr std::uint8_t kTraceVersionCascades = 4;
+constexpr std::uint8_t kTraceVersionTelemetry = 5;
 
 // A corrupt count field must not drive a multi-gigabyte reserve() or a
 // billion-iteration decode loop.  Every record of every section costs at
@@ -188,41 +195,66 @@ std::vector<std::uint8_t> encode_server_log(const ServerLog& log) {
   return w.take();
 }
 
-ServerLog decode_server_log(std::span<const std::uint8_t> data) {
+namespace {
+
+// Shared body of the strict and salvaging server-log decoders.  In strict
+// mode a short payload throws; in salvage mode decoding stops at the first
+// record the payload cannot complete and reports the segment incomplete.
+bool decode_server_log_impl(std::span<const std::uint8_t> data, ServerLog& out,
+                            bool salvage) {
   ByteReader r(data);
   require(r.u8() == kLogMagic, "decode_server_log: bad magic");
-  ServerLog log;
-  log.server = ServerId{static_cast<std::int32_t>(r.svarint())};
+  out.server = ServerId{static_cast<std::int32_t>(r.svarint())};
+  out.flows.clear();
   const std::uint64_t n = r.uvarint();
-  check_count(n, r.remaining(), "decode_server_log: flow count exceeds payload");
-  log.flows.reserve(n);
+  if (!salvage) {
+    check_count(n, r.remaining(), "decode_server_log: flow count exceeds payload");
+  }
+  out.flows.reserve(std::min<std::uint64_t>(n, r.remaining()));
   std::int64_t prev_end = 0;
   std::int64_t prev_flow = 0;
   for (std::uint64_t i = 0; i < n; ++i) {
     SocketFlowLog f;
-    f.local = log.server;
-    const std::int64_t end_us =
-        checked_add(prev_end, r.svarint(), "decode_server_log: end-time overflow");
+    f.local = out.server;
+    std::int64_t end_us = 0;
+    try {
+      end_us = checked_add(prev_end, r.svarint(), "decode_server_log: end-time overflow");
+      const std::int64_t start_us =
+          checked_add(end_us, r.svarint(), "decode_server_log: start-time overflow");
+      f.end = ByteWriter::dequantize_time(end_us);
+      f.start = ByteWriter::dequantize_time(start_us);
+      f.flow = FlowId{static_cast<std::int32_t>(
+          checked_add(prev_flow, r.svarint(), "decode_server_log: flow-id overflow"))};
+      f.peer = ServerId{static_cast<std::int32_t>(r.svarint())};
+      f.bytes = static_cast<Bytes>(r.uvarint());
+      f.bytes_requested =
+          checked_add(f.bytes, r.svarint(), "decode_server_log: byte-count overflow");
+      require(f.bytes >= 0 && f.bytes_requested >= 0,
+              "decode_server_log: negative byte count");
+      f.job = JobId{static_cast<std::int32_t>(r.svarint())};
+      f.phase = PhaseId{static_cast<std::int32_t>(r.svarint())};
+      unpack_flags(r.u8(), f);
+    } catch (const Error&) {
+      if (salvage) return false;  // keep the whole records decoded so far
+      throw;
+    }
     prev_end = end_us;
-    const std::int64_t start_us =
-        checked_add(end_us, r.svarint(), "decode_server_log: start-time overflow");
-    f.end = ByteWriter::dequantize_time(end_us);
-    f.start = ByteWriter::dequantize_time(start_us);
-    f.flow = FlowId{static_cast<std::int32_t>(
-        checked_add(prev_flow, r.svarint(), "decode_server_log: flow-id overflow"))};
     prev_flow = f.flow.value();
-    f.peer = ServerId{static_cast<std::int32_t>(r.svarint())};
-    f.bytes = static_cast<Bytes>(r.uvarint());
-    f.bytes_requested =
-        checked_add(f.bytes, r.svarint(), "decode_server_log: byte-count overflow");
-    require(f.bytes >= 0 && f.bytes_requested >= 0,
-            "decode_server_log: negative byte count");
-    f.job = JobId{static_cast<std::int32_t>(r.svarint())};
-    f.phase = PhaseId{static_cast<std::int32_t>(r.svarint())};
-    unpack_flags(r.u8(), f);
-    log.flows.push_back(f);
+    out.flows.push_back(f);
   }
+  return true;
+}
+
+}  // namespace
+
+ServerLog decode_server_log(std::span<const std::uint8_t> data) {
+  ServerLog log;
+  decode_server_log_impl(data, log, /*salvage=*/false);
   return log;
+}
+
+bool decode_server_log_salvage(std::span<const std::uint8_t> data, ServerLog& out) {
+  return decode_server_log_impl(data, out, /*salvage=*/true);
 }
 
 std::size_t raw_encoding_size(const ServerLog& log) noexcept {
@@ -242,7 +274,9 @@ std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
   const bool has_failures = !trace.device_failures().empty();
   const bool has_degradations = !trace.degradations().empty();
   const bool has_cascades = !trace.cascades().empty();
-  const std::uint8_t version = has_cascades       ? kTraceVersionCascades
+  const bool has_gaps = !trace.gaps().empty();
+  const std::uint8_t version = has_gaps           ? kTraceVersionTelemetry
+                               : has_cascades     ? kTraceVersionCascades
                                : has_degradations ? kTraceVersionDegradations
                                : has_failures     ? kTraceVersionFailures
                                                   : kTraceVersion;
@@ -332,6 +366,16 @@ std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
       w.svarint(std::llround(c.utilization * 1e6));
     }
   }
+  if (version >= kTraceVersionTelemetry) {
+    w.uvarint(trace.gaps().size());
+    for (const GapRecord& g : trace.gaps()) {
+      w.time_us(g.start);
+      w.time_us(g.end);
+      w.svarint(g.server.value());
+      w.u8(static_cast<std::uint8_t>(g.cause));
+      w.uvarint(static_cast<std::uint64_t>(std::max<std::int32_t>(g.records_lost, 0)));
+    }
+  }
 #if DCT_OBS_ENABLED
   if (g_codec_metrics.encoded_bytes != nullptr) {
     g_codec_metrics.encoded_bytes->inc(w.size());
@@ -341,6 +385,11 @@ std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
 }
 
 ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
+  return decode_trace(data, DecodeOptions{});
+}
+
+ClusterTrace decode_trace(std::span<const std::uint8_t> data,
+                          const DecodeOptions& options) {
 #if DCT_OBS_ENABLED
   if (g_codec_metrics.decode_calls != nullptr) g_codec_metrics.decode_calls->inc();
   if (g_codec_metrics.decoded_bytes != nullptr) {
@@ -351,7 +400,7 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   require(r.u8() == kTraceMagic, "decode_trace: bad magic");
   const std::uint8_t version = r.u8();
-  require(version >= kTraceVersion && version <= kTraceVersionCascades,
+  require(version >= kTraceVersion && version <= kTraceVersionTelemetry,
           "decode_trace: unsupported version");
   const auto servers = static_cast<std::int32_t>(r.svarint());
   require(servers >= 0, "decode_trace: negative server count");
@@ -362,14 +411,51 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
 
   // Re-ingest flows via the senders' logs only: record_flow() regenerates
   // the receiver-side entries and the unified view.
+  bool payload_cut = false;  // payload physically ended inside this section
   for (std::int32_t s = 0; s < servers; ++s) {
-    const std::uint64_t len = r.uvarint();
-    require(len <= r.remaining(), "decode_trace: truncated server log");
+    if (payload_cut) {
+      // Everything from this server on is gone; coverage records the loss.
+      trace.record_gap({ServerId{s}, 0.0, duration, GapCause::kDecodeTruncation});
+      continue;
+    }
     std::vector<std::uint8_t> inner;
-    inner.reserve(len);
-    for (std::uint64_t i = 0; i < len; ++i) inner.push_back(r.u8());
-    ServerLog log = decode_server_log(inner);
+    if (options.tolerate_truncation) {
+      try {
+        const std::uint64_t len = r.uvarint();
+        const std::uint64_t take = std::min<std::uint64_t>(len, r.remaining());
+        payload_cut = take < len;
+        inner.reserve(take);
+        for (std::uint64_t i = 0; i < take; ++i) inner.push_back(r.u8());
+      } catch (const Error&) {
+        // Cut mid-length-prefix: nothing of this segment survives.
+        payload_cut = true;
+      }
+    } else {
+      const std::uint64_t len = r.uvarint();
+      require(len <= r.remaining(), "decode_trace: truncated server log");
+      inner.reserve(len);
+      for (std::uint64_t i = 0; i < len; ++i) inner.push_back(r.u8());
+    }
+
+    ServerLog log;
+    bool complete = true;
+    if (options.tolerate_truncation) {
+      try {
+        complete = decode_server_log_salvage(inner, log);
+      } catch (const Error&) {
+        // Structural errors inside an intact length-framed segment are
+        // corruption and propagate; a segment the payload physically cut
+        // short is just more truncation.
+        if (!payload_cut) throw;
+        log.flows.clear();
+        complete = false;
+      }
+    } else {
+      log = decode_server_log(inner);
+    }
+    TimeSec salvaged_until = 0;
     for (const SocketFlowLog& f : log.flows) {
+      salvaged_until = std::max(salvaged_until, f.end);
       if (f.direction != SocketDirection::kSend) continue;
       FlowRecord rec;
       rec.id = f.flow;
@@ -386,6 +472,18 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
       rec.kind = f.kind;
       trace.record_flow(rec);
     }
+    if (!complete) {
+      // Logs finalize in end-time order, so everything after the salvaged
+      // prefix ended at or after the last decoded record.
+      trace.record_gap(
+          {ServerId{s}, salvaged_until, duration, GapCause::kDecodeTruncation});
+    }
+  }
+  if (payload_cut) {
+    // The application-log sections were cut off with the server section;
+    // return what coverage accounting can describe instead of throwing.
+    trace.build_indices();
+    return trace;
   }
 
   const std::uint64_t n_jobs = r.uvarint();
@@ -489,6 +587,25 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data) {
       c.severity = static_cast<double>(r.svarint()) * 1e-6;
       c.utilization = static_cast<double>(r.svarint()) * 1e-6;
       trace.record_cascade(c);
+    }
+  }
+  if (version >= kTraceVersionTelemetry) {
+    const std::uint64_t n_gaps = r.uvarint();
+    check_count(n_gaps, r.remaining(), "decode_trace: gap count exceeds payload");
+    for (std::uint64_t i = 0; i < n_gaps; ++i) {
+      GapRecord g;
+      g.start = r.time_us();
+      g.end = r.time_us();
+      g.server = ServerId{static_cast<std::int32_t>(r.svarint())};
+      const std::uint8_t cause = r.u8();
+      require(cause <= static_cast<std::uint8_t>(GapCause::kDecodeTruncation),
+              "decode_trace: bad gap cause");
+      g.cause = static_cast<GapCause>(cause);
+      const std::uint64_t lost = r.uvarint();
+      require(lost <= static_cast<std::uint64_t>(std::numeric_limits<std::int32_t>::max()),
+              "decode_trace: gap records_lost overflows");
+      g.records_lost = static_cast<std::int32_t>(lost);
+      trace.record_gap(g);
     }
   }
   trace.build_indices();

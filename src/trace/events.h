@@ -148,6 +148,41 @@ struct DegradationRecord {
   TimeSec period = 0.0;
 };
 
+/// Why a stretch of one server's socket log is missing from the merged
+/// trace (trace/collector_faults.h).  The collection pipeline itself is
+/// fallible: crashes lose buffered log tails, straggler uploads miss the
+/// merge deadline, flaky uplinks drop whole uploads, and payloads truncate
+/// in transit.
+enum class GapCause : std::uint8_t {
+  kCrashTailLoss,     ///< server crash lost the buffered (unflushed) log tail
+  kUploadLost,        ///< the server's whole upload never arrived
+  kUploadTruncated,   ///< upload cut short (late straggler / transit loss)
+  kDecodeTruncation   ///< the decoder salvaged a truncated per-server segment
+};
+
+[[nodiscard]] std::string_view to_string(GapCause cause);
+
+/// One per-server coverage gap in the merged trace: flow records this
+/// server finalized inside [start, end) were lost before the merge.  The
+/// complement of a server's gaps is its coverage interval set; gap-aware
+/// analysis (traffic_matrix.h, congestion.h) consumes these through
+/// ClusterTrace::coverage().
+struct GapRecord {
+  ServerId server;
+  TimeSec start = 0;
+  TimeSec end = 0;
+  GapCause cause = GapCause::kUploadLost;
+  /// Exactly how many of this server's records the gap destroyed.  A real
+  /// pipeline knows this without seeing the records: per-server logs carry
+  /// monotone sequence numbers, so the merge reads the count straight off
+  /// the discontinuity.  This is the signal that lets gap-aware analysis
+  /// correct only where data was actually lost — a gap over an idle span
+  /// has records_lost == 0 and triggers no correction.  Gaps synthesized
+  /// outside the merge (e.g. kDecodeTruncation) leave it 0: unknown counts
+  /// degrade conservatively to no correction.
+  std::int32_t records_lost = 0;
+};
+
 /// Lineage of one overload-induced cascade trip (faults/cascade.h): sustained
 /// overload on `link` injected a secondary kLinkLossy degradation on it.  The
 /// matching DegradationRecord carries the episode itself; this record carries

@@ -8,6 +8,13 @@
 // of exact window loads, reproducing the measurement pipeline an operator
 // without server instrumentation actually has (including the quantization
 // error when TM windows don't align with polls).
+//
+// The counters are also where the measurement plane's own faults surface
+// (trace/collector_faults.h): 32-bit counters wrap mid-window, per-switch
+// polls time out (the poller carries the last value forward), and a switch
+// reboot resets its counters to zero.  bytes_between() applies the standard
+// wrap correction; window_reliable() tells gap-aware consumers which
+// windows that correction cannot be trusted for.
 #pragma once
 
 #include <cstdint>
@@ -24,31 +31,76 @@ namespace dct {
 /// (samples at t = 0, T, 2T, ..., including the final partial interval).
 class SnmpCounters {
  public:
-  /// Polls a finished simulation's exact link byte series.
+  /// Polls a finished simulation's exact link byte series.  `counter_width`
+  /// is the counter register width in bits: 0 means unbounded (ideal
+  /// 64-bit-style counters, the default), 32 reproduces classic SNMP ifInOctets
+  /// which wraps at 2^32 bytes.
   static SnmpCounters collect(const FlowSim& sim, const Topology& topo,
-                              TimeSec poll_interval);
+                              TimeSec poll_interval, int counter_width = 0);
 
   [[nodiscard]] TimeSec poll_interval() const noexcept { return interval_; }
   [[nodiscard]] std::size_t poll_count() const noexcept { return polls_; }
+  [[nodiscard]] int counter_width() const noexcept { return width_; }
+  /// Wall-clock time of poll index `p`.
+  [[nodiscard]] TimeSec poll_time(std::size_t poll) const noexcept {
+    return static_cast<TimeSec>(poll) * interval_;
+  }
 
-  /// Counter value (cumulative bytes) of `link` at poll index `p`.
+  /// Counter value of `link` at poll index `p`, as the poller observed it:
+  /// wrapped modulo 2^counter_width, reset to zero by switch reboots, and
+  /// carried forward from the previous poll when this poll timed out.
   [[nodiscard]] double counter(LinkId link, std::size_t poll) const;
+
+  // --- Telemetry faults (applied after collection) --------------------------
+  /// Marks one poll as timed out: the poller keeps the previous value (the
+  /// standard carry-forward), and every window touching this poll becomes
+  /// unreliable.
+  void invalidate_poll(LinkId link, std::size_t poll);
+
+  /// Applies a counter reset (switch reboot) at `time`: polls at or after
+  /// `time` report bytes accumulated since the reboot.  The delta across
+  /// the reset boundary is garbage — negative on ideal counters, or
+  /// "corrected" into a huge positive value by the wrap heuristic — which
+  /// is exactly why window_reliable() masks it.
+  void reset_counter(LinkId link, TimeSec time);
+
+  /// Whether poll `p` of `link` was actually observed (no SNMP timeout).
+  [[nodiscard]] bool poll_valid(LinkId link, std::size_t poll) const;
+
+  /// True when bytes_between(link, t0, t1) is trustworthy: every poll the
+  /// window touches was observed and no counter reset falls inside the
+  /// poll-aligned span.  Gap-aware tomography drops (or reweights) rows
+  /// whose windows fail this test.
+  [[nodiscard]] bool window_reliable(LinkId link, TimeSec t0, TimeSec t1) const;
 
   /// Bytes carried by `link` over [t0, t1), *as reconstructible from the
   /// polls*: the counter delta between the nearest poll at-or-before t0 and
   /// the nearest poll at-or-after t1.  This is what a counter-only analyst
   /// can actually compute — coarser than the truth when the window does not
-  /// align with the poll grid.
+  /// align with the poll grid.  A zero-length window is 0 bytes wherever it
+  /// sits.  With a finite counter_width, each per-poll delta is
+  /// wrap-corrected (negative delta += 2^width), which recovers the truth
+  /// for genuine wraps but amplifies reset glitches; check
+  /// window_reliable() before trusting the result.
   [[nodiscard]] double bytes_between(LinkId link, TimeSec t0, TimeSec t1) const;
 
   /// Average utilization of `link` over the window, per bytes_between.
   [[nodiscard]] double utilization_between(LinkId link, TimeSec t0, TimeSec t1) const;
 
  private:
+  void check_link(LinkId link) const;
+  void rebuild_observed(std::size_t link);
+  [[nodiscard]] double wrap(double v) const noexcept;
+
   const Topology* topo_ = nullptr;
   TimeSec interval_ = 0;
   std::size_t polls_ = 0;
-  std::vector<std::vector<double>> counters_;  // link -> per-poll cumulative bytes
+  int width_ = 0;
+  double modulus_ = 0;                       // 2^width_, 0 when unbounded
+  std::vector<std::vector<double>> raw_;     // link -> true cumulative bytes
+  std::vector<std::vector<double>> observed_;  // link -> poller-visible values
+  std::vector<std::vector<std::uint8_t>> valid_;  // link -> poll observed?
+  std::vector<std::vector<TimeSec>> resets_;      // link -> reset times (sorted)
 };
 
 }  // namespace dct

@@ -341,6 +341,103 @@ TEST(CodecCorruption, DeltaOverflowRejected) {
   }
 }
 
+// --- Telemetry gap section (codec v5) and decoder hardening -------------------
+
+TEST(CodecGaps, GapSectionRoundTripsWithLostRecordCounts) {
+  ClusterTrace trace = corruption_target();
+  trace.record_gap({ServerId{1}, 5.0, 12.5, GapCause::kCrashTailLoss, 7});
+  trace.record_gap({ServerId{1}, 20.0, 25.0, GapCause::kUploadLost, 0});
+  trace.record_gap({ServerId{4}, 0.0, 40.0, GapCause::kUploadTruncated, 123456});
+
+  const auto encoded = encode_trace(trace);
+  ASSERT_GT(encoded.size(), 2u);
+  EXPECT_EQ(encoded[1], 5);  // the gap section needs v5
+
+  const ClusterTrace back = decode_trace(encoded);
+  ASSERT_EQ(back.gaps().size(), 3u);
+  EXPECT_EQ(back.gaps()[0].server, ServerId{1});
+  EXPECT_NEAR(back.gaps()[0].start, 5.0, 1e-6);
+  EXPECT_NEAR(back.gaps()[0].end, 12.5, 1e-6);
+  EXPECT_EQ(back.gaps()[0].cause, GapCause::kCrashTailLoss);
+  EXPECT_EQ(back.gaps()[0].records_lost, 7);
+  EXPECT_EQ(back.gaps()[1].records_lost, 0);
+  EXPECT_EQ(back.gaps()[2].cause, GapCause::kUploadTruncated);
+  EXPECT_EQ(back.gaps()[2].records_lost, 123456);
+  EXPECT_DOUBLE_EQ(back.coverage(ServerId{4}), 0.0);
+}
+
+TEST(CodecGaps, GapFreeTraceStaysAtPreTelemetryVersion) {
+  // The version gate: a trace without coverage gaps must encode exactly as
+  // it did before the telemetry subsystem existed, byte for byte.
+  const auto clean = encode_trace(corruption_target());
+  ASSERT_GT(clean.size(), 2u);
+  EXPECT_LE(clean[1], 4);
+
+  ClusterTrace gapped = corruption_target();
+  gapped.record_gap({ServerId{0}, 1.0, 2.0, GapCause::kUploadLost, 1});
+  const auto with_gap = encode_trace(gapped);
+  EXPECT_EQ(with_gap[1], 5);
+  EXPECT_GT(with_gap.size(), clean.size());
+}
+
+TEST(CodecSalvage, TruncatedServerSegmentSalvagesWholeRecords) {
+  const ServerLog log = synthetic_log(31, 200);
+  const auto encoded = encode_server_log(log);
+
+  // The full payload decodes completely.
+  ServerLog full;
+  EXPECT_TRUE(decode_server_log_salvage(encoded, full));
+  EXPECT_EQ(full.flows.size(), log.flows.size());
+
+  // A cut payload yields an exact prefix of whole records and reports the
+  // segment incomplete — where the strict decoder throws.
+  const std::span<const std::uint8_t> cut(encoded.data(), encoded.size() - 3);
+  EXPECT_THROW(decode_server_log(cut), Error);
+  ServerLog partial;
+  EXPECT_FALSE(decode_server_log_salvage(cut, partial));
+  EXPECT_LT(partial.flows.size(), log.flows.size());
+  for (std::size_t i = 0; i < partial.flows.size(); ++i) {
+    EXPECT_EQ(partial.flows[i].flow, log.flows[i].flow);
+    EXPECT_EQ(partial.flows[i].bytes, log.flows[i].bytes);
+    EXPECT_NEAR(partial.flows[i].end, log.flows[i].end, 1e-6);
+  }
+}
+
+TEST(CodecSalvage, TolerantTraceDecodeRecordsDecodeTruncationGaps) {
+  const ClusterTrace trace = corruption_target();
+  const auto encoded = encode_trace(trace);
+  const DecodeOptions tolerant{.tolerate_truncation = true};
+
+  // With default options the hardened overload is exactly decode_trace.
+  const ClusterTrace strict = decode_trace(encoded, DecodeOptions{});
+  EXPECT_EQ(strict.flow_count(), trace.flow_count());
+
+  // Sweep every truncation point: tolerant decode must never crash — each
+  // prefix either throws a clean Error (cuts inside the header or the
+  // application-log sections) or salvages a partial trace whose missing
+  // coverage is recorded as kDecodeTruncation gaps with unknown (zero)
+  // lost-record counts.
+  std::size_t salvaged = 0, with_gaps = 0;
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(encoded.data(), len);
+    try {
+      const ClusterTrace back = decode_trace(prefix, tolerant);
+      ++salvaged;
+      EXPECT_LE(back.flow_count(), trace.flow_count());
+      if (!back.gaps().empty()) {
+        ++with_gaps;
+        for (const GapRecord& g : back.gaps()) {
+          EXPECT_EQ(g.cause, GapCause::kDecodeTruncation);
+          EXPECT_EQ(g.records_lost, 0);
+        }
+      }
+    } catch (const Error&) {
+    }
+  }
+  EXPECT_GT(salvaged, 0u) << "no truncation point was ever salvaged";
+  EXPECT_GT(with_gaps, 0u) << "salvage never recorded a coverage gap";
+}
+
 TEST(CodecCorruption, RandomBitFlipsNeverCrash) {
   const auto encoded = encode_trace(corruption_target());
   Rng rng(77);

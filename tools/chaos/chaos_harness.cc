@@ -16,7 +16,14 @@
 //                            wall-clock fields, the only nondeterminism the
 //                            manifest is allowed to carry);
 //   6. cascade depth bound — the overload-cascade monitor never chains
-//                            deeper than its configured max_depth.
+//                            deeper than its configured max_depth;
+//   7. telemetry sanity    — the lossy merge only ever removes data (flows
+//                            and bytes), per-server coverage stays in [0,1],
+//                            gaps carry sane bounds and non-negative lost-
+//                            record counts, the observed trace survives a
+//                            decode(encode) round trip, and both runs agree
+//                            on the telemetry schedule hash and the observed
+//                            trace's encoding.
 //
 // Usage: chaos_harness [rounds=25] [duration_s=40] [base_seed=1]
 //        chaos_harness [--rounds=N] [--duration=S] [--seed=S]
@@ -119,6 +126,23 @@ dct::ScenarioConfig chaos_scenario(double duration, std::uint64_t seed) {
     cfg.workload.spec_check_interval = uni(1.0, 4.0);
   }
   cfg.workload.read_retry_jitter = uni(0.0, 0.9);
+
+  // A lossy measurement plane most rounds, a perfect one sometimes — the
+  // perfect rounds exercise the gating contract (observed trace IS the
+  // collected trace).
+  if (uni(0.0, 1.0) < 0.7) {
+    cfg.telemetry.crash_buffer_window = uni(0.0, 20.0);
+    cfg.telemetry.upload_loss_prob = uni(0.0, 0.3);
+    cfg.telemetry.upload_truncate_prob = uni(0.0, 0.3);
+    cfg.telemetry.upload_interval = uni(0.0, 1.0) < 0.5 ? uni(4.0, 15.0) : 0.0;
+    cfg.telemetry.straggler_truncate_prob = uni(0.0, 1.0);
+    cfg.telemetry.duplicate_prob = uni(0.0, 0.3);
+    cfg.telemetry.snmp_timeout_prob = uni(0.0, 0.2);
+    cfg.telemetry.snmp_poll_interval = uni(5.0, 15.0);
+    cfg.telemetry.counter_reset_on_reboot = uni(0.0, 1.0) < 0.5;
+    cfg.telemetry.snmp_counter_width = uni(0.0, 1.0) < 0.5 ? 32 : 0;
+    cfg.telemetry.seed = seed ^ 0x7E1E7E1Eull;
+  }
   return cfg;
 }
 
@@ -161,6 +185,22 @@ void check_invariants(dct::ClusterExperiment& exp, std::uint64_t seed,
       check(v <= 1.0 + 1e-3, seed, "capacity: link bin above nominal capacity");
       if (v > 1.0 + 1e-3) return;  // one report per round is plenty
     }
+  }
+
+  // Telemetry plane: the lossy merge only ever removes data.
+  const dct::ClusterTrace& obs = exp.observed_trace();
+  check(obs.flow_count() <= exp.trace().flow_count(), seed,
+        "telemetry: merged trace holds more flows than were collected");
+  check(obs.total_bytes() <= exp.trace().total_bytes(), seed,
+        "telemetry: merged trace holds more bytes than were collected");
+  for (std::int32_t s = 0; s < obs.server_count(); ++s) {
+    const double c = obs.coverage(dct::ServerId{s});
+    check(c >= 0.0 && c <= 1.0, seed, "telemetry: coverage outside [0, 1]");
+  }
+  for (const auto& g : obs.gaps()) {
+    check(g.records_lost >= 0, seed, "telemetry: negative lost-record count");
+    check(g.end > g.start - kEps && g.start >= -kEps && g.end <= horizon + kEps,
+          seed, "telemetry: gap outside [0, horizon]");
   }
 }
 
@@ -215,6 +255,10 @@ int main(int argc, char** argv) {
 
     dct::ClusterExperiment b(cfg);
     b.run();
+    // The lossy merge is lazy and publishes its merge-stats metrics on first
+    // access; check_invariants already touched a's, so touch b's before the
+    // manifests are compared.
+    (void)b.observed_trace();
     // Manifests first: encode_trace feeds the process-global codec counters,
     // which are bound into the most recent run's registry.
     const std::string ma = stable_manifest(a);
@@ -223,6 +267,19 @@ int main(int argc, char** argv) {
           "determinism: traces differ between identical runs");
     check(a.schedule_hash() == b.schedule_hash(), seed,
           "determinism: schedule hashes differ between identical runs");
+    check(a.telemetry_schedule_hash() == b.telemetry_schedule_hash(), seed,
+          "determinism: telemetry schedule hashes differ between identical runs");
+    const auto obs_encoded = encode_trace(a.observed_trace());
+    check(obs_encoded == encode_trace(b.observed_trace()), seed,
+          "determinism: observed traces differ between identical runs");
+    // The observed trace (gaps included) survives a decode(encode) round
+    // trip.  Runs after the manifest capture: decode feeds the process-
+    // global codec counters bound to the latest run's registry.
+    const dct::ClusterTrace back = dct::decode_trace(obs_encoded);
+    check(back.flow_count() == a.observed_trace().flow_count() &&
+              back.gaps().size() == a.observed_trace().gaps().size() &&
+              back.total_bytes() == a.observed_trace().total_bytes(),
+          seed, "telemetry: observed trace does not round-trip the codec");
     check(ma == mb, seed, "determinism: manifests differ between identical runs");
     if (ma != mb) {
       std::size_t pos = 0;
