@@ -3,18 +3,54 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/analysis_obs.h"
 #include "common/require.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "parallel/thread_pool.h"
 
 namespace dct {
 
-FlowDurationStats flow_duration_stats(const ClusterTrace& trace) {
+namespace {
+
+// Shard grains (docs/PERFORMANCE.md) — fixed constants, never derived from
+// the thread count, so the sample order fed into every CDF is a pure
+// function of the input.
+constexpr std::size_t kFlowStatGrain = 65536;  // flows per sample shard
+constexpr std::size_t kServerGapGrain = 64;    // servers per sort shard
+constexpr std::size_t kRackGapGrain = 8;       // racks per sort shard
+
+}  // namespace
+
+FlowDurationStats flow_duration_stats(const ClusterTrace& trace, ThreadPool* pool) {
+#if DCT_OBS_ENABLED
+  obs::WallNsCounter obs_timer(detail::g_analysis_metrics.flowstats_wall_ns);
+#endif
   FlowDurationStats out;
-  for (const SocketFlowLog& f : trace.flows()) {
-    if (f.truncated) continue;  // lifetime unknown; excluding avoids bias
-    const double d = std::max(f.duration(), 1e-4);
-    out.by_count.add(d);
-    if (f.bytes > 0) out.by_bytes.add(d, static_cast<double>(f.bytes));
+  const auto& flows = trace.flows();
+  // Shards collect (duration, bytes) samples from disjoint flow ranges;
+  // replaying the shard lists in shard order reproduces the serial scan's
+  // exact sample sequence.
+  struct Sample {
+    double duration;
+    double bytes;  // <= 0: excluded from the byte-weighted CDF
+  };
+  const auto shards = shard_ranges(flows.size(), kFlowStatGrain);
+  std::vector<std::vector<Sample>> partials(shards.size());
+  parallel_for_shards(pool, shards.size(), [&](std::size_t s) {
+    auto& samples = partials[s];
+    for (std::size_t i = shards[s].begin; i < shards[s].end; ++i) {
+      const SocketFlowLog& f = flows[i];
+      if (f.truncated) continue;  // lifetime unknown; excluding avoids bias
+      samples.push_back({std::max(f.duration(), 1e-4),
+                         static_cast<double>(f.bytes)});
+    }
+  });
+  for (const auto& samples : partials) {
+    for (const Sample& smp : samples) {
+      out.by_count.add(smp.duration);
+      if (smp.bytes > 0) out.by_bytes.add(smp.duration, smp.bytes);
+    }
   }
   out.by_count.finalize();
   out.by_bytes.finalize();
@@ -42,30 +78,45 @@ void collect_gaps(std::vector<double>& starts, std::vector<double>& gaps) {
 }  // namespace
 
 InterArrivalStats inter_arrival_stats(const ClusterTrace& trace, const Topology& topo,
-                                      ArrivalScope scope) {
+                                      ArrivalScope scope, ThreadPool* pool) {
+#if DCT_OBS_ENABLED
+  obs::WallNsCounter obs_timer(detail::g_analysis_metrics.flowstats_wall_ns);
+#endif
   std::vector<double> gaps;
 
   if (scope == ArrivalScope::kCluster) {
+    // One global sort: runs on the calling thread regardless of the pool.
     std::vector<double> starts;
     starts.reserve(trace.flow_count());
     for (const SocketFlowLog& f : trace.flows()) starts.push_back(f.start);
     collect_gaps(starts, gaps);
   } else if (scope == ArrivalScope::kServer) {
     // A server sees the flows it sends or receives; pool inter-arrivals
-    // over all servers.
-    for (std::int32_t s = 0; s < topo.internal_server_count(); ++s) {
-      std::vector<double> starts;
-      for (const SocketFlowLog& f : trace.server_log(ServerId{s}).flows) {
-        starts.push_back(f.start);
+    // over all servers.  The per-server sorts are independent, so server
+    // shards fill disjoint gap slots, appended in server order below.
+    const auto n = static_cast<std::size_t>(topo.internal_server_count());
+    std::vector<std::vector<double>> per_server(n);
+    const auto shards = shard_ranges(n, kServerGapGrain);
+    parallel_for_shards(pool, shards.size(), [&](std::size_t sh) {
+      for (std::size_t s = shards[sh].begin; s < shards[sh].end; ++s) {
+        std::vector<double> starts;
+        const auto& log =
+            trace.server_log(ServerId{static_cast<std::int32_t>(s)}).flows;
+        starts.reserve(log.size());
+        for (const SocketFlowLog& f : log) starts.push_back(f.start);
+        collect_gaps(starts, per_server[s]);
       }
-      collect_gaps(starts, gaps);
+    });
+    for (const auto& server_gaps : per_server) {
+      gaps.insert(gaps.end(), server_gaps.begin(), server_gaps.end());
     }
   } else {
     // A ToR sees flows with an endpoint in its rack that leave the server
     // (all logged flows do).  Group sender-side flows by rack of either
-    // endpoint.
-    std::vector<std::vector<double>> per_rack(
-        static_cast<std::size_t>(topo.rack_count()));
+    // endpoint (serial pass), then sort each rack's arrivals on rack
+    // shards into disjoint slots appended in rack order.
+    const auto n_racks = static_cast<std::size_t>(topo.rack_count());
+    std::vector<std::vector<double>> per_rack(n_racks);
     for (const SocketFlowLog& f : trace.flows()) {
       if (!topo.is_external(f.local)) {
         per_rack[static_cast<std::size_t>(topo.rack_of(f.local).value())].push_back(
@@ -76,7 +127,14 @@ InterArrivalStats inter_arrival_stats(const ClusterTrace& trace, const Topology&
             f.start);
       }
     }
-    for (auto& starts : per_rack) collect_gaps(starts, gaps);
+    std::vector<std::vector<double>> rack_gaps(n_racks);
+    const auto shards = shard_ranges(n_racks, kRackGapGrain);
+    parallel_for_shards(pool, shards.size(), [&](std::size_t sh) {
+      for (std::size_t r = shards[sh].begin; r < shards[sh].end; ++r) {
+        collect_gaps(per_rack[r], rack_gaps[r]);
+      }
+    });
+    for (const auto& rg : rack_gaps) gaps.insert(gaps.end(), rg.begin(), rg.end());
   }
 
   InterArrivalStats out;
@@ -213,11 +271,23 @@ PeriodicityScore inter_arrival_periodicity(const InterArrivalStats& stats,
   return out;
 }
 
-FlowSizeStats flow_size_stats(const ClusterTrace& trace) {
+FlowSizeStats flow_size_stats(const ClusterTrace& trace, ThreadPool* pool) {
+#if DCT_OBS_ENABLED
+  obs::WallNsCounter obs_timer(detail::g_analysis_metrics.flowstats_wall_ns);
+#endif
   FlowSizeStats out;
-  for (const SocketFlowLog& f : trace.flows()) {
-    if (f.bytes <= 0 || f.truncated) continue;
-    out.bytes.add(static_cast<double>(f.bytes));
+  const auto& flows = trace.flows();
+  const auto shards = shard_ranges(flows.size(), kFlowStatGrain);
+  std::vector<std::vector<double>> partials(shards.size());
+  parallel_for_shards(pool, shards.size(), [&](std::size_t s) {
+    for (std::size_t i = shards[s].begin; i < shards[s].end; ++i) {
+      const SocketFlowLog& f = flows[i];
+      if (f.bytes <= 0 || f.truncated) continue;
+      partials[s].push_back(static_cast<double>(f.bytes));
+    }
+  });
+  for (const auto& samples : partials) {
+    for (const double b : samples) out.bytes.add(b);
   }
   out.bytes.finalize();
   if (out.bytes.sample_count() > 0) {

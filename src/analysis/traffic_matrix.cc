@@ -1,11 +1,15 @@
 #include "analysis/traffic_matrix.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <unordered_map>
 
+#include "analysis/analysis_obs.h"
 #include "common/require.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "parallel/thread_pool.h"
 
 namespace dct {
 
@@ -21,6 +25,30 @@ double SparseTm::at(std::int32_t from, std::int32_t to) const {
   require(from >= 0 && from < n_ && to >= 0 && to < n_, "SparseTm::at: out of range");
   const auto it = cells_.find(key(from, to));
   return it == cells_.end() ? 0.0 : it->second;
+}
+
+void SparseTm::merge_from(const SparseTm& other) {
+  require(other.n_ == n_, "SparseTm::merge_from: size mismatch");
+  // One add per cell and one for the total: iteration order over `other`
+  // cannot change any sum, so the merge is deterministic as long as the
+  // *sequence of merge_from calls* is (shard order, enforced by callers).
+  for (const auto& [k, v] : other.cells_) cells_[k] += v;
+  total_ += other.total_;
+}
+
+bool SparseTm::identical(const SparseTm& a, const SparseTm& b) {
+  if (a.n_ != b.n_ || a.cells_.size() != b.cells_.size()) return false;
+  if (std::bit_cast<std::uint64_t>(a.total_) != std::bit_cast<std::uint64_t>(b.total_)) {
+    return false;
+  }
+  for (const auto& [k, v] : a.cells_) {
+    const auto it = b.cells_.find(k);
+    if (it == b.cells_.end()) return false;
+    if (std::bit_cast<std::uint64_t>(v) != std::bit_cast<std::uint64_t>(it->second)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::vector<SparseTm::Entry> SparseTm::entries() const {
@@ -66,6 +94,13 @@ double SparseTm::entries_for_volume(double volume_fraction) const {
 
 namespace {
 
+// Shard grains for the parallel builders (docs/PERFORMANCE.md).  Fixed
+// constants, never derived from the thread count: the shard decomposition —
+// and with it every FP reduction order — must be a pure function of the
+// input so results are byte-identical at any parallelism.
+constexpr std::size_t kTmFlowGrain = 8192;   // flows per TM-deposit shard
+constexpr std::size_t kGapServerGrain = 16;  // servers per ledger-settle shard
+
 // Maps a flow endpoint to a TM node index, or -1 to drop the flow.
 std::int32_t scope_node(const Topology& topo, ServerId s, TmScope scope) {
   if (scope == TmScope::kServer) return s.value();
@@ -73,41 +108,73 @@ std::int32_t scope_node(const Topology& topo, ServerId s, TmScope scope) {
   return topo.rack_of(s).value();
 }
 
-
-}  // namespace
-
-std::vector<SparseTm> build_tm_series(const ClusterTrace& trace, const Topology& topo,
-                                      TimeSec window, TmScope scope) {
-  require(window > 0, "build_tm_series: window must be > 0");
-  const auto n_windows =
-      static_cast<std::size_t>(std::ceil(trace.duration() / window));
-  const std::int32_t n =
-      scope == TmScope::kServer ? topo.server_count() : topo.rack_count();
-  std::vector<SparseTm> tms(std::max<std::size_t>(n_windows, 1), SparseTm(n));
-
-  for (const SocketFlowLog& f : trace.flows()) {
+// Deposits flows [begin, end) of the trace into `tms` — the single-pass
+// body of build_tm_series, factored out so shards can run it on disjoint
+// flow ranges against private partial matrices.
+void deposit_tm_range(const std::vector<SocketFlowLog>& flows, std::size_t begin,
+                      std::size_t end, const Topology& topo, TimeSec duration,
+                      TimeSec window, TmScope scope, std::vector<SparseTm>& tms) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const SocketFlowLog& f = flows[i];
     const std::int32_t from = scope_node(topo, f.local, scope);
     const std::int32_t to = scope_node(topo, f.peer, scope);
     if (from < 0 || to < 0) continue;
     if (scope == TmScope::kToR && from == to) continue;  // same-rack dropped
     if (f.bytes <= 0) continue;
     const TimeSec start = std::max<TimeSec>(0.0, f.start);
-    const TimeSec end = std::min<TimeSec>(trace.duration(), std::max(f.end, start));
-    if (end <= start) {
+    const TimeSec flow_end = std::min<TimeSec>(duration, std::max(f.end, start));
+    if (flow_end <= start) {
       // Instantaneous flow: all bytes land in the containing window.
       const auto w = std::min(static_cast<std::size_t>(start / window), tms.size() - 1);
       tms[w].add(from, to, static_cast<double>(f.bytes));
       continue;
     }
-    const double density = static_cast<double>(f.bytes) / (end - start);
+    const double density = static_cast<double>(f.bytes) / (flow_end - start);
     auto w = static_cast<std::size_t>(start / window);
     for (; w < tms.size(); ++w) {
       const TimeSec w_lo = static_cast<double>(w) * window;
       const TimeSec w_hi = w_lo + window;
-      if (w_lo >= end) break;
-      const TimeSec overlap = std::min(w_hi, end) - std::max(w_lo, start);
+      if (w_lo >= flow_end) break;
+      const TimeSec overlap = std::min(w_hi, flow_end) - std::max(w_lo, start);
       if (overlap > 0) tms[w].add(from, to, density * overlap);
     }
+  }
+}
+
+}  // namespace
+
+std::vector<SparseTm> build_tm_series(const ClusterTrace& trace, const Topology& topo,
+                                      TimeSec window, TmScope scope, ThreadPool* pool) {
+  require(window > 0, "build_tm_series: window must be > 0");
+#if DCT_OBS_ENABLED
+  obs::WallNsCounter obs_timer(detail::g_analysis_metrics.tm_build_wall_ns);
+#endif
+  const auto n_windows =
+      static_cast<std::size_t>(std::ceil(trace.duration() / window));
+  const std::int32_t n =
+      scope == TmScope::kServer ? topo.server_count() : topo.rack_count();
+  std::vector<SparseTm> tms(std::max<std::size_t>(n_windows, 1), SparseTm(n));
+
+  const auto& flows = trace.flows();
+  const auto shards = shard_ranges(flows.size(), kTmFlowGrain);
+  if (shards.size() <= 1) {
+    // Single shard: deposit straight into the result — exactly the
+    // historical single-pass builder.
+    deposit_tm_range(flows, 0, flows.size(), topo, trace.duration(), window, scope,
+                     tms);
+    return tms;
+  }
+  // Per-shard partial matrices, merged in shard order on this thread.  The
+  // decomposition is a function of the flow count alone, so serial and
+  // pooled runs reduce in the same order and agree bit-for-bit.
+  std::vector<std::vector<SparseTm>> partials(shards.size());
+  parallel_for_shards(pool, shards.size(), [&](std::size_t s) {
+    partials[s].assign(tms.size(), SparseTm(n));
+    deposit_tm_range(flows, shards[s].begin, shards[s].end, topo, trace.duration(),
+                     window, scope, partials[s]);
+  });
+  for (const auto& partial : partials) {
+    for (std::size_t w = 0; w < tms.size(); ++w) tms[w].merge_from(partial[w]);
   }
   return tms;
 }
@@ -143,20 +210,22 @@ double pair_observability(const ClusterTrace& trace, ServerId a, ServerId b,
 std::vector<SparseTm> build_tm_series_gap_aware(const ClusterTrace& trace,
                                                 const Topology& topo, TimeSec window,
                                                 TmScope scope,
-                                                const TmCoverageOptions& options) {
+                                                const TmCoverageOptions& options,
+                                                ThreadPool* pool) {
   require(window > 0, "build_tm_series_gap_aware: window must be > 0");
   require(options.reference_halo >= 0,
           "build_tm_series_gap_aware: reference_halo must be >= 0");
   require(options.count_shrinkage >= 0,
           "build_tm_series_gap_aware: count_shrinkage must be >= 0");
   if (trace.gaps().empty()) {
-    return build_tm_series(trace, topo, window, scope);  // identical by construction
+    // identical by construction
+    return build_tm_series(trace, topo, window, scope, pool);
   }
 
   // Pass 1 — naive deposits.  Every surviving flow contributes exactly as in
   // build_tm_series; the ledger below only ever adds mass on top, so cells
   // no correction touches stay bit-identical.
-  std::vector<SparseTm> tms = build_tm_series(trace, topo, window, scope);
+  std::vector<SparseTm> tms = build_tm_series(trace, topo, window, scope, pool);
 
   // Index the surviving records by endpoint.  Server a's log holds exactly
   // one record per flow with endpoint a (a send or a recv copy), so these
@@ -193,8 +262,18 @@ std::vector<SparseTm> build_tm_series_gap_aware(const ClusterTrace& trace,
     }
   }
 
-  // Pass 2 — settle each hole's ledger.
-  for (const auto& [server, lost] : lost_by_server) {
+  // Pass 2 — settle each hole's ledger.  Servers settle in ascending id
+  // order (not map order) into per-shard partial matrices, merged in shard
+  // order: corrections for different servers can touch the same cell, so a
+  // fixed deposit sequence is what keeps the corrected series reproducible
+  // — and byte-identical at any thread count.
+  std::vector<std::int32_t> loss_servers;
+  loss_servers.reserve(lost_by_server.size());
+  for (const auto& [server, lost] : lost_by_server) loss_servers.push_back(server);
+  std::sort(loss_servers.begin(), loss_servers.end());
+
+  const auto settle_server = [&](std::int32_t server, std::vector<SparseTm>& out) {
+    const auto& lost = lost_by_server.at(server);
     const auto& holes = trace.gap_intervals(ServerId{server});
     const auto& mine = by_server[static_cast<std::size_t>(server)];
     for (std::size_t h = 0; h < holes.size(); ++h) {
@@ -262,35 +341,70 @@ std::vector<SparseTm> build_tm_series_gap_aware(const ClusterTrace& trace,
         if (scope == TmScope::kToR && from == to) continue;
         const double share = mass * static_cast<double>(f->bytes) / sum_b;
         auto w = static_cast<std::size_t>(span_lo / window);
-        for (; w < tms.size(); ++w) {
+        for (; w < out.size(); ++w) {
           const TimeSec w_lo = static_cast<double>(w) * window;
           if (w_lo >= hi) break;
           const TimeSec overlap = std::min(w_lo + window, hi) - std::max(w_lo, span_lo);
-          if (overlap > 0) tms[w].add(from, to, share * overlap / span);
+          if (overlap > 0) out[w].add(from, to, share * overlap / span);
         }
       }
     }
+  };
+
+  const std::int32_t n = tms.empty() ? 0 : tms.front().size();
+  const auto shards = shard_ranges(loss_servers.size(), kGapServerGrain);
+  if (shards.size() <= 1) {
+    for (const std::int32_t server : loss_servers) settle_server(server, tms);
+    return tms;
+  }
+  std::vector<std::vector<SparseTm>> partials(shards.size());
+  parallel_for_shards(pool, shards.size(), [&](std::size_t s) {
+    partials[s].assign(tms.size(), SparseTm(n));
+    for (std::size_t i = shards[s].begin; i < shards[s].end; ++i) {
+      settle_server(loss_servers[i], partials[s]);
+    }
+  });
+  for (const auto& partial : partials) {
+    for (std::size_t w = 0; w < tms.size(); ++w) tms[w].merge_from(partial[w]);
   }
   return tms;
 }
 
 SparseTm build_tm(const ClusterTrace& trace, const Topology& topo, TimeSec t0,
-                  TimeSec window, TmScope scope) {
+                  TimeSec window, TmScope scope, ThreadPool* pool) {
   require(window > 0, "build_tm: window must be > 0");
+#if DCT_OBS_ENABLED
+  obs::WallNsCounter obs_timer(detail::g_analysis_metrics.tm_build_wall_ns);
+#endif
   const std::int32_t n =
       scope == TmScope::kServer ? topo.server_count() : topo.rack_count();
-  SparseTm tm(n);
   const TimeSec t1 = t0 + window;
-  for (const SocketFlowLog& f : trace.flows()) {
-    if (f.end <= t0 || f.start >= t1 || f.bytes <= 0) continue;
-    const std::int32_t from = scope_node(topo, f.local, scope);
-    const std::int32_t to = scope_node(topo, f.peer, scope);
-    if (from < 0 || to < 0) continue;
-    if (scope == TmScope::kToR && from == to) continue;
-    const TimeSec span = std::max<TimeSec>(f.end - f.start, 1e-9);
-    const TimeSec overlap = std::min(f.end, t1) - std::max(f.start, t0);
-    tm.add(from, to, static_cast<double>(f.bytes) * overlap / span);
+  const auto& flows = trace.flows();
+  const auto deposit = [&](std::size_t begin, std::size_t end, SparseTm& tm) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const SocketFlowLog& f = flows[i];
+      if (f.end <= t0 || f.start >= t1 || f.bytes <= 0) continue;
+      const std::int32_t from = scope_node(topo, f.local, scope);
+      const std::int32_t to = scope_node(topo, f.peer, scope);
+      if (from < 0 || to < 0) continue;
+      if (scope == TmScope::kToR && from == to) continue;
+      const TimeSec span = std::max<TimeSec>(f.end - f.start, 1e-9);
+      const TimeSec overlap = std::min(f.end, t1) - std::max(f.start, t0);
+      tm.add(from, to, static_cast<double>(f.bytes) * overlap / span);
+    }
+  };
+
+  SparseTm tm(n);
+  const auto shards = shard_ranges(flows.size(), kTmFlowGrain);
+  if (shards.size() <= 1) {
+    deposit(0, flows.size(), tm);
+    return tm;
   }
+  std::vector<SparseTm> partials(shards.size(), SparseTm(n));
+  parallel_for_shards(pool, shards.size(), [&](std::size_t s) {
+    deposit(shards[s].begin, shards[s].end, partials[s]);
+  });
+  for (const SparseTm& partial : partials) tm.merge_from(partial);
   return tm;
 }
 

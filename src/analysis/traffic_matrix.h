@@ -20,6 +20,8 @@
 
 namespace dct {
 
+class ThreadPool;  // parallel/thread_pool.h
+
 /// A sparse origin-destination byte matrix over `n` entities.
 class SparseTm {
  public:
@@ -27,6 +29,17 @@ class SparseTm {
 
   void add(std::int32_t from, std::int32_t to, double bytes);
   [[nodiscard]] double at(std::int32_t from, std::int32_t to) const;
+
+  /// Accumulates another matrix of the same size into this one — the merge
+  /// step for shard-parallel TM construction.  Each of `other`'s cells is
+  /// added with exactly one FP add, so merging shard partials in shard
+  /// order yields the same bits regardless of thread count.
+  void merge_from(const SparseTm& other);
+
+  /// True iff the two matrices are bit-identical: same size and exactly the
+  /// same cells with bitwise-equal byte values (and bitwise-equal totals).
+  /// Used by the determinism tests/bench, where "close" is not enough.
+  [[nodiscard]] static bool identical(const SparseTm& a, const SparseTm& b);
 
   [[nodiscard]] std::int32_t size() const noexcept { return n_; }
   [[nodiscard]] std::size_t nonzero_count() const noexcept { return cells_.size(); }
@@ -72,13 +85,21 @@ enum class TmScope : std::uint8_t { kServer, kToR };
 /// approximation: logs record per-flow transfers, not per-packet timings).
 /// ToR scope drops same-rack and external traffic, matching the paper's
 /// ToR-to-ToR matrices.
+///
+/// With a pool, fixed-size flow shards deposit into per-shard partial
+/// matrices that are then merged in shard order on the calling thread.  The
+/// shard decomposition depends only on the flow count — never on the thread
+/// count — so the result is byte-identical at any parallelism, including
+/// pool == nullptr (docs/PERFORMANCE.md).
 [[nodiscard]] std::vector<SparseTm> build_tm_series(const ClusterTrace& trace,
                                                     const Topology& topo, TimeSec window,
-                                                    TmScope scope);
+                                                    TmScope scope,
+                                                    ThreadPool* pool = nullptr);
 
-/// One TM over [t0, t0+window).
+/// One TM over [t0, t0+window).  Sharded like build_tm_series.
 [[nodiscard]] SparseTm build_tm(const ClusterTrace& trace, const Topology& topo,
-                                TimeSec t0, TimeSec window, TmScope scope);
+                                TimeSec t0, TimeSec window, TmScope scope,
+                                ThreadPool* pool = nullptr);
 
 // ---------------------------------------------------------------------------
 // Gap-aware TM construction from a lossily collected trace
@@ -133,9 +154,13 @@ struct TmCoverageOptions {
 /// triggers no correction, so no mass is ever invented where nothing was
 /// lost.  Gaps lacking counts (records_lost == 0, e.g. decoder-salvage
 /// gaps) degrade to the naive estimate.
+/// Sharding: pass 1 is build_tm_series (flow shards); pass 2 settles
+/// ledgers per server shard (in ascending server order) into per-shard
+/// partial matrices merged in shard order, so the corrected series is also
+/// byte-identical at any thread count.
 [[nodiscard]] std::vector<SparseTm> build_tm_series_gap_aware(
     const ClusterTrace& trace, const Topology& topo, TimeSec window, TmScope scope,
-    const TmCoverageOptions& options = {});
+    const TmCoverageOptions& options = {}, ThreadPool* pool = nullptr);
 
 // ---------------------------------------------------------------------------
 // §4.1 pattern statistics

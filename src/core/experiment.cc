@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analysis/analysis_obs.h"
 #include "common/require.h"
 #include "trace/codec.h"
 
@@ -30,17 +31,25 @@ ClusterExperiment::ClusterExperiment(ScenarioConfig config)
   config_.degradations.validate();
   config_.cascades.validate();
   config_.telemetry.validate();
+  require(config_.parallelism >= 1, "ScenarioConfig: parallelism must be >= 1");
+  if (config_.parallelism > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.parallelism);
+  }
   // The overlay is always installed; while every device is up it delegates
   // to the immutable topology, so a fault-free run is unchanged.
   sim_.set_network_state(&net_);
 }
 
 ClusterExperiment::~ClusterExperiment() {
-  // The codec metrics are process-wide and may point into registry_; a later
-  // encode/decode outside any experiment must not touch freed counters.
-  // (If another live experiment had re-bound them its codec metrics go
-  // silently quiet, which is harmless — the hooks are null-tolerant.)
-  if (ran_ && config_.obs_bind_metrics) bind_codec_metrics(nullptr);
+  // The codec and analysis metrics are process-wide and may point into
+  // registry_; a later encode/decode or analysis call outside any experiment
+  // must not touch freed counters.  (If another live experiment had re-bound
+  // them its metrics go silently quiet, which is harmless — the hooks are
+  // null-tolerant.)
+  if (ran_ && config_.obs_bind_metrics) {
+    bind_codec_metrics(nullptr);
+    bind_analysis_metrics(nullptr);
+  }
 }
 
 void ClusterExperiment::run() {
@@ -50,6 +59,8 @@ void ClusterExperiment::run() {
     sim_.bind_metrics(registry_);
     driver_.bind_metrics(registry_);
     bind_codec_metrics(&registry_);
+    bind_analysis_metrics(&registry_);
+    if (pool_) pool_->bind_metrics(&registry_);
   }
   driver_.install();
   std::vector<FaultEvent> faults;
@@ -169,6 +180,7 @@ obs::RunManifest ClusterExperiment::manifest(const std::string& harness) const {
   m.config["telemetry_schedule_hash"] =
       static_cast<double>(telemetry_hash_ & ((1ull << 48) - 1));
   m.config["obs_sample_interval_s"] = config_.obs_sample_interval;
+  m.config["parallelism"] = static_cast<double>(config_.parallelism);
   m.build = obs::current_build_info();
   m.wall_seconds = wall_seconds_;
   m.capture_metrics(registry_);

@@ -22,6 +22,7 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
+#include "parallel/thread_pool.h"
 #include "topology/network_state.h"
 #include "topology/topology.h"
 #include "trace/cluster_trace.h"
@@ -108,6 +109,12 @@ class ClusterExperiment {
   [[nodiscard]] const obs::Sampler* sampler() const noexcept { return sampler_.get(); }
   /// Wall-clock seconds spent inside run() (0 before the run).
   [[nodiscard]] double wall_seconds() const noexcept { return wall_seconds_; }
+  /// The experiment's analysis thread pool, or nullptr when the scenario's
+  /// parallelism is 1.  Pass it to the analysis entry points (build_tm_series,
+  /// congestion_report, ...) and DecodeOptions::pool; every one of them is
+  /// byte-identical with or without it (docs/PERFORMANCE.md).  The simulator
+  /// itself never touches the pool.
+  [[nodiscard]] ThreadPool* analysis_pool() noexcept { return pool_.get(); }
   /// Builds the reproducibility record for this run: scenario identity,
   /// config summary, build flags, final metrics, wall time.  `harness`
   /// names the producing binary.  Requires run() to have completed.
@@ -124,6 +131,7 @@ class ClusterExperiment {
   TraceCollector collector_;
   WorkloadDriver driver_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<ThreadPool> pool_;
   std::uint64_t schedule_hash_ = 0;
   TelemetryFaultSchedule telemetry_schedule_;
   std::uint64_t telemetry_hash_ = 0;

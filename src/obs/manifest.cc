@@ -169,10 +169,31 @@ std::string RunManifest::write_json(const std::string& path) const {
     require(!ec, "RunManifest::write_json: cannot create " +
                      p.parent_path().string() + ": " + ec.message());
   }
-  std::ofstream out(p, std::ios::binary | std::ios::trunc);
-  require(out.good(), "RunManifest::write_json: cannot open " + path);
-  out << to_json();
-  require(out.good(), "RunManifest::write_json: write failed for " + path);
+  // Write-to-temp + rename so a reader (or a crash mid-write) never sees a
+  // half-written manifest: the rename either installs the complete file or
+  // leaves the previous one untouched.
+  const std::filesystem::path tmp(path + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    require(out.good(), "RunManifest::write_json: cannot open " + tmp.string());
+    out << to_json();
+    out.flush();
+    const bool ok = out.good();
+    if (!ok) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      require(false, "RunManifest::write_json: write failed for " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, p, ec);
+  if (ec) {
+    std::error_code rm_ec;
+    std::filesystem::remove(tmp, rm_ec);
+    require(false, "RunManifest::write_json: cannot rename " + tmp.string() +
+                       " to " + path + ": " + ec.message());
+  }
   return path;
 }
 

@@ -153,4 +153,28 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// RAII wall-clock accumulator: adds elapsed nanoseconds to a Counter on
+/// destruction.  Tolerates a null counter.  Unlike ScopedTimer this feeds a
+/// plain counter, the shape used for per-stage wall totals (trace decode,
+/// TM build, ...) where a sum is wanted rather than a distribution.
+class WallNsCounter {
+ public:
+  explicit WallNsCounter(Counter* c) noexcept
+      : counter_(c), start_(c != nullptr ? std::chrono::steady_clock::now()
+                                         : std::chrono::steady_clock::time_point{}) {}
+  WallNsCounter(const WallNsCounter&) = delete;
+  WallNsCounter& operator=(const WallNsCounter&) = delete;
+  ~WallNsCounter() {
+    if (counter_ == nullptr) return;
+    counter_->inc(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+
+ private:
+  Counter* counter_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace dct::obs

@@ -1,0 +1,150 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/require.h"
+
+namespace dct {
+
+ThreadPool::ThreadPool(int threads, std::size_t queue_capacity)
+    : thread_count_(threads),
+      capacity_(queue_capacity != 0 ? queue_capacity
+                                    : static_cast<std::size_t>(threads) * 2) {
+  require(threads >= 1, "ThreadPool: thread count must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  require(task != nullptr, "ThreadPool::submit: null task");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return queue_.size() < capacity_ || stop_; });
+    require(!stop_, "ThreadPool::submit: pool is shutting down");
+    queue_.push_back(std::move(task));
+    // High-water is tracked under the queue lock, so a plain max is safe.
+    const std::size_t depth = queue_.size();
+    if (depth > queue_high_water_.load(std::memory_order_relaxed)) {
+      queue_high_water_.store(depth, std::memory_order_relaxed);
+    }
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    // Count before running: a parallel_for_shards region signals completion
+    // from inside the task body, so incrementing afterwards would let the
+    // blocked caller observe a count one short of the shards it just ran.
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    task();
+  }
+}
+
+void ThreadPool::bind_metrics(obs::Registry* registry) {
+#if DCT_OBS_ENABLED
+  registry_ = registry;
+  published_tasks_ = 0;
+#else
+  (void)registry;
+#endif
+}
+
+void ThreadPool::publish_metrics() {
+#if DCT_OBS_ENABLED
+  if (registry_ == nullptr) return;
+  const std::uint64_t executed = tasks_executed();
+  registry_->counter("parallel", "tasks_executed", "tasks")
+      ->inc(executed - published_tasks_);
+  published_tasks_ = executed;
+  registry_->gauge("parallel", "threads", "threads")
+      ->set(static_cast<double>(thread_count_));
+  registry_->gauge("parallel", "queue_high_water", "tasks")
+      ->set(static_cast<double>(queue_high_water()));
+#endif
+}
+
+std::vector<ShardRange> shard_ranges(std::size_t n, std::size_t grain) {
+  require(grain >= 1, "shard_ranges: grain must be >= 1");
+  std::vector<ShardRange> out;
+  if (n == 0) return out;
+  out.reserve((n + grain - 1) / grain);
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    out.push_back({begin, std::min(begin + grain, n)});
+  }
+  return out;
+}
+
+void parallel_for_shards(ThreadPool* pool, std::size_t shards,
+                         const std::function<void(std::size_t)>& body) {
+  if (shards == 0) return;
+  if (pool == nullptr || pool->thread_count() <= 1 || shards == 1) {
+    for (std::size_t i = 0; i < shards; ++i) body(i);
+    return;
+  }
+
+  // One error slot per shard: after the barrier the lowest-index failure is
+  // rethrown, matching what a serial in-order walk would have thrown first.
+  struct Region {
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;
+  };
+  Region region;
+  region.remaining = shards;
+  region.errors.assign(shards, nullptr);
+
+  for (std::size_t i = 0; i < shards; ++i) {
+    pool->submit([&region, &body, i] {
+      try {
+        body(i);
+      } catch (...) {
+        region.errors[i] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(region.mu);
+      if (--region.remaining == 0) region.done.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(region.mu);
+    region.done.wait(lock, [&region] { return region.remaining == 0; });
+  }
+
+#if DCT_OBS_ENABLED
+  ++pool->regions_;
+  if (pool->registry_ != nullptr) {
+    pool->registry_->counter("parallel", "regions", "regions")->inc();
+    pool->publish_metrics();
+  }
+#endif
+
+  for (const std::exception_ptr& e : region.errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace dct

@@ -1,0 +1,135 @@
+// Shard-parallel execution for the analysis / ingest layers.
+//
+// The paper's methodology digests per-server socket logs from thousands of
+// machines into traffic matrices, congestion episodes and flow statistics;
+// at production scale that reduction — not the simulation — is the wall.
+// This subsystem is the library's one multi-core layer: a small fixed-size
+// thread pool with a bounded work queue, plus the shard-decomposition
+// helpers the hot analysis paths are written against.
+//
+// Determinism contract (docs/PERFORMANCE.md):
+//
+//   * The shard decomposition is a pure function of the input size and a
+//     per-call-site grain — NEVER of the thread count.  shard_ranges(n,
+//     grain) yields the same disjoint ranges whether the shards run on one
+//     thread or sixteen.
+//   * Workers compute independent partial results, one slot per shard;
+//     threads only change *scheduling*, never which shard computes what.
+//   * The caller merges the partials in shard order, on its own thread.
+//
+// Because the reduction tree is fixed, every result is byte-identical at
+// any thread count, including the pool-less serial path (which walks the
+// same shards in order).  An input smaller than one grain is a single
+// shard, which the call sites execute as the exact pre-parallel code path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace dct {
+
+/// A fixed-size worker pool with a bounded work queue.  submit() blocks
+/// while the queue is full (backpressure instead of unbounded memory), so a
+/// producer can stream millions of tasks through a small queue.
+///
+/// The pool is shared-state-free toward its callers: tasks must write only
+/// to their own pre-assigned slots (the parallel_for_shards contract).
+/// Internal counters are atomic; the obs metrics they feed are published
+/// from the caller's thread only (the Registry is not thread-safe).
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (>= 1 enforced).  `queue_capacity` bounds the
+  /// pending-task queue; 0 picks 2x the thread count.
+  explicit ThreadPool(int threads, std::size_t queue_capacity = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const noexcept { return thread_count_; }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept { return capacity_; }
+
+  /// Enqueues one task, blocking while the queue is at capacity.  Tasks must
+  /// not submit() into the same pool (a full queue would deadlock).
+  void submit(std::function<void()> task);
+
+  /// Total tasks the workers have begun executing since construction; equal
+  /// to the tasks *finished* whenever the pool is quiescent — in particular
+  /// at the moment a parallel_for_shards region returns.
+  [[nodiscard]] std::uint64_t tasks_executed() const noexcept {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  /// Highest pending-queue depth ever observed at submit time.
+  [[nodiscard]] std::size_t queue_high_water() const noexcept {
+    return queue_high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Points the pool's metrics (docs/METRICS.md, subsystem "parallel") at a
+  /// registry.  Metrics are created and refreshed by publish_metrics(),
+  /// which parallel_for_shards calls after every pooled region — all on the
+  /// caller's thread, so the non-thread-safe Registry is never raced.
+  /// nullptr unbinds.  No-op in a DCT_OBS=OFF build.
+  void bind_metrics(obs::Registry* registry);
+  /// Pushes the current counters into the bound registry (caller thread
+  /// only).  Called automatically at the end of every pooled region.
+  void publish_metrics();
+
+ private:
+  void worker_loop();
+
+  int thread_count_;
+  std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::size_t> queue_high_water_{0};
+  std::uint64_t regions_ = 0;  // pooled parallel_for_shards calls (caller thread)
+  obs::Registry* registry_ = nullptr;
+  std::uint64_t published_tasks_ = 0;
+
+  friend void parallel_for_shards(ThreadPool* pool, std::size_t shards,
+                                  const std::function<void(std::size_t)>& body);
+};
+
+/// A half-open index range [begin, end) owned by one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+/// Splits [0, n) into consecutive ranges of at most `grain` items (the last
+/// may be short).  n == 0 yields no ranges; the decomposition depends only
+/// on (n, grain), which is what makes sharded reductions thread-count
+/// independent.
+[[nodiscard]] std::vector<ShardRange> shard_ranges(std::size_t n, std::size_t grain);
+
+/// Runs body(0) .. body(shards-1), each exactly once.
+///
+/// With a null pool, a single-threaded pool, or a single shard, the bodies
+/// run serially in shard order on the calling thread.  Otherwise every
+/// shard is submitted to the pool and the call blocks until all complete.
+/// If any body throws, the exception from the LOWEST shard index is
+/// rethrown after all shards finish — the same exception a serial in-order
+/// walk would have surfaced first.  Bodies must write only to their own
+/// shard's output slot.
+void parallel_for_shards(ThreadPool* pool, std::size_t shards,
+                         const std::function<void(std::size_t)>& body);
+
+}  // namespace dct

@@ -1,11 +1,12 @@
 #include "trace/codec.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <exception>
 #include <limits>
 
 #include "common/require.h"
+#include "parallel/thread_pool.h"
 
 namespace dct {
 namespace {
@@ -21,26 +22,12 @@ struct CodecMetrics {
   obs::Counter* decoded_bytes = nullptr;
 };
 CodecMetrics g_codec_metrics;
-
-/// Adds elapsed wall nanoseconds to a counter on scope exit.
-class WallNsAccumulator {
- public:
-  explicit WallNsAccumulator(obs::Counter* c) noexcept
-      : counter_(c), start_(c != nullptr ? std::chrono::steady_clock::now()
-                                         : std::chrono::steady_clock::time_point{}) {}
-  ~WallNsAccumulator() {
-    if (counter_ == nullptr) return;
-    counter_->inc(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start_)
-            .count()));
-  }
-
- private:
-  obs::Counter* counter_;
-  std::chrono::steady_clock::time_point start_;
-};
 #endif  // DCT_OBS_ENABLED
+
+// Servers per decode task.  Decode work is per-server independent (no
+// floating-point accumulation), so the grain affects scheduling only, never
+// the decoded bytes.
+constexpr std::size_t kDecodeShardGrain = 16;
 
 }  // namespace
 
@@ -103,6 +90,11 @@ std::uint64_t ByteReader::uvarint() {
 std::int64_t ByteReader::svarint() {
   const std::uint64_t z = uvarint();
   return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n <= remaining(), "ByteReader: skip past end");
+  pos_ += n;
 }
 
 namespace {
@@ -268,7 +260,7 @@ std::size_t raw_encoding_size(const ServerLog& log) noexcept {
 std::vector<std::uint8_t> encode_trace(const ClusterTrace& trace) {
 #if DCT_OBS_ENABLED
   if (g_codec_metrics.encode_calls != nullptr) g_codec_metrics.encode_calls->inc();
-  WallNsAccumulator obs_timer(g_codec_metrics.encode_wall_ns);
+  obs::WallNsCounter obs_timer(g_codec_metrics.encode_wall_ns);
 #endif
   ByteWriter w;
   const bool has_failures = !trace.device_failures().empty();
@@ -395,7 +387,7 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data,
   if (g_codec_metrics.decoded_bytes != nullptr) {
     g_codec_metrics.decoded_bytes->inc(data.size());
   }
-  WallNsAccumulator obs_timer(g_codec_metrics.decode_wall_ns);
+  obs::WallNsCounter obs_timer(g_codec_metrics.decode_wall_ns);
 #endif
   ByteReader r(data);
   require(r.u8() == kTraceMagic, "decode_trace: bad magic");
@@ -409,52 +401,113 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data,
   const TimeSec duration = r.time_us();
   ClusterTrace trace(servers, duration);
 
-  // Re-ingest flows via the senders' logs only: record_flow() regenerates
-  // the receiver-side entries and the unified view.
+  // The server section runs in three phases so the segment decodes — the
+  // bulk of the work — can fan out across a thread pool while the result
+  // stays byte-identical to a sequential decode:
+  //
+  //   1. slice   (sequential): walk the length-prefixed framing, noting each
+  //               segment as a subspan of the input (no copies);
+  //   2. decode  (parallel): each worker decodes a disjoint server range
+  //               into its own slot, capturing errors instead of throwing;
+  //   3. reduce  (sequential, server order): re-ingest flows via the
+  //               senders' logs — record_flow() regenerates the receiver-
+  //               side entries and the unified view — record gaps, and
+  //               rethrow the lowest-server-index error, which is exactly
+  //               the one a serial decode would have surfaced first.
+  struct Segment {
+    std::span<const std::uint8_t> payload;
+    bool missing = false;  // payload physically ended before this segment
+    bool cut = false;      // the segment itself was cut short
+  };
+  std::vector<Segment> segments(static_cast<std::size_t>(servers));
+  const bool salvage = options.tolerate_truncation;
   bool payload_cut = false;  // payload physically ended inside this section
+  std::exception_ptr slice_error;  // strict mode: broken length framing
   for (std::int32_t s = 0; s < servers; ++s) {
+    Segment& seg = segments[static_cast<std::size_t>(s)];
     if (payload_cut) {
-      // Everything from this server on is gone; coverage records the loss.
-      trace.record_gap({ServerId{s}, 0.0, duration, GapCause::kDecodeTruncation});
+      seg.missing = true;
       continue;
     }
-    std::vector<std::uint8_t> inner;
-    if (options.tolerate_truncation) {
+    if (salvage) {
       try {
         const std::uint64_t len = r.uvarint();
         const std::uint64_t take = std::min<std::uint64_t>(len, r.remaining());
         payload_cut = take < len;
-        inner.reserve(take);
-        for (std::uint64_t i = 0; i < take; ++i) inner.push_back(r.u8());
+        seg.cut = payload_cut;
+        seg.payload = data.subspan(r.position(), static_cast<std::size_t>(take));
+        r.skip(static_cast<std::size_t>(take));
       } catch (const Error&) {
         // Cut mid-length-prefix: nothing of this segment survives.
         payload_cut = true;
+        seg.cut = true;
       }
     } else {
-      const std::uint64_t len = r.uvarint();
-      require(len <= r.remaining(), "decode_trace: truncated server log");
-      inner.reserve(len);
-      for (std::uint64_t i = 0; i < len; ++i) inner.push_back(r.u8());
+      try {
+        const std::uint64_t len = r.uvarint();
+        require(len <= r.remaining(), "decode_trace: truncated server log");
+        seg.payload = data.subspan(r.position(), static_cast<std::size_t>(len));
+        r.skip(static_cast<std::size_t>(len));
+      } catch (const Error&) {
+        // Hold the framing error until the reduce: a corrupt earlier
+        // segment must surface its own error first, as a sequential decode
+        // (which never reaches this framing) would.
+        slice_error = std::current_exception();
+        for (std::int32_t t = s; t < servers; ++t) {
+          segments[static_cast<std::size_t>(t)].missing = true;
+        }
+        break;
+      }
     }
+  }
 
+  struct Decoded {
     ServerLog log;
     bool complete = true;
-    if (options.tolerate_truncation) {
+    std::exception_ptr error;
+  };
+  std::vector<Decoded> decoded(static_cast<std::size_t>(servers));
+  const auto decode_shards =
+      shard_ranges(static_cast<std::size_t>(servers), kDecodeShardGrain);
+  parallel_for_shards(options.pool, decode_shards.size(), [&](std::size_t shard) {
+    for (std::size_t s = decode_shards[shard].begin; s < decode_shards[shard].end;
+         ++s) {
+      const Segment& seg = segments[s];
+      if (seg.missing) continue;
+      Decoded& d = decoded[s];
       try {
-        complete = decode_server_log_salvage(inner, log);
-      } catch (const Error&) {
-        // Structural errors inside an intact length-framed segment are
-        // corruption and propagate; a segment the payload physically cut
-        // short is just more truncation.
-        if (!payload_cut) throw;
-        log.flows.clear();
-        complete = false;
+        if (salvage) {
+          try {
+            d.complete = decode_server_log_salvage(seg.payload, d.log);
+          } catch (const Error&) {
+            // Structural errors inside an intact length-framed segment are
+            // corruption and propagate; a segment the payload physically
+            // cut short is just more truncation.
+            if (!seg.cut) throw;
+            d.log.flows.clear();
+            d.complete = false;
+          }
+        } else {
+          d.log = decode_server_log(seg.payload);
+        }
+      } catch (...) {
+        d.error = std::current_exception();
       }
-    } else {
-      log = decode_server_log(inner);
     }
+  });
+
+  for (std::int32_t s = 0; s < servers; ++s) {
+    const Segment& seg = segments[static_cast<std::size_t>(s)];
+    Decoded& d = decoded[static_cast<std::size_t>(s)];
+    if (seg.missing) {
+      if (!salvage) std::rethrow_exception(slice_error);
+      // Everything from this server on is gone; coverage records the loss.
+      trace.record_gap({ServerId{s}, 0.0, duration, GapCause::kDecodeTruncation});
+      continue;
+    }
+    if (d.error != nullptr) std::rethrow_exception(d.error);
     TimeSec salvaged_until = 0;
-    for (const SocketFlowLog& f : log.flows) {
+    for (const SocketFlowLog& f : d.log.flows) {
       salvaged_until = std::max(salvaged_until, f.end);
       if (f.direction != SocketDirection::kSend) continue;
       FlowRecord rec;
@@ -472,7 +525,7 @@ ClusterTrace decode_trace(std::span<const std::uint8_t> data,
       rec.kind = f.kind;
       trace.record_flow(rec);
     }
-    if (!complete) {
+    if (!d.complete) {
       // Logs finalize in end-time order, so everything after the salvaged
       // prefix ended at or after the last decoded record.
       trace.record_gap(

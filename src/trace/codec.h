@@ -19,6 +19,8 @@
 
 namespace dct {
 
+class ThreadPool;  // parallel/thread_pool.h
+
 /// Append-only byte buffer with varint primitives.
 class ByteWriter {
  public:
@@ -52,6 +54,11 @@ class ByteReader {
   std::uint64_t uvarint();
   std::int64_t svarint();
   double time_us() { return ByteWriter::dequantize_time(svarint()); }
+  /// Advances past `n` bytes (throws on underrun).  Used with position() to
+  /// slice length-prefixed segments as subspans without copying.
+  void skip(std::size_t n);
+  /// Bytes consumed so far.
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
 
   [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
@@ -96,6 +103,13 @@ struct DecodeOptions {
   /// exception.  Structural corruption (bad magic/version, malformed
   /// varints) still throws.
   bool tolerate_truncation = false;
+  /// Decodes the per-server segments on this pool (parallel/thread_pool.h),
+  /// each worker handling a disjoint server range; the decoded logs are
+  /// then reduced into the trace in server order on the calling thread, so
+  /// the result — including every gap/salvage decision and which error
+  /// surfaces on corrupt input — is byte-identical to the serial decode at
+  /// any thread count.  nullptr (the default) decodes serially.
+  ThreadPool* pool = nullptr;
 };
 
 /// decode_trace with hardening options.  With default options this is

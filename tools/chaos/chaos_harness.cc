@@ -23,7 +23,12 @@
 //                            record counts, the observed trace survives a
 //                            decode(encode) round trip, and both runs agree
 //                            on the telemetry schedule hash and the observed
-//                            trace's encoding.
+//                            trace's encoding;
+//   8. parallel determinism — rebuilding run A's analysis (gap-aware TM
+//                            series, salvage decode) through a multi-thread
+//                            pool is byte-identical to the serial path, and
+//                            the round's randomized `parallelism` knob never
+//                            changes any simulated or analyzed byte.
 //
 // Usage: chaos_harness [rounds=25] [duration_s=40] [base_seed=1]
 //        chaos_harness [--rounds=N] [--duration=S] [--seed=S]
@@ -35,7 +40,9 @@
 #include <random>
 #include <string>
 
+#include "analysis/traffic_matrix.h"
 #include "core/experiment.h"
+#include "parallel/thread_pool.h"
 #include "trace/codec.h"
 
 namespace {
@@ -143,6 +150,10 @@ dct::ScenarioConfig chaos_scenario(double duration, std::uint64_t seed) {
     cfg.telemetry.snmp_counter_width = uni(0.0, 1.0) < 0.5 ? 32 : 0;
     cfg.telemetry.seed = seed ^ 0x7E1E7E1Eull;
   }
+
+  // Shard-parallel analysis engine: any thread count must produce the same
+  // bytes (invariant 8), so the knob is free to vary per round.
+  cfg.parallelism = std::uniform_int_distribution<std::int32_t>(1, 8)(gen);
   return cfg;
 }
 
@@ -288,6 +299,30 @@ int main(int argc, char** argv) {
       std::cerr << "[chaos]   first divergence at byte " << pos << ":\n"
                 << "[chaos]   A: ..." << ma.substr(from, 160) << "\n"
                 << "[chaos]   B: ..." << mb.substr(from, 160) << "\n";
+    }
+
+    // Shard-parallel analysis is byte-identical to the serial path — run A's
+    // gap-aware TM series and the observed trace's (possibly salvage-mode)
+    // decode, serial vs a 2..8-thread pool.  Runs after the manifest capture:
+    // analysis and codec paths feed process-global counters bound to the
+    // latest run's registry.
+    {
+      dct::ThreadPool pool(2 + static_cast<int>(seed % 7));
+      const auto tms_serial = dct::build_tm_series_gap_aware(
+          a.observed_trace(), a.topology(), 5.0, dct::TmScope::kServer);
+      const auto tms_pooled = dct::build_tm_series_gap_aware(
+          a.observed_trace(), a.topology(), 5.0, dct::TmScope::kServer, {}, &pool);
+      bool tm_same = tms_serial.size() == tms_pooled.size();
+      for (std::size_t w = 0; tm_same && w < tms_serial.size(); ++w) {
+        tm_same = dct::SparseTm::identical(tms_serial[w], tms_pooled[w]);
+      }
+      check(tm_same, seed,
+            "parallel determinism: pooled gap-aware TM series differs from serial");
+      dct::DecodeOptions popt;
+      popt.pool = &pool;
+      check(encode_trace(dct::decode_trace(obs_encoded, popt)) ==
+                encode_trace(back),
+            seed, "parallel determinism: pooled decode differs from serial");
     }
 
     std::cerr << "[chaos] seed " << seed << ": " << a.trace().flow_count()
