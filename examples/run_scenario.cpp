@@ -3,21 +3,33 @@
 //   run_scenario [--scenario NAME] [--duration SECONDS] [--seed N]
 //                [--jobs-per-second R] [--racks N] [--servers-per-rack N]
 //                [--csv-flows PATH] [--csv-links PATH]
+//                [--checkpoint-dir PATH] [--checkpoint-interval S] [--resume]
+//                [--out-trace PATH] [--out-tm PATH] [--out-manifest PATH]
 //
 // Runs one scenario, prints the full measurement report (workload, flow
 // microscopics, patterns, congestion, utilization by tier), and optionally
 // exports per-flow and per-link CSVs for external tooling.
+//
+// With --checkpoint-dir the run is crash-safe (docs/CHECKPOINT.md): flow
+// records spool to a write-ahead log and periodic snapshots checkpoint the
+// full experiment state, and a rerun pointed at the same directory —
+// --resume makes the intent explicit and requires the directory — resumes a
+// killed run, byte-identically.  All file outputs are written atomically
+// (temp file + rename), so a crash mid-export never leaves a torn artifact.
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "analysis/congestion.h"
 #include "analysis/flowstats.h"
 #include "analysis/traffic_matrix.h"
+#include "common/fsio.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "trace/codec.h"
 
 namespace {
 
@@ -30,6 +42,12 @@ struct Options {
   std::int32_t servers_per_rack = -1;
   std::string csv_flows;
   std::string csv_links;
+  std::string checkpoint_dir;
+  double checkpoint_interval = 30.0;
+  bool resume = false;
+  std::string out_trace;
+  std::string out_tm;
+  std::string out_manifest;
 };
 
 [[noreturn]] void usage() {
@@ -38,7 +56,11 @@ struct Options {
                "fault_storm|gray_failure|correlated_burst|lossy_telemetry|tiny]\n"
                "                    [--duration S] [--seed N] [--jobs-per-second R]\n"
                "                    [--racks N] [--servers-per-rack N]\n"
-               "                    [--csv-flows PATH] [--csv-links PATH]\n";
+               "                    [--csv-flows PATH] [--csv-links PATH]\n"
+               "                    [--checkpoint-dir PATH] [--checkpoint-interval S]\n"
+               "                    [--resume]\n"
+               "                    [--out-trace PATH] [--out-tm PATH]\n"
+               "                    [--out-manifest PATH]\n";
   std::exit(2);
 }
 
@@ -66,9 +88,25 @@ Options parse(int argc, char** argv) {
       opt.csv_flows = next();
     } else if (arg == "--csv-links") {
       opt.csv_links = next();
+    } else if (arg == "--checkpoint-dir") {
+      opt.checkpoint_dir = next();
+    } else if (arg == "--checkpoint-interval") {
+      opt.checkpoint_interval = std::atof(next());
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--out-trace") {
+      opt.out_trace = next();
+    } else if (arg == "--out-tm") {
+      opt.out_tm = next();
+    } else if (arg == "--out-manifest") {
+      opt.out_manifest = next();
     } else {
       usage();
     }
+  }
+  if (opt.resume && opt.checkpoint_dir.empty()) {
+    std::cerr << "run_scenario: --resume requires --checkpoint-dir\n";
+    usage();
   }
   return opt;
 }
@@ -107,6 +145,10 @@ dct::ScenarioConfig make_config(const Options& opt) {
   if (opt.jobs_per_second >= 0) cfg.workload.jobs_per_second = opt.jobs_per_second;
   if (opt.racks > 0) cfg.topology.racks = opt.racks;
   if (opt.servers_per_rack > 0) cfg.topology.servers_per_rack = opt.servers_per_rack;
+  if (!opt.checkpoint_dir.empty()) {
+    cfg.checkpoint.dir = opt.checkpoint_dir;
+    cfg.checkpoint.interval_s = opt.checkpoint_interval;
+  }
   return cfg;
 }
 
@@ -115,7 +157,23 @@ dct::ScenarioConfig make_config(const Options& opt) {
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   dct::ClusterExperiment exp(make_config(opt));
-  exp.run();
+  if (opt.resume) {
+    exp.resume(opt.checkpoint_dir);
+  } else {
+    exp.run();
+  }
+  if (const dct::ckpt::CheckpointManager* cm = exp.checkpoint_manager()) {
+    // One stderr line per run so crash-recovery tooling can count what the
+    // recovery actually exercised.
+    const auto& c = cm->counters();
+    std::cerr << "[ckpt] resume_count=" << cm->resume_count()
+              << " snapshots_written=" << c.snapshots_written
+              << " snapshots_verified=" << c.snapshots_verified
+              << " wal_records_verified=" << c.wal_records_verified
+              << " wal_records_appended=" << c.wal_records_appended
+              << " wal_torn_bytes=" << c.wal_torn_bytes
+              << " stale_tmp_removed=" << c.stale_tmp_removed << "\n";
+  }
 
   const auto& trace = exp.trace();
   const auto& stats = exp.workload_stats();
@@ -193,17 +251,18 @@ int main(int argc, char** argv) {
   util.print(std::cout);
 
   if (!opt.csv_flows.empty()) {
-    std::ofstream csv(opt.csv_flows);
+    std::ostringstream csv;
     csv << "flow,start,end,src,dst,bytes,kind,failed\n";
     for (const auto& f : trace.flows()) {
       csv << f.flow.value() << ',' << f.start << ',' << f.end << ','
           << f.local.value() << ',' << f.peer.value() << ',' << f.bytes << ','
           << to_string(f.kind) << ',' << (f.failed ? 1 : 0) << '\n';
     }
+    dct::atomic_write_file(opt.csv_flows, csv.str());
     std::cout << "\nwrote per-flow CSV: " << opt.csv_flows << '\n';
   }
   if (!opt.csv_links.empty()) {
-    std::ofstream csv(opt.csv_links);
+    std::ostringstream csv;
     csv << "link,kind,bin_start,utilization\n";
     const auto& util_map = exp.utilization();
     for (dct::LinkId l : exp.topology().inter_switch_links()) {
@@ -213,7 +272,38 @@ int main(int argc, char** argv) {
             << series.bin_time(b) << ',' << series.value(b) << '\n';
       }
     }
+    dct::atomic_write_file(opt.csv_links, csv.str());
     std::cout << "wrote per-link CSV: " << opt.csv_links << '\n';
+  }
+
+  // Deterministic exports for crash-recovery verification
+  // (tools/crash/crash_harness byte-compares these between an interrupted-
+  // and-resumed run and an uninterrupted one).
+  if (!opt.out_trace.empty()) {
+    dct::atomic_write_file(opt.out_trace, encode_trace(trace));
+    std::cout << "wrote trace: " << opt.out_trace << '\n';
+  }
+  if (!opt.out_tm.empty()) {
+    std::ostringstream csv;
+    csv << "window,src,dst,bytes\n";
+    const auto tms =
+        dct::build_tm_series(trace, exp.topology(), 10.0, dct::TmScope::kServer);
+    for (std::size_t w = 0; w < tms.size(); ++w) {
+      auto entries = tms[w].entries();
+      std::sort(entries.begin(), entries.end(),
+                [](const dct::SparseTm::Entry& a, const dct::SparseTm::Entry& b) {
+                  return a.from != b.from ? a.from < b.from : a.to < b.to;
+                });
+      for (const auto& e : entries) {
+        csv << w << ',' << e.from << ',' << e.to << ',' << e.bytes << '\n';
+      }
+    }
+    dct::atomic_write_file(opt.out_tm, csv.str());
+    std::cout << "wrote TM series CSV: " << opt.out_tm << '\n';
+  }
+  if (!opt.out_manifest.empty()) {
+    exp.manifest("run_scenario").write_json(opt.out_manifest);
+    std::cout << "wrote manifest: " << opt.out_manifest << '\n';
   }
   return 0;
 }

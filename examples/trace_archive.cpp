@@ -7,11 +7,11 @@
 // reload it, and verify that analyses on the reloaded trace agree with the
 // original — plus report the compression the codec achieves.
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "analysis/flowstats.h"
+#include "common/fsio.h"
 #include "common/table.h"
 #include "core/experiment.h"
 #include "trace/codec.h"
@@ -24,13 +24,10 @@ int main(int argc, char** argv) {
   exp.run();
   const dct::ClusterTrace& trace = exp.trace();
 
-  // "Compress and upload".
+  // "Compress and upload" — atomically, the way the checkpoint subsystem
+  // writes its artifacts: a crash mid-upload never leaves a torn archive.
   const auto encoded = dct::encode_trace(trace);
-  {
-    std::ofstream out(path, std::ios::binary);
-    out.write(reinterpret_cast<const char*>(encoded.data()),
-              static_cast<std::streamsize>(encoded.size()));
-  }
+  dct::atomic_write_file(path, encoded);
 
   // Size accounting against the naive fixed-width dump.
   std::size_t raw = 0;
@@ -39,11 +36,7 @@ int main(int argc, char** argv) {
   }
 
   // "Download and analyze".
-  std::vector<std::uint8_t> loaded;
-  {
-    std::ifstream in(path, std::ios::binary);
-    loaded.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
-  }
+  const std::vector<std::uint8_t> loaded = dct::read_file_bytes(path);
   const dct::ClusterTrace reloaded = dct::decode_trace(loaded);
 
   const auto orig_stats = dct::flow_duration_stats(trace);

@@ -1,0 +1,84 @@
+// Versioned, checksummed experiment-state snapshots (docs/CHECKPOINT.md).
+//
+// A snapshot freezes everything serializable about a running experiment at
+// one simulated instant: the sim clock and event-sequence cursor, the
+// in-flight flow table and degraded-link overlay, the workload driver's
+// cursors, RNG streams and redundancy ledger, the fault injector's schedule
+// cursors, and the obs registry's deterministic counters.  Together with
+// the write-ahead trace spool (ckpt/wal.h) it is the durable progress
+// record of a run: resume replays the scenario deterministically and proves
+// — byte-for-byte, via these snapshots — that the replayed state matches
+// the state the crashed run had reached.
+//
+// Encoding: little-endian magic/version header, varint-packed sections in a
+// fixed order, FNV-1a trailer checksum over everything before it.  Doubles
+// are stored as raw IEEE-754 bit patterns, never re-parsed text, so a
+// decoded snapshot compares bit-identically against a live capture.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faults/injector.h"
+#include "flowsim/flowsim.h"
+#include "workload/driver.h"
+
+namespace dct::ckpt {
+
+/// FNV-1a offset basis / prime, shared by the snapshot trailer and the WAL
+/// record checksums.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Folds `data` into a running FNV-1a hash.
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t h,
+                                  std::span<const std::uint8_t> data) noexcept;
+
+/// One frozen experiment state.
+struct Snapshot {
+  /// Identity of the producing scenario (ckpt::scenario_fingerprint); a
+  /// snapshot never resumes a different scenario.
+  std::uint64_t fingerprint = 0;
+  /// Index on the checkpoint-interval grid: id = sim_time / interval.
+  std::uint64_t id = 0;
+  /// Simulated capture instant, quantized to integer microseconds.
+  std::int64_t sim_time_us = 0;
+  /// How many times this run had been resumed when the snapshot was taken.
+  std::uint64_t resume_count = 0;
+  /// WAL position at capture: records spooled, bytes written, chained
+  /// FNV-1a over the record payloads.  The snapshot is only written after
+  /// the WAL is flushed to this position, so these always describe durable
+  /// data.
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t wal_hash = 0;
+
+  FlowSim::CheckpointState flowsim;
+  WorkloadDriver::CheckpointState workload;
+  bool has_injector = false;
+  FaultInjector::CheckpointState faults;
+  /// Deterministic registry counters/gauges (sorted by full name); wall-ns
+  /// and ckpt.* self-referential metrics are excluded by the capturer.
+  std::vector<std::pair<std::string, double>> obs_counters;
+};
+
+/// Serializes a snapshot (header + sections + FNV-1a trailer).
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(const Snapshot& s);
+
+/// Inverse of encode_snapshot.  Throws dct::Error on bad magic/version, a
+/// checksum mismatch (torn or corrupt file) or any structural damage.
+[[nodiscard]] Snapshot decode_snapshot(std::span<const std::uint8_t> data);
+
+/// Compares the state sections (sim time, flowsim, workload, faults, obs)
+/// and WAL position of a stored snapshot against a live capture.  Returns
+/// "" when they match bit-for-bit, otherwise a one-line description naming
+/// the first divergent section — the error a resumed run reports when its
+/// replay does not reproduce the crashed run.  Lineage fields (id,
+/// resume_count) are not compared.
+[[nodiscard]] std::string describe_divergence(const Snapshot& stored,
+                                              const Snapshot& live);
+
+}  // namespace dct::ckpt

@@ -1,0 +1,293 @@
+#include "ckpt/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+
+#include "ckpt/snapshot.h"
+#include "common/fsio.h"
+#include "common/require.h"
+#include "trace/codec.h"
+
+namespace dct::ckpt {
+namespace {
+
+constexpr std::uint8_t kWalMagic[4] = {'D', 'W', 'A', 'L'};
+constexpr std::uint8_t kWalVersion = 1;
+constexpr std::uint8_t kTagRecord = 1;
+constexpr std::uint8_t kTagFinal = 2;
+// In slow (test) mode, sleep inside every Nth record append so randomized
+// SIGKILLs land mid-frame often enough for the crash harness to exercise
+// torn-tail truncation.
+constexpr std::uint64_t kSlowEveryNth = 8;
+// Owned append-buffer capacity; drained with a single write() when full or
+// at a flush barrier.  Large enough that a canonical run drains a handful
+// of times between snapshots.
+constexpr std::size_t kBufferCap = 256 * 1024;
+
+std::uint64_t get_u64(ByteReader& r) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(r.u8()) << (8 * i);
+  return v;
+}
+
+void sleep_ns(std::int64_t ns) {
+  timespec ts{};
+  ts.tv_sec = ns / 1000000000;
+  ts.tv_nsec = ns % 1000000000;
+  nanosleep(&ts, nullptr);
+}
+
+// Allocation-free encoding primitives for the per-record hot path (the
+// ByteWriter equivalents allocate a fresh buffer per use).
+void vec_uvarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void vec_svarint(std::vector<std::uint8_t>& out, std::int64_t v) {
+  // Zig-zag, matching ByteWriter::svarint.
+  vec_uvarint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                       static_cast<std::uint64_t>(v >> 63));
+}
+
+void vec_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void encode_wal_record_into(std::vector<std::uint8_t>& out, const FlowRecord& rec) {
+  vec_svarint(out, rec.id.value());
+  vec_svarint(out, rec.src.value());
+  vec_svarint(out, rec.dst.value());
+  vec_svarint(out, rec.bytes_requested);
+  vec_svarint(out, rec.bytes_sent);
+  vec_u64(out, std::bit_cast<std::uint64_t>(rec.start));
+  vec_u64(out, std::bit_cast<std::uint64_t>(rec.end));
+  out.push_back(static_cast<std::uint8_t>((rec.failed ? 1 : 0) |
+                                          (rec.truncated ? 2 : 0) |
+                                          (static_cast<std::uint8_t>(rec.kind) << 2)));
+  vec_svarint(out, rec.job.value());
+  vec_svarint(out, rec.phase.value());
+}
+
+std::vector<std::uint8_t> wal_header(std::uint64_t fingerprint) {
+  std::vector<std::uint8_t> out;
+  for (std::uint8_t m : kWalMagic) out.push_back(m);
+  out.push_back(kWalVersion);
+  vec_u64(out, fingerprint);
+  return out;
+}
+
+// One pass over the payload updating the per-frame hash and the record
+// chain together (both FNV-1a, different seeds) — the append path's only
+// traversal of the encoded bytes besides the buffer memcpy.
+void fnv1a_pair(const std::vector<std::uint8_t>& bytes, std::uint64_t& frame_hash,
+                std::uint64_t& chain) {
+  std::uint64_t h = frame_hash;
+  std::uint64_t c = chain;
+  for (std::uint8_t b : bytes) {
+    h = (h ^ b) * 0x100000001b3ULL;
+    c = (c ^ b) * 0x100000001b3ULL;
+  }
+  frame_hash = h;
+  chain = c;
+}
+
+// POSIX write loop used for both buffer drains and the slow-mode torn
+// half-writes; ::write may accept fewer bytes than asked.
+void raw_write(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    require(n >= 0 || errno == EINTR, "TraceWal: write failed");
+    if (n > 0) done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_wal_record(const FlowRecord& rec) {
+  std::vector<std::uint8_t> out;
+  encode_wal_record_into(out, rec);
+  return out;
+}
+
+TraceWal::TraceWal(std::string path, std::uint64_t fingerprint, std::int64_t slow_ns)
+    : path_(std::move(path)), fingerprint_(fingerprint), slow_ns_(slow_ns) {
+  const std::filesystem::path p(path_);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    require(!ec, "TraceWal: cannot create " + p.parent_path().string());
+  }
+  buffer_.reserve(kBufferCap);
+  const std::vector<std::uint8_t> header = wal_header(fingerprint_);
+  header_bytes_ = header.size();
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(p, ec);
+  if (!ec && size >= header.size()) {
+    // Existing segment: scan the frame prefix, drop any torn tail.
+    scan_existing(read_file_bytes(path_));
+    resumed_existing_ = true;
+    if (valid_bytes_ < size) {
+      std::filesystem::resize_file(p, valid_bytes_, ec);
+      require(!ec, "TraceWal: cannot truncate torn tail of " + path_);
+    }
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+    require(fd_ >= 0, "TraceWal: cannot reopen " + path_);
+    return;
+  }
+  // Fresh segment (missing, or cut inside the header — nothing durable yet).
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  require(fd_ >= 0, "TraceWal: cannot create " + path_);
+  raw_write(fd_, header.data(), header.size());
+  valid_bytes_ = header.size();
+}
+
+TraceWal::~TraceWal() {
+  if (fd_ >= 0) {
+    if (!buffer_.empty()) raw_write(fd_, buffer_.data(), buffer_.size());
+    ::close(fd_);
+  }
+}
+
+void TraceWal::scan_existing(const std::vector<std::uint8_t>& bytes) {
+  const std::vector<std::uint8_t> header = wal_header(fingerprint_);
+  require(bytes.size() >= header.size() &&
+              std::memcmp(bytes.data(), header.data(), header.size()) == 0,
+          "TraceWal: " + path_ + " belongs to a different scenario (header mismatch)");
+  ByteReader r(bytes);
+  r.skip(header.size());
+  valid_bytes_ = header.size();
+  while (!r.done()) {
+    // Each frame is accepted as a unit; any underrun, unknown tag or
+    // checksum mismatch marks the torn tail and ends the scan — the
+    // salvage rule of decode_server_log_salvage applied to the spool.
+    try {
+      const std::uint8_t tag = r.u8();
+      require(tag == kTagRecord || tag == kTagFinal, "TraceWal: bad frame tag");
+      const std::uint64_t len = r.uvarint();
+      require(len <= r.remaining(), "TraceWal: frame cut short");
+      const auto payload =
+          std::span<const std::uint8_t>(bytes).subspan(r.position(),
+                                                       static_cast<std::size_t>(len));
+      r.skip(static_cast<std::size_t>(len));
+      const std::uint64_t want = get_u64(r);
+      const std::uint64_t got = fnv1a(kFnvOffset, payload);
+      require(got == want, "TraceWal: frame checksum mismatch");
+      if (tag == kTagFinal) {
+        ByteReader fr(payload);
+        const std::uint64_t count = fr.uvarint();
+        const std::uint64_t chain = get_u64(fr);
+        require(count == frames_.size() && chain == chain_,
+                "TraceWal: finalize marker does not match the record chain");
+        finalized_ = true;
+        valid_bytes_ = r.position();
+        // Anything after a finalize marker is torn garbage.
+        truncated_bytes_ = bytes.size() - valid_bytes_;
+        truncated_tail_ = truncated_bytes_ > 0;
+        return;
+      }
+      chain_ = fnv1a(chain_, payload);
+      valid_bytes_ = r.position();
+      frames_.push_back({got, chain_, valid_bytes_});
+    } catch (const Error&) {
+      truncated_bytes_ = bytes.size() - valid_bytes_;
+      truncated_tail_ = true;
+      return;
+    }
+  }
+}
+
+void TraceWal::drain_buffer() {
+  if (buffer_.empty()) return;
+  raw_write(fd_, buffer_.data(), buffer_.size());
+  buffer_.clear();
+}
+
+void TraceWal::write_frame(std::uint8_t tag, const std::vector<std::uint8_t>& payload) {
+  require(fd_ >= 0, "TraceWal: closed");
+  require(!finalized_ || tag != kTagRecord,
+          "TraceWal: append after finalize marker");
+  std::vector<std::uint8_t> frame;
+  frame.push_back(tag);
+  vec_uvarint(frame, payload.size());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  vec_u64(frame, fnv1a(kFnvOffset, payload));
+  const bool slow = slow_ns_ > 0 && (tag == kTagFinal ||
+                                     appended_since_flush_ % kSlowEveryNth == 0);
+  if (slow) {
+    // Test mode: unbuffered half-writes with a sleep between, so a SIGKILL
+    // in the window leaves a genuinely torn frame on disk.
+    drain_buffer();
+    const std::size_t half = frame.size() / 2;
+    raw_write(fd_, frame.data(), half);
+    sleep_ns(slow_ns_);
+    raw_write(fd_, frame.data() + half, frame.size() - half);
+  } else {
+    buffer_.insert(buffer_.end(), frame.begin(), frame.end());
+    if (buffer_.size() >= kBufferCap) drain_buffer();
+  }
+  valid_bytes_ += frame.size();
+  ++appended_since_flush_;
+}
+
+void TraceWal::append(const FlowRecord& rec) {
+  // Hot path: one frame per finalized flow.  The frame is encoded straight
+  // into the owned buffer through a reused scratch vector, and the frame
+  // checksum and record chain advance in a single pass over the payload.
+  require(fd_ >= 0, "TraceWal: closed");
+  require(!finalized_, "TraceWal: append after finalize marker");
+  payload_scratch_.clear();
+  encode_wal_record_into(payload_scratch_, rec);
+  std::uint64_t hash = kFnvOffset;
+  fnv1a_pair(payload_scratch_, hash, chain_);
+  const bool slow = slow_ns_ > 0 && appended_since_flush_ % kSlowEveryNth == 0;
+  const std::size_t frame_start = buffer_.size();
+  buffer_.push_back(kTagRecord);
+  vec_uvarint(buffer_, payload_scratch_.size());
+  buffer_.insert(buffer_.end(), payload_scratch_.begin(), payload_scratch_.end());
+  vec_u64(buffer_, hash);
+  const std::size_t frame_size = buffer_.size() - frame_start;
+  if (slow) {
+    // Test mode: unbuffered half-writes with a sleep between, so a SIGKILL
+    // in the window leaves a genuinely torn frame on disk.
+    raw_write(fd_, buffer_.data(), frame_start + (frame_size / 2));
+    sleep_ns(slow_ns_);
+    raw_write(fd_, buffer_.data() + frame_start + (frame_size / 2),
+              frame_size - (frame_size / 2));
+    buffer_.clear();
+  } else if (buffer_.size() >= kBufferCap) {
+    drain_buffer();
+  }
+  valid_bytes_ += frame_size;
+  ++appended_since_flush_;
+  frames_.push_back({hash, chain_, valid_bytes_});
+}
+
+void TraceWal::finalize(std::uint64_t record_count, std::uint64_t chain_hash) {
+  if (finalized_) return;
+  std::vector<std::uint8_t> payload;
+  vec_uvarint(payload, record_count);
+  vec_u64(payload, chain_hash);
+  write_frame(kTagFinal, payload);
+  finalized_ = true;
+}
+
+void TraceWal::flush(bool sync) {
+  require(fd_ >= 0, "TraceWal: closed");
+  drain_buffer();
+  // fdatasync: an append-only segment re-scanned from byte 0 on recovery
+  // needs its data and size durable, not its inode timestamps.
+  if (sync) require(::fdatasync(fd_) == 0, "TraceWal: fdatasync failed for " + path_);
+}
+
+}  // namespace dct::ckpt

@@ -1,0 +1,122 @@
+// Write-ahead trace spool (docs/CHECKPOINT.md).
+//
+// Flow records stream into a single append-only WAL segment as the
+// simulator finalizes them, each framed as
+//
+//   [tag u8][payload-length uvarint][payload][FNV-1a(payload) u64le]
+//
+// after a fixed header binding the file to one scenario.  A crash can cut
+// the file anywhere; on reopen the scan accepts the longest prefix of
+// whole, checksum-valid frames and truncates the torn tail — the same
+// salvage rule the trace codec applies to truncated uploads (PR 5), moved
+// down to the durability layer.  A finalize marker closes a completed run's
+// WAL; a reopened WAL without one is, by definition, a crashed run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "flowsim/flowsim.h"
+
+namespace dct::ckpt {
+
+/// Serializes one FlowRecord as a WAL frame payload.  Times are IEEE-754
+/// bit patterns: the WAL is a bit-exactness witness, not a compressed
+/// archive, so nothing is quantized.
+[[nodiscard]] std::vector<std::uint8_t> encode_wal_record(const FlowRecord& rec);
+
+/// One durable frame, with the WAL cursor as of its commit.  The cumulative
+/// fields let a snapshot's WAL position (records, bytes, chain hash) be
+/// checked against the durable prefix at any record count.
+struct WalFrameInfo {
+  std::uint64_t payload_hash = 0;  ///< FNV-1a of the frame payload
+  std::uint64_t chain_after = 0;   ///< record chain hash after this frame
+  std::uint64_t bytes_after = 0;   ///< file offset just past this frame
+};
+
+/// Append-side handle on the WAL segment of one checkpoint directory.
+///
+/// Opening scans any existing file: the valid frame prefix becomes the
+/// durable record list (per-frame payload hashes, for replay verification),
+/// and a torn tail — a frame cut mid-write or failing its checksum — is
+/// truncated off before the file is reopened for append.  A header that
+/// does not match the caller's scenario identity throws: a WAL never
+/// continues a different experiment.
+class TraceWal {
+ public:
+  /// FNV-1a offset basis the record chain starts from (= ckpt::kFnvOffset;
+  /// duplicated here so wal.h does not need snapshot.h).
+  static constexpr std::uint64_t kFnvOffsetWal = 0xcbf29ce484222325ULL;
+
+  /// Opens (or creates) `path` for the scenario identified by
+  /// `fingerprint`.  `slow_ns`, when > 0, widens every append and flush
+  /// with raw unbuffered half-writes separated by that many nanoseconds —
+  /// the crash harness's hook for landing SIGKILLs mid-WAL-append; 0 (the
+  /// default) streams through stdio buffering.
+  TraceWal(std::string path, std::uint64_t fingerprint, std::int64_t slow_ns = 0);
+  ~TraceWal();
+  TraceWal(const TraceWal&) = delete;
+  TraceWal& operator=(const TraceWal&) = delete;
+
+  /// Appends one record frame (buffered; durable after flush()).
+  void append(const FlowRecord& rec);
+  /// Appends the finalize marker for a completed run.
+  void finalize(std::uint64_t record_count, std::uint64_t chain_hash);
+  /// Flushes stdio buffers and fsyncs — the durability barrier every
+  /// snapshot write takes first.
+  void flush(bool sync);
+
+  // --- State recovered by the opening scan --------------------------------
+  /// Frames that survived the scan, in order.
+  [[nodiscard]] const std::vector<WalFrameInfo>& durable_frames() const noexcept {
+    return frames_;
+  }
+  /// Chained FNV-1a over the durable frames' payloads.
+  [[nodiscard]] std::uint64_t durable_chain_hash() const noexcept { return chain_; }
+  /// Bytes of valid prefix the scan kept (header + whole frames).
+  [[nodiscard]] std::uint64_t durable_bytes() const noexcept { return valid_bytes_; }
+  /// Fixed header size — the WAL byte cursor at record count 0.
+  [[nodiscard]] std::uint64_t header_bytes() const noexcept { return header_bytes_; }
+  /// True when the scan cut a torn tail off the file.
+  [[nodiscard]] bool truncated_tail() const noexcept { return truncated_tail_; }
+  /// Bytes the truncation discarded (0 when the tail was clean).
+  [[nodiscard]] std::uint64_t truncated_bytes() const noexcept {
+    return truncated_bytes_;
+  }
+  /// True when the scan found a finalize marker (the run had completed).
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  /// True when the file existed before this open (a resume, not a fresh
+  /// run).
+  [[nodiscard]] bool resumed_existing() const noexcept { return resumed_existing_; }
+
+ private:
+  void write_frame(std::uint8_t tag, const std::vector<std::uint8_t>& payload);
+  void scan_existing(const std::vector<std::uint8_t>& bytes);
+
+  void drain_buffer();
+
+  std::string path_;
+  std::uint64_t fingerprint_ = 0;
+  std::int64_t slow_ns_ = 0;
+  int fd_ = -1;
+  /// Owned append buffer (drained with one write() when full or at a flush
+  /// barrier): the WAL spools one frame per finalized flow on the
+  /// simulator's hot path, so the per-record cost must be a memcpy, not a
+  /// locked stdio call.
+  std::vector<std::uint8_t> buffer_;
+  /// Reused frame-encode scratch, so the encode never allocates per record.
+  std::vector<std::uint8_t> payload_scratch_;
+  std::vector<WalFrameInfo> frames_;
+  std::uint64_t chain_ = kFnvOffsetWal;
+  std::uint64_t valid_bytes_ = 0;
+  std::uint64_t header_bytes_ = 0;
+  std::uint64_t truncated_bytes_ = 0;
+  std::uint64_t appended_since_flush_ = 0;
+  bool truncated_tail_ = false;
+  bool finalized_ = false;
+  bool resumed_existing_ = false;
+};
+
+}  // namespace dct::ckpt

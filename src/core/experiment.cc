@@ -31,6 +31,7 @@ ClusterExperiment::ClusterExperiment(ScenarioConfig config)
   config_.degradations.validate();
   config_.cascades.validate();
   config_.telemetry.validate();
+  config_.checkpoint.validate();
   require(config_.parallelism >= 1, "ScenarioConfig: parallelism must be >= 1");
   if (config_.parallelism > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.parallelism);
@@ -98,6 +99,16 @@ void ClusterExperiment::run() {
     }
     if (!config_.cascades.empty()) injector_->enable_cascades(config_.cascades);
   }
+  // Checkpointing is opt-in with the same caveat as sampling below: ticks
+  // are user callbacks in the queue, so enabling it shifts event sequence
+  // numbers (never results).  Construction performs recovery — any durable
+  // progress in the directory becomes the replay-verification target.
+  if (config_.checkpoint.enabled()) {
+    ckpt_ = std::make_unique<ckpt::CheckpointManager>(config_.checkpoint,
+                                                      scenario_fingerprint());
+    sim_.set_record_tap([this](const FlowRecord& r) { ckpt_->on_record(r); });
+    schedule_checkpoint_tick(1);
+  }
   // Sampling is opt-in: each tick is a user callback in the event queue, so
   // enabling it shifts event sequence numbers.  With the default interval of
   // 0 the queue contents are identical to a build without obs.
@@ -107,10 +118,90 @@ void ClusterExperiment::run() {
   }
   sim_.run();
   trace_.build_indices();
+  if (ckpt_) {
+    ckpt_->finalize();
+    if (config_.obs_bind_metrics) publish_ckpt_metrics();
+  }
   wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                                 wall_start)
                       .count();
   ran_ = true;
+}
+
+void ClusterExperiment::resume(const std::string& dir) {
+  require(!ran_, "ClusterExperiment::resume: run() already completed");
+  require(!dir.empty(), "ClusterExperiment::resume: empty checkpoint dir");
+  config_.checkpoint.dir = dir;
+  run();
+}
+
+std::uint64_t ClusterExperiment::scenario_fingerprint() const {
+  ckpt::Fingerprint fp;
+  fp.str("dct-scenario-v1")
+      .str(config_.name)
+      .u64(config_.seed)
+      .f64(config_.sim.end_time)
+      .u64(static_cast<std::uint64_t>(config_.topology.racks))
+      .u64(static_cast<std::uint64_t>(config_.topology.servers_per_rack))
+      .u64(static_cast<std::uint64_t>(config_.topology.external_servers))
+      .flag(!config_.faults.empty())
+      .flag(!config_.degradations.empty())
+      .flag(!config_.cascades.empty())
+      .flag(!config_.telemetry.empty())
+      .flag(config_.workload.locality_enabled)
+      .flag(config_.workload.chunked_transfers)
+      .f64(config_.workload.jobs_per_second)
+      .f64(config_.obs_sample_interval)
+      .f64(config_.checkpoint.interval_s);
+  return fp.value();
+}
+
+void ClusterExperiment::schedule_checkpoint_tick(std::uint64_t id) {
+  const TimeSec t = static_cast<double>(id) * config_.checkpoint.interval_s;
+  if (t > config_.sim.end_time) return;
+  sim_.at(t, [this, id](FlowSim&) {
+    ckpt_->checkpoint(capture_snapshot(id));
+    schedule_checkpoint_tick(id + 1);
+  });
+}
+
+ckpt::Snapshot ClusterExperiment::capture_snapshot(std::uint64_t id) const {
+  ckpt::Snapshot s;
+  s.id = id;
+  s.sim_time_us = ByteWriter::quantize_time(sim_.now());
+  s.flowsim = sim_.checkpoint_state();
+  s.workload = driver_.checkpoint_state();
+  if (injector_) {
+    s.has_injector = true;
+    s.faults = injector_->checkpoint_state();
+  }
+  // Deterministic scalars only: wall-clock accumulators differ between a
+  // run and its replay by nature, and ckpt.* would make snapshots describe
+  // themselves.
+  for (auto& [name, value] : registry_.scalar_snapshot()) {
+    if (name.find("wall_ns") != std::string::npos) continue;
+    if (name.rfind("ckpt.", 0) == 0) continue;
+    s.obs_counters.emplace_back(std::move(name), value);
+  }
+  return s;
+}
+
+void ClusterExperiment::publish_ckpt_metrics() {
+  const ckpt::CheckpointManager::Counters& c = ckpt_->counters();
+  registry_.counter("ckpt", "snapshots_written", "snapshots")
+      ->inc(c.snapshots_written);
+  registry_.counter("ckpt", "snapshots_verified", "snapshots")
+      ->inc(c.snapshots_verified);
+  registry_.counter("ckpt", "snapshots_skipped", "snapshots")
+      ->inc(c.snapshots_skipped);
+  registry_.counter("ckpt", "wal_records_appended", "records")
+      ->inc(c.wal_records_appended);
+  registry_.counter("ckpt", "wal_records_verified", "records")
+      ->inc(c.wal_records_verified);
+  registry_.counter("ckpt", "wal_torn_bytes", "bytes")->inc(c.wal_torn_bytes);
+  registry_.counter("ckpt", "stale_tmp_removed", "files")->inc(c.stale_tmp_removed);
+  registry_.gauge("ckpt", "resume_count", "resumes")
+      ->set(static_cast<double>(ckpt_->resume_count()));
 }
 
 void ClusterExperiment::schedule_sampler_tick() {
@@ -181,6 +272,16 @@ obs::RunManifest ClusterExperiment::manifest(const std::string& harness) const {
       static_cast<double>(telemetry_hash_ & ((1ull << 48) - 1));
   m.config["obs_sample_interval_s"] = config_.obs_sample_interval;
   m.config["parallelism"] = static_cast<double>(config_.parallelism);
+  // Checkpoint lineage keys appear only when checkpointing is on, keeping
+  // disabled-mode manifests bit-identical to pre-checkpoint builds.
+  if (config_.checkpoint.enabled()) {
+    m.config["checkpoint_enabled"] = 1.0;
+    m.config["checkpoint_interval_s"] = config_.checkpoint.interval_s;
+    m.config["ckpt_resume_count"] =
+        ckpt_ ? static_cast<double>(ckpt_->resume_count()) : 0.0;
+    m.config["ckpt_last_snapshot_id"] =
+        ckpt_ ? static_cast<double>(ckpt_->last_snapshot_id()) : 0.0;
+  }
   m.build = obs::current_build_info();
   m.wall_seconds = wall_seconds_;
   m.capture_metrics(registry_);

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "analysis/congestion.h"
+#include "ckpt/checkpoint.h"
 #include "core/scenario.h"
 #include "faults/injector.h"
 #include "flowsim/flowsim.h"
@@ -48,8 +49,19 @@ class ClusterExperiment {
   ClusterExperiment& operator=(ClusterExperiment&&) = delete;
 
   /// Installs the workload and runs the simulator to the horizon.
-  /// Idempotent.
+  /// Idempotent.  When the scenario's checkpoint config is enabled this
+  /// transparently recovers any prior progress in the checkpoint directory
+  /// (docs/CHECKPOINT.md): flow records are verified against the durable
+  /// WAL prefix and snapshots against the replayed state, and the run
+  /// throws rather than silently diverge.
   void run();
+
+  /// run() against the checkpoint directory `dir` of a killed run:
+  /// overrides the scenario's checkpoint dir and runs to the horizon,
+  /// replaying and extending the durable progress found there.  The rest of
+  /// the scenario config must be the one the crashed run used (enforced via
+  /// the scenario fingerprint bound into the directory's artifacts).
+  void resume(const std::string& dir);
 
   [[nodiscard]] const ScenarioConfig& scenario() const noexcept { return config_; }
   [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
@@ -99,6 +111,18 @@ class ClusterExperiment {
     return telemetry_stats_;
   }
 
+  // --- Checkpoint/restart (src/ckpt, docs/CHECKPOINT.md) ------------------
+  /// The run's checkpoint manager, or nullptr when checkpointing is
+  /// disabled.  Counters and lineage are final once run() returns.
+  [[nodiscard]] const ckpt::CheckpointManager* checkpoint_manager() const noexcept {
+    return ckpt_.get();
+  }
+  /// Scenario identity that binds checkpoint artifacts to this experiment:
+  /// name, seed, horizon, topology shape, subsystem-enable flags and the
+  /// event-schedule-shaping intervals.  Parallelism is excluded — by the
+  /// determinism contract it cannot change results.
+  [[nodiscard]] std::uint64_t scenario_fingerprint() const;
+
   // --- Self-instrumentation (src/obs, docs/METRICS.md) --------------------
   /// The run's metric registry.  run() binds every subsystem into it; all
   /// values are final once run() returns.  In a DCT_OBS=OFF build the
@@ -122,6 +146,9 @@ class ClusterExperiment {
 
  private:
   void schedule_sampler_tick();
+  void schedule_checkpoint_tick(std::uint64_t id);
+  [[nodiscard]] ckpt::Snapshot capture_snapshot(std::uint64_t id) const;
+  void publish_ckpt_metrics();
   void publish_telemetry_metrics();
   ScenarioConfig config_;
   Topology topo_;
@@ -131,6 +158,7 @@ class ClusterExperiment {
   TraceCollector collector_;
   WorkloadDriver driver_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<ckpt::CheckpointManager> ckpt_;
   std::unique_ptr<ThreadPool> pool_;
   std::uint64_t schedule_hash_ = 0;
   TelemetryFaultSchedule telemetry_schedule_;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "ckpt/checkpoint.h"
 #include "common/units.h"
 #include "faults/cascade.h"
 #include "faults/degradation.h"
@@ -47,6 +48,15 @@ struct ScenarioConfig {
   /// without the telemetry subsystem.
   TelemetryFaultConfig telemetry;
   std::uint64_t seed = 42;
+  /// Crash-safe checkpoint/restart (src/ckpt, docs/CHECKPOINT.md): when a
+  /// checkpoint directory is set, run() spools every flow record to a
+  /// write-ahead log and writes periodic checksummed snapshots there, and a
+  /// rerun pointed at the same directory resumes a killed run, verifying
+  /// the replay against the durable state byte-for-byte.  Disabled (empty
+  /// dir) by default, in which case no manager is built, no tap or tick is
+  /// installed and the run is byte-identical to a build without the
+  /// subsystem.
+  ckpt::CheckpointConfig checkpoint;
   /// When > 0, ClusterExperiment samples every registered counter/gauge
   /// onto this simulated-time grid (obs::Sampler) during run(); 0 (the
   /// default) schedules no sampling callbacks, leaving the event stream

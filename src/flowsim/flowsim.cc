@@ -114,6 +114,7 @@ FlowId FlowSim::start_flow(const FlowSpec& spec, CompletionCallback on_complete)
     DCT_OBS_INC(m_fault_kills_);
     if (config_.keep_records) records_.push_back(rec);
     if (record_sink_) record_sink_(rec);
+    if (record_tap_) record_tap_(rec);
     if (f.on_complete && now_ < config_.end_time) f.on_complete(*this, rec);
     return id;
   }
@@ -155,6 +156,7 @@ FlowId FlowSim::start_flow(const FlowSpec& spec, CompletionCallback on_complete)
     DCT_OBS_INC(m_connect_failures_);
     if (config_.keep_records) records_.push_back(rec);
     if (record_sink_) record_sink_(rec);
+    if (record_tap_) record_tap_(rec);
     if (f.on_complete) f.on_complete(*this, rec);
     return id;
   }
@@ -176,6 +178,7 @@ FlowId FlowSim::start_flow(const FlowSpec& spec, CompletionCallback on_complete)
     rec.kind = spec.kind;
     if (config_.keep_records) records_.push_back(rec);
     if (record_sink_) record_sink_(rec);
+    if (record_tap_) record_tap_(rec);
     // No completion callback while draining: a callback that immediately
     // starts another flow would otherwise loop forever at the horizon.
     if (f.on_complete && now_ < config_.end_time) f.on_complete(*this, rec);
@@ -404,6 +407,7 @@ void FlowSim::finalize_flow(std::size_t slot, bool failed, bool truncated) {
 
   if (config_.keep_records) records_.push_back(rec);
   if (record_sink_) record_sink_(rec);
+  if (record_tap_) record_tap_(rec);
   if (cb && !truncated) cb(*this, rec);
 }
 
@@ -582,6 +586,47 @@ void FlowSim::snapshot_link_rates(std::vector<double>& out) const {
       out[static_cast<std::size_t>(l.value())] += f.rate;
     }
   }
+}
+
+FlowSim::CheckpointState FlowSim::checkpoint_state() const {
+  CheckpointState s;
+  s.now = now_;
+  s.seq = seq_;
+  s.started = started_;
+  s.failed = failed_;
+  s.fault_killed = fault_killed_;
+  s.fault_rerouted = fault_rerouted_;
+  s.recomputes = recomputes_;
+  s.rng = rng_.state();
+  s.flows.reserve(active_.size());
+  for (const ActiveFlow& f : active_) {
+    CheckpointState::FlowState fs;
+    fs.id = f.id.value();
+    fs.src = f.spec.src.value();
+    fs.dst = f.spec.dst.value();
+    fs.bytes = f.spec.bytes;
+    fs.remaining = f.remaining;
+    fs.rate = f.rate;
+    fs.start = f.start;
+    fs.last_deposit = f.last_deposit;
+    fs.stall_since = f.stall_since;
+    fs.generation = f.generation;
+    fs.job = f.spec.job.value();
+    fs.phase = f.spec.phase.value();
+    fs.kind = static_cast<std::uint8_t>(f.spec.kind);
+    s.flows.push_back(fs);
+  }
+  // The active table is swap-remove ordered; identical runs order it
+  // identically, but flow-id order makes the artifact canonical to read.
+  std::sort(s.flows.begin(), s.flows.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  for (std::size_t l = 0; l < link_cap_factor_.size(); ++l) {
+    if (link_cap_factor_[l] != 1.0) {
+      s.degraded_links.emplace_back(static_cast<std::int32_t>(l),
+                                    link_cap_factor_[l]);
+    }
+  }
+  return s;
 }
 
 }  // namespace dct

@@ -3,10 +3,8 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <system_error>
 
+#include "common/fsio.h"
 #include "common/require.h"
 
 namespace dct::obs {
@@ -162,38 +160,10 @@ std::string RunManifest::to_csv() const {
 }
 
 std::string RunManifest::write_json(const std::string& path) const {
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
-    require(!ec, "RunManifest::write_json: cannot create " +
-                     p.parent_path().string() + ": " + ec.message());
-  }
-  // Write-to-temp + rename so a reader (or a crash mid-write) never sees a
-  // half-written manifest: the rename either installs the complete file or
-  // leaves the previous one untouched.
-  const std::filesystem::path tmp(path + ".tmp");
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    require(out.good(), "RunManifest::write_json: cannot open " + tmp.string());
-    out << to_json();
-    out.flush();
-    const bool ok = out.good();
-    if (!ok) {
-      out.close();
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      require(false, "RunManifest::write_json: write failed for " + tmp.string());
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, p, ec);
-  if (ec) {
-    std::error_code rm_ec;
-    std::filesystem::remove(tmp, rm_ec);
-    require(false, "RunManifest::write_json: cannot rename " + tmp.string() +
-                       " to " + path + ": " + ec.message());
-  }
+  // Write-to-temp + rename (common/fsio.h) so a reader (or a crash
+  // mid-write) never sees a half-written manifest: the rename either
+  // installs the complete file or leaves the previous one untouched.
+  atomic_write_file(path, to_json());
   return path;
 }
 

@@ -195,11 +195,25 @@ namespace {
 bool decode_server_log_impl(std::span<const std::uint8_t> data, ServerLog& out,
                             bool salvage) {
   ByteReader r(data);
-  require(r.u8() == kLogMagic, "decode_server_log: bad magic");
-  out.server = ServerId{static_cast<std::int32_t>(r.svarint())};
   out.flows.clear();
-  const std::uint64_t n = r.uvarint();
-  if (!salvage) {
+  std::uint64_t n = 0;
+  if (salvage) {
+    // A collector can die before flushing anything: a zero-length payload,
+    // or one cut inside the header, holds zero whole records.  Salvage
+    // reports that as an incomplete-but-empty log (the caller records a
+    // truncation gap); only a *wrong* magic byte is structural corruption.
+    if (data.empty()) return false;
+    require(r.u8() == kLogMagic, "decode_server_log: bad magic");
+    try {
+      out.server = ServerId{static_cast<std::int32_t>(r.svarint())};
+      n = r.uvarint();
+    } catch (const Error&) {
+      return false;
+    }
+  } else {
+    require(r.u8() == kLogMagic, "decode_server_log: bad magic");
+    out.server = ServerId{static_cast<std::int32_t>(r.svarint())};
+    n = r.uvarint();
     check_count(n, r.remaining(), "decode_server_log: flow count exceeds payload");
   }
   out.flows.reserve(std::min<std::uint64_t>(n, r.remaining()));

@@ -1881,6 +1881,28 @@ RedundancyStats WorkloadDriver::redundancy(TimeSec now) const {
   return out;
 }
 
+WorkloadDriver::CheckpointState WorkloadDriver::checkpoint_state() const {
+  CheckpointState s;
+  s.stats = stats_;
+  s.rng = rng_.state();
+  s.mitigation_rng = mitigation_rng_.state();
+  s.next_job = next_job_;
+  s.next_phase = next_phase_;
+  s.running_jobs = running_jobs_;
+  s.jobs_tracked = static_cast<std::int64_t>(jobs_.size());
+  s.queued_jobs = static_cast<std::int64_t>(job_queue_.size());
+  s.repair_depth = static_cast<std::int64_t>(repair_queue_.depth());
+  s.repair_in_flight = repair_queue_.in_flight();
+  s.repair_peak_depth = static_cast<std::int64_t>(repair_queue_.peak_depth());
+  s.under_replicated = under_replicated_blocks_;
+  s.loss_episodes = redundancy_loss_episodes_;
+  s.first_loss = redundancy_first_loss_;
+  s.last_restore = redundancy_last_restore_;
+  s.debt = redundancy_debt_;
+  s.last_update = redundancy_last_update_;
+  return s;
+}
+
 // ---------------------------------------------------------------------------
 // Ingest
 // ---------------------------------------------------------------------------

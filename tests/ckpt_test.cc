@@ -1,0 +1,281 @@
+#include "ckpt/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ckpt/snapshot.h"
+#include "ckpt/wal.h"
+#include "common/fsio.h"
+#include "common/require.h"
+#include "core/experiment.h"
+#include "trace/codec.h"
+
+namespace dct {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test, removed on teardown.
+class CkptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dct_ckpt_test_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path dir_;
+};
+
+ckpt::Snapshot sample_snapshot() {
+  ckpt::Snapshot s;
+  s.fingerprint = 0xfeedfacecafebeefULL;
+  s.id = 3;
+  s.sim_time_us = 15'000'000;
+  s.resume_count = 2;
+  s.wal_records = 17;
+  s.wal_bytes = 421;
+  s.wal_hash = 0x1234;
+  s.flowsim.now = 15.0;
+  s.flowsim.seq = 99;
+  s.workload.next_job = 7;
+  s.obs_counters = {{"flowsim.events_processed", 1543.0},
+                    {"workload.jobs_submitted", 12.0}};
+  return s;
+}
+
+FlowRecord sample_record(int i) {
+  FlowRecord r;
+  r.id = FlowId{i};
+  r.src = ServerId{i % 5};
+  r.dst = ServerId{(i + 1) % 5};
+  r.bytes_requested = 1000 + i;
+  r.bytes_sent = 900 + i;
+  r.start = 0.5 * i;
+  r.end = 0.5 * i + 1.25;
+  r.failed = (i % 7 == 0);
+  r.kind = FlowKind::kShuffle;
+  r.job = JobId{i / 3};
+  r.phase = PhaseId{i % 3};
+  return r;
+}
+
+// --- Snapshot codec ---------------------------------------------------------
+
+TEST_F(CkptTest, SnapshotRoundTripsBitExactly) {
+  const ckpt::Snapshot s = sample_snapshot();
+  const auto bytes = ckpt::encode_snapshot(s);
+  const ckpt::Snapshot back = ckpt::decode_snapshot(bytes);
+  EXPECT_EQ(back.fingerprint, s.fingerprint);
+  EXPECT_EQ(back.id, s.id);
+  EXPECT_EQ(back.sim_time_us, s.sim_time_us);
+  EXPECT_EQ(back.resume_count, s.resume_count);
+  EXPECT_EQ(back.wal_records, s.wal_records);
+  EXPECT_EQ(back.obs_counters, s.obs_counters);
+  EXPECT_EQ(ckpt::describe_divergence(s, back), "");
+}
+
+TEST_F(CkptTest, SnapshotRejectsCorruptionAndTruncation) {
+  auto bytes = ckpt::encode_snapshot(sample_snapshot());
+  // Every single-byte flip must be caught by the FNV trailer.
+  for (std::size_t i : {std::size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+    auto bad = bytes;
+    bad[i] ^= 0x01;
+    EXPECT_THROW((void)ckpt::decode_snapshot(bad), Error) << "flip at " << i;
+  }
+  // Every proper prefix is torn.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(
+        (void)ckpt::decode_snapshot(std::span(bytes.data(), len)), Error)
+        << "prefix " << len;
+  }
+}
+
+TEST_F(CkptTest, DivergenceNamesTheFirstDifferingSection) {
+  const ckpt::Snapshot stored = sample_snapshot();
+  ckpt::Snapshot live = stored;
+  live.obs_counters[0].second += 1.0;
+  EXPECT_NE(ckpt::describe_divergence(stored, live), "");
+  // Lineage fields are excluded: a resumed run re-captures with a bumped
+  // resume_count and a different id schedule.
+  live = stored;
+  live.id = 99;
+  live.resume_count = 9;
+  EXPECT_EQ(ckpt::describe_divergence(stored, live), "");
+}
+
+// --- WAL --------------------------------------------------------------------
+
+TEST_F(CkptTest, WalReopensWithDurablePrefixAndTruncatesTornTail) {
+  const std::string path = (dir_ / "trace.dwal").string();
+  constexpr std::uint64_t kFp = 42;
+  {
+    ckpt::TraceWal wal(path, kFp);
+    EXPECT_FALSE(wal.resumed_existing());
+    for (int i = 0; i < 10; ++i) wal.append(sample_record(i));
+    wal.flush(/*sync=*/false);
+  }
+  std::uint64_t clean_bytes = 0;
+  {
+    ckpt::TraceWal wal(path, kFp);
+    EXPECT_TRUE(wal.resumed_existing());
+    EXPECT_FALSE(wal.finalized());
+    EXPECT_FALSE(wal.truncated_tail());
+    ASSERT_EQ(wal.durable_frames().size(), 10u);
+    clean_bytes = wal.durable_bytes();
+    // Replayed payloads hash-match the durable prefix.
+    for (int i = 0; i < 10; ++i) {
+      const auto payload = ckpt::encode_wal_record(sample_record(i));
+      EXPECT_EQ(wal.durable_frames()[i].payload_hash,
+                ckpt::fnv1a(ckpt::kFnvOffset, payload));
+    }
+  }
+  // Torn tail: append garbage that is not a whole frame.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write("\x01\x7fgarbage", 9);
+  }
+  {
+    ckpt::TraceWal wal(path, kFp);
+    EXPECT_TRUE(wal.truncated_tail());
+    EXPECT_EQ(wal.truncated_bytes(), 9u);
+    EXPECT_EQ(wal.durable_frames().size(), 10u);
+    EXPECT_EQ(wal.durable_bytes(), clean_bytes);
+    wal.finalize(10, wal.durable_chain_hash());
+    wal.flush(true);
+  }
+  {
+    ckpt::TraceWal wal(path, kFp);
+    EXPECT_TRUE(wal.finalized());
+    EXPECT_EQ(wal.durable_frames().size(), 10u);
+  }
+  // A WAL never continues a different scenario.
+  EXPECT_THROW(ckpt::TraceWal(path, kFp + 1), Error);
+}
+
+TEST_F(CkptTest, WalSurvivesTruncationAtEveryByte) {
+  const std::string path = (dir_ / "trace.dwal").string();
+  std::uint64_t full_size = 0;
+  {
+    ckpt::TraceWal wal(path, 7);
+    for (int i = 0; i < 5; ++i) wal.append(sample_record(i));
+    wal.flush(false);
+    full_size = wal.durable_bytes();
+  }
+  const auto bytes = read_file_bytes(path);
+  ASSERT_EQ(bytes.size(), full_size);
+  for (std::size_t len = bytes.size(); len-- > 0;) {
+    atomic_write_file(path, std::span(bytes.data(), len));
+    if (len < 13) {  // inside the fixed header: treated as a fresh WAL
+      ckpt::TraceWal wal(path, 7);
+      EXPECT_TRUE(wal.durable_frames().empty());
+      continue;
+    }
+    ckpt::TraceWal wal(path, 7);
+    EXPECT_LE(wal.durable_frames().size(), 5u);
+    EXPECT_EQ(wal.durable_bytes() + wal.truncated_bytes(), len);
+    // Frames the scan kept are exactly a prefix of what was appended.
+    for (std::size_t i = 0; i < wal.durable_frames().size(); ++i) {
+      const auto payload = ckpt::encode_wal_record(sample_record(int(i)));
+      EXPECT_EQ(wal.durable_frames()[i].payload_hash,
+                ckpt::fnv1a(ckpt::kFnvOffset, payload));
+    }
+  }
+}
+
+// --- End-to-end resume ------------------------------------------------------
+
+std::vector<std::uint8_t> run_trace(double duration, std::uint64_t seed,
+                                    const std::string& ckpt_dir,
+                                    bool resume = false) {
+  ScenarioConfig cfg = scenarios::tiny(duration, seed);
+  if (!ckpt_dir.empty()) {
+    cfg.checkpoint.dir = ckpt_dir;
+    cfg.checkpoint.interval_s = 5.0;
+  }
+  ClusterExperiment exp(cfg);
+  if (resume) {
+    exp.resume(ckpt_dir);
+  } else {
+    exp.run();
+  }
+  return encode_trace(exp.trace());
+}
+
+TEST_F(CkptTest, CheckpointingDoesNotPerturbTheTrace) {
+  const auto base = run_trace(20.0, 11, "");
+  const auto ckpt = run_trace(20.0, 11, (dir_ / "ck").string());
+  EXPECT_EQ(base, ckpt);
+}
+
+TEST_F(CkptTest, ResumeOfCompletedRunReVerifiesAndMatches) {
+  const std::string ck = (dir_ / "ck").string();
+  const auto first = run_trace(20.0, 11, ck);
+
+  ScenarioConfig cfg = scenarios::tiny(20.0, 11);
+  cfg.checkpoint.dir = ck;
+  cfg.checkpoint.interval_s = 5.0;
+  ClusterExperiment exp(cfg);
+  exp.resume(ck);
+  EXPECT_EQ(encode_trace(exp.trace()), first);
+  ASSERT_NE(exp.checkpoint_manager(), nullptr);
+  EXPECT_EQ(exp.checkpoint_manager()->resume_count(), 1u);
+  const auto& c = exp.checkpoint_manager()->counters();
+  EXPECT_GT(c.wal_records_verified, 0u);
+  EXPECT_EQ(c.wal_records_appended, 0u);
+  EXPECT_GE(c.snapshots_verified, 1u);
+}
+
+TEST_F(CkptTest, ResumeRecoversFromChoppedWalViaEarlierSnapshot) {
+  const std::string ck = (dir_ / "ck").string();
+  const auto reference = run_trace(20.0, 11, "");
+  (void)run_trace(20.0, 11, ck);
+
+  // Chop a third off the WAL: the newest snapshot now points past the
+  // durable prefix and must be skipped in favor of an older one (or a
+  // from-scratch replay) — the purpose of last-two retention.
+  const fs::path wal = fs::path(ck) / "trace.dwal";
+  const auto size = fs::file_size(wal);
+  fs::resize_file(wal, size - size / 3);
+
+  ScenarioConfig cfg = scenarios::tiny(20.0, 11);
+  cfg.checkpoint.dir = ck;
+  cfg.checkpoint.interval_s = 5.0;
+  ClusterExperiment exp(cfg);
+  exp.resume(ck);
+  EXPECT_EQ(encode_trace(exp.trace()), reference);
+  ASSERT_NE(exp.checkpoint_manager(), nullptr);
+  EXPECT_EQ(exp.checkpoint_manager()->resume_count(), 1u);
+  EXPECT_GT(exp.checkpoint_manager()->counters().wal_records_appended, 0u);
+}
+
+TEST_F(CkptTest, ResumeRejectsADifferentScenario) {
+  const std::string ck = (dir_ / "ck").string();
+  (void)run_trace(20.0, 11, ck);
+  ScenarioConfig cfg = scenarios::tiny(20.0, 12);  // different seed
+  cfg.checkpoint.dir = ck;
+  cfg.checkpoint.interval_s = 5.0;
+  ClusterExperiment exp(cfg);
+  EXPECT_THROW(exp.resume(ck), Error);
+}
+
+TEST_F(CkptTest, ConfigValidation) {
+  ckpt::CheckpointConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.dir = "somewhere";
+  cfg.interval_s = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+}  // namespace
+}  // namespace dct

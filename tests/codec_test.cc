@@ -403,6 +403,33 @@ TEST(CodecSalvage, TruncatedServerSegmentSalvagesWholeRecords) {
   }
 }
 
+TEST(CodecSalvage, DegenerateInputsReturnEmptyInsteadOfThrowing) {
+  // Zero-length input: a server segment whose upload died before the first
+  // byte.  Salvage reports it incomplete with no records — it must not
+  // throw, so the tolerant trace decoder can record the hole as a
+  // kDecodeTruncation gap and keep going.
+  ServerLog out;
+  EXPECT_FALSE(decode_server_log_salvage({}, out));
+  EXPECT_TRUE(out.flows.empty());
+
+  // 1-byte (magic only) and header-only prefixes cut inside the server/count
+  // varints: same contract, empty log, incomplete, no throw.
+  const auto encoded = encode_server_log(synthetic_log(7, 50));
+  for (std::size_t len = 1; len <= 4 && len < encoded.size(); ++len) {
+    ServerLog partial;
+    EXPECT_FALSE(decode_server_log_salvage(
+        std::span<const std::uint8_t>(encoded.data(), len), partial))
+        << "prefix " << len;
+    EXPECT_TRUE(partial.flows.empty()) << "prefix " << len;
+  }
+
+  // Present-but-wrong magic is corruption, not truncation: still throws.
+  auto bad = encoded;
+  bad[0] ^= 0xff;
+  ServerLog from_bad;
+  EXPECT_THROW(decode_server_log_salvage(bad, from_bad), Error);
+}
+
 TEST(CodecSalvage, TolerantTraceDecodeRecordsDecodeTruncationGaps) {
   const ClusterTrace trace = corruption_target();
   const auto encoded = encode_trace(trace);

@@ -32,13 +32,22 @@
 //
 // Usage: chaos_harness [rounds=25] [duration_s=40] [base_seed=1]
 //        chaos_harness [--rounds=N] [--duration=S] [--seed=S]
+//                      [--round-timeout-s=S]
 // Exits non-zero on the first violated invariant, printing the failing
-// round's seed, scenario knobs and the exact replay command.
+// round's seed, scenario knobs and the exact replay command.  A wall-clock
+// watchdog aborts any single round that exceeds --round-timeout-s (default
+// 120), printing the replay seed — a hang is a bug report, not a CI stall.
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <random>
 #include <string>
+#include <thread>
 
 #include "analysis/traffic_matrix.h"
 #include "core/experiment.h"
@@ -48,6 +57,80 @@
 namespace {
 
 int g_violations = 0;
+
+// Wall-clock watchdog: one background thread; each round arms it with its
+// seed and deadline, and a round that overruns gets its replay seed printed
+// before the process is killed with _exit (no safe unwinding from a hang).
+class RoundWatchdog {
+ public:
+  explicit RoundWatchdog(double timeout_s) : timeout_s_(timeout_s) {
+    if (timeout_s_ <= 0) return;  // disabled
+    thread_ = std::thread([this] { watch(); });
+  }
+  ~RoundWatchdog() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void arm(std::uint64_t seed, double duration) {
+    if (timeout_s_ <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    seed_ = seed;
+    duration_ = duration;
+    ++generation_;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(timeout_s_));
+    armed_ = true;
+    cv_.notify_all();
+  }
+
+  void disarm() {
+    if (timeout_s_ <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = false;
+    cv_.notify_all();
+  }
+
+ private:
+  void watch() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!shutdown_) {
+      if (!armed_) {
+        cv_.wait(lock, [this] { return armed_ || shutdown_; });
+        continue;
+      }
+      const std::uint64_t gen = generation_;
+      if (cv_.wait_until(lock, deadline_, [this, gen] {
+            return shutdown_ || !armed_ || generation_ != gen;
+          })) {
+        continue;  // round finished, re-armed, or shutting down
+      }
+      std::cerr << "[chaos] WATCHDOG: round (seed " << seed_ << ") exceeded "
+                << timeout_s_ << " s wall clock\n"
+                << "[chaos] replay: chaos_harness --rounds=1 --duration="
+                << duration_ << " --seed=" << seed_ << "\n";
+      std::cerr.flush();
+      _exit(1);
+    }
+  }
+
+  double timeout_s_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::uint64_t seed_ = 0;
+  double duration_ = 0;
+  std::uint64_t generation_ = 0;
+  bool armed_ = false;
+  bool shutdown_ = false;
+};
 
 void check(bool ok, std::uint64_t seed, const std::string& what) {
   if (ok) return;
@@ -223,6 +306,7 @@ int main(int argc, char** argv) {
   int rounds = 25;
   double duration = 40.0;
   std::uint64_t base_seed = 1;
+  double round_timeout_s = 120.0;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -232,9 +316,13 @@ int main(int argc, char** argv) {
       duration = std::atof(arg.c_str() + 11);
     } else if (arg.rfind("--seed=", 0) == 0) {
       base_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--round-timeout-s=", 0) == 0) {
+      round_timeout_s = std::atof(arg.c_str() + 18);
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "usage: chaos_harness [rounds] [duration_s] [base_seed]\n"
-                << "       chaos_harness [--rounds=N] [--duration=S] [--seed=S]\n";
+                << "       chaos_harness [--rounds=N] [--duration=S] [--seed=S]\n"
+                << "                     [--round-timeout-s=S]  (0 disables; "
+                   "default 120)\n";
       return 2;
     } else if (positional == 0) {
       rounds = std::atoi(arg.c_str());
@@ -250,9 +338,11 @@ int main(int argc, char** argv) {
 
   std::cerr << "[chaos] " << rounds << " rounds x 2 runs, " << duration
             << " s horizon, seeds " << base_seed << ".." << (base_seed + rounds - 1)
-            << "\n";
+            << ", round timeout " << round_timeout_s << " s\n";
+  RoundWatchdog watchdog(round_timeout_s);
   for (int i = 0; i < rounds; ++i) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    watchdog.arm(seed, duration);
     const dct::ScenarioConfig cfg = chaos_scenario(duration, seed);
 
     dct::ClusterExperiment a(cfg);
@@ -325,6 +415,7 @@ int main(int argc, char** argv) {
             seed, "parallel determinism: pooled decode differs from serial");
     }
 
+    watchdog.disarm();
     std::cerr << "[chaos] seed " << seed << ": " << a.trace().flow_count()
               << " flows, "
               << (a.fault_injector() != nullptr ? a.fault_injector()->injected() : 0)
