@@ -38,6 +38,14 @@ double LinearHistogram::fraction(std::size_t i) const {
   return total_ > 0 ? count(i) / total_ : 0.0;
 }
 
+void LinearHistogram::merge_from(const LinearHistogram& other) {
+  require(counts_.size() == other.counts_.size() && lo_ == other.lo_ &&
+              width_ == other.width_,
+          "LinearHistogram::merge_from: bin geometry mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 LogHistogram::LogHistogram(double lo, double ratio, std::size_t bins)
     : lo_(lo), log_ratio_(std::log(ratio)), counts_(bins, 0.0) {
   require(lo > 0.0, "LogHistogram: lo must be > 0");
@@ -57,6 +65,14 @@ void LogHistogram::add(double x, double weight) {
 double LogHistogram::bin_left(std::size_t i) const {
   require(i < counts_.size(), "LogHistogram: bin out of range");
   return lo_ * std::exp(static_cast<double>(i) * log_ratio_);
+}
+
+void LogHistogram::merge_from(const LogHistogram& other) {
+  require(counts_.size() == other.counts_.size() && lo_ == other.lo_ &&
+              log_ratio_ == other.log_ratio_,
+          "LogHistogram::merge_from: bin geometry mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 double LogHistogram::bin_center(std::size_t i) const {

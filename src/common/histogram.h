@@ -20,6 +20,13 @@ class LinearHistogram {
 
   void add(double x, double weight = 1.0);
 
+  /// Adds `other`'s counts bin-by-bin — the shard-merge primitive for
+  /// histograms accumulated over disjoint trace shards.  Both histograms
+  /// must share the exact bin geometry (lo, width, bin count, bit-level);
+  /// merging mismatched edges would silently misattribute mass, so it
+  /// throws dct::Error instead.
+  void merge_from(const LinearHistogram& other);
+
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
   /// Inclusive left edge of bin i.
   [[nodiscard]] double bin_left(std::size_t i) const;
@@ -47,6 +54,11 @@ class LogHistogram {
   LogHistogram(double lo, double ratio, std::size_t bins);
 
   void add(double x, double weight = 1.0);
+
+  /// Bin-by-bin merge; requires bit-identical geometry (lo, ratio, bin
+  /// count) and throws dct::Error on mismatch, like
+  /// LinearHistogram::merge_from.
+  void merge_from(const LogHistogram& other);
 
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
   [[nodiscard]] double bin_left(std::size_t i) const;

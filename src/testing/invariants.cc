@@ -1,0 +1,370 @@
+#include "testing/invariants.h"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/traffic_matrix.h"
+#include "common/require.h"
+#include "trace/codec.h"
+
+namespace dct::testing {
+
+bool InvariantReport::violated(std::string_view prefix) const {
+  for (const auto& v : violations) {
+    if (v.invariant.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+std::string InvariantReport::summary() const {
+  std::ostringstream out;
+  for (const auto& v : violations) {
+    out << v.invariant << ": " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+void InvariantRegistry::add(Invariant inv) { invariants_.push_back(std::move(inv)); }
+
+const Invariant* InvariantRegistry::find(std::string_view name) const {
+  for (const auto& inv : invariants_) {
+    if (inv.name == name) return &inv;
+  }
+  return nullptr;
+}
+
+InvariantReport InvariantRegistry::check_all(RunUnderTest& run) const {
+  InvariantReport report;
+  for (const auto& inv : invariants_) {
+    inv.check(run, report);
+  }
+  return report;
+}
+
+void InvariantRegistry::check_one(std::string_view name, RunUnderTest& run,
+                                  InvariantReport& report) const {
+  const Invariant* inv = find(name);
+  require(inv != nullptr, "InvariantRegistry: unknown invariant " + std::string(name));
+  inv->check(run, report);
+}
+
+namespace {
+
+constexpr double kTimeEps = 1e-6;
+
+void check_byte_conservation(RunUnderTest& run, InvariantReport& report) {
+  for (const auto& f : run.trace().flows()) {
+    if (f.bytes < 0 || f.bytes > f.bytes_requested) {
+      std::ostringstream d;
+      d << "flow " << f.flow << " sent " << f.bytes << " of " << f.bytes_requested
+        << " requested bytes";
+      report.fail("flow.byte_conservation", d.str());
+      return;  // one finding per run is plenty
+    }
+    if (!f.failed && !f.truncated && f.bytes != f.bytes_requested) {
+      std::ostringstream d;
+      d << "completed flow " << f.flow << " short of its request: " << f.bytes
+        << " of " << f.bytes_requested;
+      report.fail("flow.byte_conservation", d.str());
+      return;
+    }
+  }
+}
+
+void check_no_orphans(RunUnderTest& run, InvariantReport& report) {
+  const std::size_t active = run.exp.sim().active_flow_count();
+  if (active != 0) {
+    report.fail("flow.no_orphans", std::to_string(active) +
+                                       " flows still active after the run");
+  }
+}
+
+void check_monotone_time(RunUnderTest& run, InvariantReport& report) {
+  const double horizon = run.exp.scenario().sim.end_time;
+  for (const auto& f : run.trace().flows()) {
+    if (f.end < f.start - kTimeEps || f.start < -kTimeEps ||
+        f.end > horizon + kTimeEps) {
+      std::ostringstream d;
+      d << "flow " << f.flow << " spans [" << f.start << ", " << f.end
+        << ") outside [0, " << horizon << "]";
+      report.fail("time.monotone", d.str());
+      return;
+    }
+  }
+  for (const auto& j : run.trace().jobs()) {
+    if (j.end < j.start - kTimeEps || j.submit > j.start + kTimeEps) {
+      std::ostringstream d;
+      d << "job " << j.job << " log out of order (submit " << j.submit
+        << ", start " << j.start << ", end " << j.end << ")";
+      report.fail("time.monotone", d.str());
+      return;
+    }
+  }
+}
+
+void check_capacity_bound(RunUnderTest& run, InvariantReport& report) {
+  // Utilization is measured against NOMINAL capacity, so even a degraded
+  // link can never report more than 100% of a bin.
+  const auto& util = run.exp.utilization();
+  for (std::size_t link = 0; link < util.per_link.size(); ++link) {
+    for (double v : util.per_link[link].values()) {
+      if (v > 1.0 + 1e-3) {
+        std::ostringstream d;
+        d << "link " << link << " bin at " << v << "x nominal capacity";
+        report.fail("link.capacity_bound", d.str());
+        return;
+      }
+    }
+  }
+}
+
+void check_tm_conservation(RunUnderTest& run, InvariantReport& report) {
+  // TM row/col sums over all windows must equal what each server actually
+  // sent/received on the wire; window spreading moves bytes between windows
+  // but never between servers.
+  const ClusterTrace& trace = run.trace();
+  const auto n = static_cast<std::size_t>(trace.server_count());
+  std::vector<double> sent(n, 0.0), received(n, 0.0);
+  for (const auto& f : trace.flows()) {
+    sent[static_cast<std::size_t>(f.local.value())] += static_cast<double>(f.bytes);
+    received[static_cast<std::size_t>(f.peer.value())] += static_cast<double>(f.bytes);
+  }
+  const auto tms =
+      build_tm_series(trace, run.exp.topology(), 5.0, TmScope::kServer);
+  std::vector<double> row(n, 0.0), col(n, 0.0);
+  double tm_total = 0.0;
+  for (const auto& tm : tms) {
+    tm_total += tm.total();
+    for (const auto& e : tm.entries()) {
+      row[static_cast<std::size_t>(e.from)] += e.bytes;
+      col[static_cast<std::size_t>(e.to)] += e.bytes;
+    }
+  }
+  const double trace_total = static_cast<double>(trace.total_bytes());
+  if (std::abs(tm_total - trace_total) > 0.02 * trace_total + 1024.0) {
+    std::ostringstream d;
+    d << "TM series total " << tm_total << " vs trace total " << trace_total;
+    report.fail("tm.conservation", d.str());
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (std::abs(row[s] - sent[s]) > 0.02 * sent[s] + 1024.0) {
+      std::ostringstream d;
+      d << "server " << s << " row sum " << row[s] << " vs " << sent[s]
+        << " bytes sent";
+      report.fail("tm.conservation", d.str());
+      return;
+    }
+    if (std::abs(col[s] - received[s]) > 0.02 * received[s] + 1024.0) {
+      std::ostringstream d;
+      d << "server " << s << " column sum " << col[s] << " vs " << received[s]
+        << " bytes received";
+      report.fail("tm.conservation", d.str());
+      return;
+    }
+  }
+}
+
+void check_monotone_loss(RunUnderTest& run, InvariantReport& report) {
+  ClusterExperiment& exp = run.exp;
+  const ClusterTrace& full = exp.trace();
+  const ClusterTrace& obs = exp.observed_trace();
+  if (exp.scenario().telemetry.empty()) {
+    // Gating contract: a perfect measurement plane delivers the collected
+    // trace itself — the same object, not a copy — and hashes to 0.
+    if (&obs != &full) {
+      report.fail("telemetry.monotone_loss",
+                  "empty telemetry config but observed trace is a copy");
+    }
+    if (exp.telemetry_schedule_hash() != 0) {
+      report.fail("telemetry.monotone_loss",
+                  "empty telemetry config but schedule hash is non-zero");
+    }
+    return;
+  }
+  if (obs.flow_count() > full.flow_count() || obs.total_bytes() > full.total_bytes()) {
+    std::ostringstream d;
+    d << "merged trace grew: " << obs.flow_count() << "/" << full.flow_count()
+      << " flows, " << obs.total_bytes() << "/" << full.total_bytes() << " bytes";
+    report.fail("telemetry.monotone_loss", d.str());
+  }
+  // The merge never invents or alters flows: every observed flow is one of
+  // the collected flows, byte-for-byte.
+  std::unordered_map<std::int64_t, Bytes> collected;
+  collected.reserve(full.flow_count());
+  for (const auto& f : full.flows()) collected.emplace(f.flow.value(), f.bytes);
+  for (const auto& f : obs.flows()) {
+    const auto it = collected.find(f.flow.value());
+    if (it == collected.end() || it->second != f.bytes) {
+      std::ostringstream d;
+      d << "observed flow " << f.flow << " (" << f.bytes
+        << " bytes) does not match any collected flow";
+      report.fail("telemetry.monotone_loss", d.str());
+      break;
+    }
+  }
+  const double horizon = exp.scenario().sim.end_time;
+  for (std::int32_t s = 0; s < obs.server_count(); ++s) {
+    const double c = obs.coverage(ServerId{s});
+    if (c < 0.0 || c > 1.0) {
+      report.fail("telemetry.monotone_loss",
+                  "server " + std::to_string(s) + " coverage " +
+                      std::to_string(c) + " outside [0, 1]");
+      return;
+    }
+  }
+  for (const auto& g : obs.gaps()) {
+    if (g.records_lost < 0 || g.end <= g.start - kTimeEps || g.start < -kTimeEps ||
+        g.end > horizon + kTimeEps) {
+      std::ostringstream d;
+      d << "gap on server " << g.server << " spans [" << g.start << ", " << g.end
+        << ") with " << g.records_lost << " records lost";
+      report.fail("telemetry.monotone_loss", d.str());
+      return;
+    }
+  }
+}
+
+void check_gap_ledger(RunUnderTest& run, InvariantReport& report) {
+  // The accounting identities of the hardened merge
+  // (trace/collector_faults.cc): records kept + records lost == records
+  // emitted, every lost record is charged to exactly one gap, and the
+  // flow-level ledger is consistent with the record-level one.
+  ClusterExperiment& exp = run.exp;
+  const ClusterTrace& full = exp.trace();
+  const ClusterTrace& obs = exp.observed_trace();
+  const TelemetryMergeStats& stats = exp.telemetry_stats();
+
+  if (obs.flow_count() + stats.flows_lost != full.flow_count()) {
+    std::ostringstream d;
+    d << "flow ledger: " << obs.flow_count() << " observed + " << stats.flows_lost
+      << " lost != " << full.flow_count() << " collected";
+    report.fail("telemetry.gap_ledger", d.str());
+  }
+  std::size_t charged = 0;
+  for (const auto& g : obs.gaps()) {
+    charged += static_cast<std::size_t>(g.records_lost);
+  }
+  if (charged != stats.records_lost) {
+    std::ostringstream d;
+    d << "gap ledger: " << charged << " records charged to gaps != "
+      << stats.records_lost << " records lost";
+    report.fail("telemetry.gap_ledger", d.str());
+  }
+  // A lost flow erased both endpoint copies (2 records); a recovered flow
+  // erased exactly the sender's copy (1 record); receiver-only losses cost
+  // one record without a flow-level event.
+  if (stats.records_lost < stats.flows_recovered + 2 * stats.flows_lost) {
+    std::ostringstream d;
+    d << "record ledger: " << stats.records_lost << " records lost cannot cover "
+      << stats.flows_recovered << " recoveries + 2x" << stats.flows_lost
+      << " lost flows";
+    report.fail("telemetry.gap_ledger", d.str());
+  }
+  if (stats.records_lost > 2 * full.flow_count()) {
+    std::ostringstream d;
+    d << "record ledger: " << stats.records_lost << " records lost of "
+      << 2 * full.flow_count() << " emitted";
+    report.fail("telemetry.gap_ledger", d.str());
+  }
+}
+
+void check_cascade_depth(RunUnderTest& run, InvariantReport& report) {
+  const ClusterExperiment& exp = run.exp;
+  if (exp.scenario().cascades.empty()) return;
+  const std::int32_t max_depth = exp.scenario().cascades.max_depth;
+  if (const FaultInjector* inj = exp.fault_injector(); inj != nullptr) {
+    if (inj->max_cascade_depth_observed() > max_depth) {
+      report.fail("cascade.depth_bound",
+                  "observed depth " +
+                      std::to_string(inj->max_cascade_depth_observed()) +
+                      " exceeds max_depth " + std::to_string(max_depth));
+    }
+  }
+  for (const auto& c : run.exp.trace().cascades()) {
+    if (c.depth < 1 || c.depth > max_depth || c.end < c.start - kTimeEps) {
+      std::ostringstream d;
+      d << "cascade record on link " << c.link << ": depth " << c.depth
+        << ", span [" << c.start << ", " << c.end << ")";
+      report.fail("cascade.depth_bound", d.str());
+      return;
+    }
+  }
+}
+
+void check_codec_round_trip(RunUnderTest& run, InvariantReport& report) {
+  // decode(encode(trace)) must preserve every count, and one round trip
+  // must reach the codec's canonical form: decode re-ingests the senders'
+  // logs and regenerates receiver-side entries (codec.cc), so the FIRST
+  // round trip may reorder receiver copies, but a second one must be
+  // bit-stable.  NOTE: feeds the process-global codec counters (see
+  // invariants.h) — harnesses capture manifests before running this.
+  const auto round_trips = [&](const ClusterTrace& trace, const char* which) {
+    const auto encoded = encode_trace(trace);
+    const ClusterTrace back = decode_trace(encoded);
+    if (back.flow_count() != trace.flow_count() ||
+        back.total_bytes() != trace.total_bytes() ||
+        back.gaps().size() != trace.gaps().size() ||
+        back.cascades().size() != trace.cascades().size() ||
+        back.jobs().size() != trace.jobs().size()) {
+      report.fail("codec.round_trip", std::string(which) +
+                                          " trace changed counts across "
+                                          "decode(encode(trace))");
+      return;
+    }
+    const auto canonical = encode_trace(back);
+    if (encode_trace(decode_trace(canonical)) != canonical) {
+      report.fail("codec.round_trip",
+                  std::string(which) +
+                      " trace: canonical re-encoding is not bit-stable");
+    }
+  };
+  round_trips(run.trace(), "collected");
+  const ClusterTrace& obs = run.exp.observed_trace();
+  if (&obs != &run.exp.trace()) round_trips(obs, "observed");
+}
+
+}  // namespace
+
+const InvariantRegistry& InvariantRegistry::builtin() {
+  static const InvariantRegistry registry = [] {
+    InvariantRegistry r;
+    r.add({"flow.byte_conservation",
+           "no flow sends more than requested; completed flows send exactly "
+           "their request",
+           check_byte_conservation});
+    r.add({"flow.no_orphans", "the simulator's active set is empty after the run",
+           check_no_orphans});
+    r.add({"time.monotone",
+           "every flow and job record fits inside [0, horizon] with end >= start",
+           check_monotone_time});
+    r.add({"link.capacity_bound",
+           "no link's per-bin utilization exceeds nominal capacity",
+           check_capacity_bound});
+    r.add({"tm.conservation",
+           "TM series row/col sums equal per-server bytes sent/received",
+           check_tm_conservation});
+    r.add({"telemetry.monotone_loss",
+           "the lossy merge only removes data, never invents or alters it; "
+           "coverage and gaps stay sane; empty configs pass the trace through "
+           "by reference",
+           check_monotone_loss});
+    r.add({"telemetry.gap_ledger",
+           "records kept + records lost == records emitted; every lost record "
+           "is charged to exactly one gap; flow and record ledgers agree",
+           check_gap_ledger});
+    r.add({"cascade.depth_bound",
+           "no overload cascade chains deeper than the configured max_depth",
+           check_cascade_depth});
+    r.add({"codec.round_trip",
+           "decode(encode(trace)) re-encodes bit-identically (collected and "
+           "observed traces)",
+           check_codec_round_trip});
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace dct::testing

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "common/require.h"
+#include "core/experiment.h"
+#include "testing/generator.h"
+#include "testing/invariants.h"
+#include "testing/oracles.h"
+#include "trace/codec.h"
+
+namespace dct {
+namespace {
+
+using testing::InvariantRegistry;
+using testing::InvariantReport;
+using testing::RunUnderTest;
+
+TEST(InvariantRegistry, BuiltinCatalogueIsComplete) {
+  const auto& reg = InvariantRegistry::builtin();
+  for (const char* name :
+       {"flow.byte_conservation", "flow.no_orphans", "time.monotone",
+        "link.capacity_bound", "tm.conservation", "telemetry.monotone_loss",
+        "telemetry.gap_ledger", "cascade.depth_bound", "codec.round_trip"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.find("no.such.invariant"), nullptr);
+}
+
+TEST(InvariantRegistry, CleanRunPassesEveryInvariant) {
+  ClusterExperiment exp(scenarios::tiny(10.0, 7));
+  exp.run();
+  RunUnderTest run{exp};
+  const auto report = InvariantRegistry::builtin().check_all(run);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(InvariantRegistry, CheckOneThrowsOnUnknownName) {
+  ClusterExperiment exp(scenarios::tiny(5.0, 7));
+  exp.run();
+  RunUnderTest run{exp};
+  InvariantReport report;
+  EXPECT_THROW(
+      InvariantRegistry::builtin().check_one("no.such.invariant", run, report),
+      Error);
+}
+
+TEST(InvariantRegistry, TamperedTraceIsCaught) {
+  // The --inject-bug hook: a decoded copy of the trace with one flow that
+  // "sent" more than it requested must trip flow.byte_conservation.
+  ClusterExperiment exp(scenarios::tiny(10.0, 7));
+  exp.run();
+  ClusterTrace tampered = decode_trace(encode_trace(exp.trace()));
+  FlowRecord bogus{};
+  bogus.id = FlowId{987654};
+  bogus.src = ServerId{0};
+  bogus.dst = ServerId{1};
+  bogus.bytes_requested = 1000;
+  bogus.bytes_sent = 2000;
+  bogus.start = 0.25;
+  bogus.end = 0.75;
+  tampered.record_flow(bogus);
+  RunUnderTest run{exp};
+  run.trace_override = &tampered;
+  const auto report = InvariantRegistry::builtin().check_all(run);
+  EXPECT_TRUE(report.violated("flow.byte_conservation")) << report.summary();
+}
+
+TEST(ScenarioGenerator, GenerationIsPureInSeed) {
+  const ScenarioConfig a = testing::generate_scenario(42, 30.0);
+  const ScenarioConfig b = testing::generate_scenario(42, 30.0);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.topology.racks, b.topology.racks);
+  EXPECT_EQ(a.sim.end_time, b.sim.end_time);
+  EXPECT_EQ(testing::feature_mask(a), testing::feature_mask(b));
+  EXPECT_EQ(testing::repro_json(a, ""), testing::repro_json(b, ""));
+  const ScenarioConfig c = testing::generate_scenario(43, 30.0);
+  EXPECT_NE(testing::repro_json(a, ""), testing::repro_json(c, ""));
+}
+
+TEST(ScenarioGenerator, GeneratedScenariosStayInBounds) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const ScenarioConfig cfg = testing::generate_scenario(seed, 30.0);
+    EXPECT_GE(cfg.topology.racks, 2);
+    EXPECT_LE(cfg.topology.racks, 4);
+    EXPECT_GE(cfg.topology.servers_per_rack, 4);
+    EXPECT_LE(cfg.topology.servers_per_rack, 8);
+    EXPECT_GE(cfg.sim.end_time, 10.0);
+    EXPECT_LE(cfg.sim.end_time, 30.0);
+    EXPECT_GE(cfg.parallelism, 1);
+    EXPECT_LE(cfg.parallelism, 4);
+  }
+}
+
+TEST(ScenarioGenerator, CoverageGuidancePrefersUnseenMasks) {
+  // The guided stream must visit at least as many distinct feature masks in
+  // its first N draws as the unguided (consecutive-seed) stream.
+  constexpr int kDraws = 24;
+  testing::ScenarioGenerator gen(1, 30.0);
+  for (int i = 0; i < kDraws; ++i) (void)gen.next();
+  std::set<std::uint32_t> unguided;
+  for (std::uint64_t s = 1; s <= kDraws; ++s) {
+    unguided.insert(testing::feature_mask(testing::generate_scenario(s, 30.0)));
+  }
+  EXPECT_GE(gen.masks_seen(), unguided.size());
+}
+
+TEST(ShrinkScenario, MinimizesWhilePredicateHolds) {
+  // Synthetic predicate: "fails whenever cascades are enabled".  The
+  // shrinker must drop everything else and keep cascades.
+  ScenarioConfig failing = testing::generate_scenario(1, 30.0);
+  failing.cascades.util_threshold = 0.8;  // force the feature on
+  const auto still_fails = [](const ScenarioConfig& c) {
+    return !c.cascades.empty();
+  };
+  const auto shrunk = testing::shrink_scenario(failing, still_fails, 64);
+  EXPECT_FALSE(shrunk.config.cascades.empty());
+  EXPECT_EQ(shrunk.config.topology.racks, 2);
+  EXPECT_EQ(shrunk.config.topology.servers_per_rack, 4);
+  EXPECT_EQ(shrunk.config.topology.external_servers, 0);
+  EXPECT_LE(shrunk.config.sim.end_time, 10.0);
+  EXPECT_TRUE(shrunk.config.faults.empty());
+  EXPECT_TRUE(shrunk.config.degradations.empty());
+  EXPECT_EQ(shrunk.config.parallelism, 1);
+  EXPECT_GT(shrunk.accepted, 0);
+}
+
+TEST(ShrinkScenario, RespectsEvalBudget) {
+  ScenarioConfig failing = testing::generate_scenario(1, 30.0);
+  int evals = 0;
+  const auto still_fails = [&](const ScenarioConfig&) {
+    ++evals;
+    return true;
+  };
+  const auto shrunk = testing::shrink_scenario(failing, still_fails, 5);
+  EXPECT_LE(shrunk.evals, 5);
+  EXPECT_EQ(evals, shrunk.evals);
+}
+
+TEST(ReproJson, RoundTripsEveryKnobExactly) {
+  for (std::uint64_t seed : {1ull, 17ull, 0xDEADBEEFull}) {
+    const ScenarioConfig cfg = testing::generate_scenario(seed, 30.0);
+    const std::string json = testing::repro_json(cfg, "some.invariant");
+    const ScenarioConfig back = testing::scenario_from_repro(json);
+    // Serializing the rebuilt scenario must reproduce the file verbatim —
+    // i.e. every knob (doubles included) round-tripped bit-exactly.
+    EXPECT_EQ(testing::repro_json(back, "some.invariant"), json);
+    EXPECT_EQ(back.seed, cfg.seed);
+    EXPECT_EQ(back.cascades.seed, cfg.cascades.seed);
+    EXPECT_EQ(back.telemetry.seed, cfg.telemetry.seed);
+    EXPECT_EQ(testing::repro_violated(json), "some.invariant");
+  }
+}
+
+TEST(ReproJson, RejectsUnknownSchema) {
+  EXPECT_THROW(testing::scenario_from_repro("{\"schema\": \"bogus\"}"), Error);
+  EXPECT_THROW(testing::scenario_from_repro(""), Error);
+}
+
+TEST(ReproJson, ReplayedScenarioRunsIdentically) {
+  // A repro file is a complete scenario description: replaying it must
+  // reproduce the original run byte-for-byte.
+  const ScenarioConfig cfg = testing::generate_scenario(11, 20.0);
+  const ScenarioConfig back =
+      testing::scenario_from_repro(testing::repro_json(cfg, ""));
+  ClusterExperiment a(cfg);
+  a.run();
+  ClusterExperiment b(back);
+  b.run();
+  EXPECT_EQ(encode_trace(a.trace()), encode_trace(b.trace()));
+  EXPECT_EQ(a.schedule_hash(), b.schedule_hash());
+}
+
+TEST(RegressionStub, NamesTestAfterReproFile) {
+  const std::string stub =
+      testing::regression_stub("repro_42.json", "flow.byte_conservation");
+  EXPECT_NE(stub.find("TEST(ProptestRegressions, repro_42_json)"),
+            std::string::npos);
+  EXPECT_NE(stub.find("repro_42.json"), std::string::npos);
+  EXPECT_NE(stub.find("flow.byte_conservation"), std::string::npos);
+}
+
+TEST(Oracles, DeterminismHoldsOnPairedRuns) {
+  const ScenarioConfig cfg = testing::generate_scenario(3, 15.0);
+  ClusterExperiment a(cfg);
+  a.run();
+  ClusterExperiment b(cfg);
+  b.run();
+  InvariantReport report;
+  testing::determinism_oracle(a, b, "testing_test", report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Oracles, ParallelAnalysisIsBitIdentical) {
+  const ScenarioConfig cfg = testing::generate_scenario(3, 15.0);
+  ClusterExperiment exp(cfg);
+  exp.run();
+  InvariantReport report;
+  testing::parallel_oracle(exp, 4, report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+}  // namespace
+}  // namespace dct

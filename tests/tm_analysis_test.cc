@@ -46,6 +46,64 @@ TEST(SparseTm, BasicAccounting) {
   EXPECT_THROW(tm.add(0, 1, -1), Error);
 }
 
+TEST(SparseTm, MergeFromEmptyAndSingleCell) {
+  // Merging an empty shard is the identity; merging a single-cell shard
+  // lands exactly that cell.
+  SparseTm acc(4);
+  acc.add(0, 1, 10);
+  SparseTm empty(4);
+  acc.merge_from(empty);
+  EXPECT_DOUBLE_EQ(acc.total(), 10);
+  EXPECT_EQ(acc.nonzero_count(), 1u);
+
+  SparseTm single(4);
+  single.add(2, 3, 7);
+  acc.merge_from(single);
+  EXPECT_DOUBLE_EQ(acc.at(2, 3), 7);
+  EXPECT_DOUBLE_EQ(acc.total(), 17);
+
+  // Merging INTO an empty accumulator reproduces the source bit-for-bit.
+  SparseTm fresh(4);
+  fresh.merge_from(acc);
+  EXPECT_TRUE(SparseTm::identical(fresh, acc));
+}
+
+TEST(SparseTm, MergeFromSumsDuplicateKeys) {
+  SparseTm a(4), b(4);
+  a.add(1, 2, 5);
+  a.add(0, 3, 1);
+  b.add(1, 2, 3);  // same (from, to) key as a's first cell
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), 8);
+  EXPECT_EQ(a.nonzero_count(), 2u);
+  EXPECT_DOUBLE_EQ(a.total(), 9);
+}
+
+TEST(SparseTm, MergeFromRejectsSizeMismatch) {
+  SparseTm a(4), b(5);
+  EXPECT_THROW(a.merge_from(b), Error);
+}
+
+TEST(SparseTm, IdenticalIsBitLevel) {
+  SparseTm a(4), b(4);
+  EXPECT_TRUE(SparseTm::identical(a, b));  // empty == empty
+  a.add(0, 1, 0.1);
+  EXPECT_FALSE(SparseTm::identical(a, b));
+  b.add(0, 1, 0.1);
+  EXPECT_TRUE(SparseTm::identical(a, b));
+  // Same value reached by a different addition order: cell matches but the
+  // running total was accumulated differently -> still identical here
+  // because the sums agree exactly...
+  SparseTm c(4);
+  c.add(0, 1, 0.05);
+  c.add(0, 1, 0.05);
+  // ...but bit-level means FP identity, not approximate equality.
+  EXPECT_EQ(SparseTm::identical(a, c), a.at(0, 1) == c.at(0, 1) &&
+                                           a.total() == c.total());
+  SparseTm d(5);  // size mismatch is never identical
+  EXPECT_FALSE(SparseTm::identical(a, d));
+}
+
 TEST(SparseTm, L1Distance) {
   SparseTm a(3), b(3);
   a.add(0, 1, 10);

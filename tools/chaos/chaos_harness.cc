@@ -2,33 +2,15 @@
 //
 // Each round draws a randomized-but-reproducible scenario (fail-stop fault
 // rates, degradation rates, mitigation knobs — all derived from the round
-// seed), runs it TWICE, and checks the invariants the simulator promises no
-// matter what the fault layer throws at it:
-//
-//   1. byte conservation   — no flow sends more than it asked for, and a
-//                            flow that completed sent exactly its request;
-//   2. no orphaned flows   — the active set is empty once the run ends;
-//   3. monotone sim time   — every record fits inside [0, horizon] with
-//                            end >= start;
-//   4. capacity respected  — no link's per-bin utilization exceeds 1;
-//   5. determinism         — the two runs produce byte-identical traces and
-//                            byte-identical manifests (after removing the
-//                            wall-clock fields, the only nondeterminism the
-//                            manifest is allowed to carry);
-//   6. cascade depth bound — the overload-cascade monitor never chains
-//                            deeper than its configured max_depth;
-//   7. telemetry sanity    — the lossy merge only ever removes data (flows
-//                            and bytes), per-server coverage stays in [0,1],
-//                            gaps carry sane bounds and non-negative lost-
-//                            record counts, the observed trace survives a
-//                            decode(encode) round trip, and both runs agree
-//                            on the telemetry schedule hash and the observed
-//                            trace's encoding;
-//   8. parallel determinism — rebuilding run A's analysis (gap-aware TM
-//                            series, salvage decode) through a multi-thread
-//                            pool is byte-identical to the serial path, and
-//                            the round's randomized `parallelism` knob never
-//                            changes any simulated or analyzed byte.
+// seed), runs it TWICE, and evaluates the shared invariant registry plus
+// the differential oracles (src/testing/, catalogued in docs/TESTING.md):
+// every trace-level invariant (byte conservation, no orphans, monotone
+// time, capacity bounds, cascade depth, the telemetry gap ledger, codec
+// round trips), the determinism oracle over the paired runs, and the
+// parallel oracle (serial vs pooled analysis must be bit-identical at the
+// round's randomized thread count).  The harness owns scenario generation
+// and the watchdog; every predicate lives in the registry so the unit
+// tests, tools/proptest and tools/crash check the same catalogue.
 //
 // Usage: chaos_harness [rounds=25] [duration_s=40] [base_seed=1]
 //        chaos_harness [--rounds=N] [--duration=S] [--seed=S]
@@ -49,10 +31,9 @@
 #include <string>
 #include <thread>
 
-#include "analysis/traffic_matrix.h"
 #include "core/experiment.h"
-#include "parallel/thread_pool.h"
-#include "trace/codec.h"
+#include "testing/invariants.h"
+#include "testing/oracles.h"
 
 namespace {
 
@@ -240,64 +221,6 @@ dct::ScenarioConfig chaos_scenario(double duration, std::uint64_t seed) {
   return cfg;
 }
 
-// The manifest minus its wall-clock content (run wall time and the scoped
-// wall-ns timer metrics), which is the only part allowed to differ between
-// two runs of the same seed.
-std::string stable_manifest(const dct::ClusterExperiment& exp) {
-  dct::obs::RunManifest m = exp.manifest("chaos_harness");
-  m.wall_seconds = 0;
-  std::erase_if(m.metrics, [](const dct::obs::MetricSnapshot& s) {
-    return s.full_name.find("wall_ns") != std::string::npos;
-  });
-  return m.to_json();
-}
-
-void check_invariants(dct::ClusterExperiment& exp, std::uint64_t seed,
-                      double horizon) {
-  constexpr double kEps = 1e-6;
-  for (const auto& f : exp.trace().flows()) {
-    check(f.bytes >= 0 && f.bytes <= f.bytes_requested, seed,
-          "byte conservation: flow sent more than requested");
-    if (!f.failed && !f.truncated) {
-      check(f.bytes == f.bytes_requested, seed,
-            "byte conservation: completed flow short of its request");
-    }
-    check(f.end >= f.start - kEps, seed, "monotone time: flow ends before it starts");
-    check(f.start >= -kEps && f.end <= horizon + kEps, seed,
-          "monotone time: flow outside [0, horizon]");
-  }
-  check(exp.sim().active_flow_count() == 0, seed,
-        "orphaned flows: active set non-empty after the run");
-  for (const auto& j : exp.trace().jobs()) {
-    check(j.end >= j.start - kEps && j.submit <= j.start + kEps, seed,
-          "monotone time: job log out of order");
-  }
-  // Utilization is measured against NOMINAL capacity, so even a degraded
-  // link can never report more than 100% of a bin.
-  for (const auto& series : exp.utilization().per_link) {
-    for (double v : series.values()) {
-      check(v <= 1.0 + 1e-3, seed, "capacity: link bin above nominal capacity");
-      if (v > 1.0 + 1e-3) return;  // one report per round is plenty
-    }
-  }
-
-  // Telemetry plane: the lossy merge only ever removes data.
-  const dct::ClusterTrace& obs = exp.observed_trace();
-  check(obs.flow_count() <= exp.trace().flow_count(), seed,
-        "telemetry: merged trace holds more flows than were collected");
-  check(obs.total_bytes() <= exp.trace().total_bytes(), seed,
-        "telemetry: merged trace holds more bytes than were collected");
-  for (std::int32_t s = 0; s < obs.server_count(); ++s) {
-    const double c = obs.coverage(dct::ServerId{s});
-    check(c >= 0.0 && c <= 1.0, seed, "telemetry: coverage outside [0, 1]");
-  }
-  for (const auto& g : obs.gaps()) {
-    check(g.records_lost >= 0, seed, "telemetry: negative lost-record count");
-    check(g.end > g.start - kEps && g.start >= -kEps && g.end <= horizon + kEps,
-          seed, "telemetry: gap outside [0, horizon]");
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -347,72 +270,21 @@ int main(int argc, char** argv) {
 
     dct::ClusterExperiment a(cfg);
     a.run();
-    check_invariants(a, seed, cfg.sim.end_time);
-    if (const dct::FaultInjector* inj = a.fault_injector();
-        inj != nullptr && !cfg.cascades.empty()) {
-      check(inj->max_cascade_depth_observed() <= cfg.cascades.max_depth, seed,
-            "cascade depth: chain deeper than the configured max_depth");
-    }
-
     dct::ClusterExperiment b(cfg);
     b.run();
-    // The lossy merge is lazy and publishes its merge-stats metrics on first
-    // access; check_invariants already touched a's, so touch b's before the
-    // manifests are compared.
-    (void)b.observed_trace();
-    // Manifests first: encode_trace feeds the process-global codec counters,
-    // which are bound into the most recent run's registry.
-    const std::string ma = stable_manifest(a);
-    const std::string mb = stable_manifest(b);
-    check(encode_trace(a.trace()) == encode_trace(b.trace()), seed,
-          "determinism: traces differ between identical runs");
-    check(a.schedule_hash() == b.schedule_hash(), seed,
-          "determinism: schedule hashes differ between identical runs");
-    check(a.telemetry_schedule_hash() == b.telemetry_schedule_hash(), seed,
-          "determinism: telemetry schedule hashes differ between identical runs");
-    const auto obs_encoded = encode_trace(a.observed_trace());
-    check(obs_encoded == encode_trace(b.observed_trace()), seed,
-          "determinism: observed traces differ between identical runs");
-    // The observed trace (gaps included) survives a decode(encode) round
-    // trip.  Runs after the manifest capture: decode feeds the process-
-    // global codec counters bound to the latest run's registry.
-    const dct::ClusterTrace back = dct::decode_trace(obs_encoded);
-    check(back.flow_count() == a.observed_trace().flow_count() &&
-              back.gaps().size() == a.observed_trace().gaps().size() &&
-              back.total_bytes() == a.observed_trace().total_bytes(),
-          seed, "telemetry: observed trace does not round-trip the codec");
-    check(ma == mb, seed, "determinism: manifests differ between identical runs");
-    if (ma != mb) {
-      std::size_t pos = 0;
-      while (pos < ma.size() && pos < mb.size() && ma[pos] == mb[pos]) ++pos;
-      const std::size_t from = pos > 80 ? pos - 80 : 0;
-      std::cerr << "[chaos]   first divergence at byte " << pos << ":\n"
-                << "[chaos]   A: ..." << ma.substr(from, 160) << "\n"
-                << "[chaos]   B: ..." << mb.substr(from, 160) << "\n";
-    }
 
-    // Shard-parallel analysis is byte-identical to the serial path — run A's
-    // gap-aware TM series and the observed trace's (possibly salvage-mode)
-    // decode, serial vs a 2..8-thread pool.  Runs after the manifest capture:
-    // analysis and codec paths feed process-global counters bound to the
-    // latest run's registry.
-    {
-      dct::ThreadPool pool(2 + static_cast<int>(seed % 7));
-      const auto tms_serial = dct::build_tm_series_gap_aware(
-          a.observed_trace(), a.topology(), 5.0, dct::TmScope::kServer);
-      const auto tms_pooled = dct::build_tm_series_gap_aware(
-          a.observed_trace(), a.topology(), 5.0, dct::TmScope::kServer, {}, &pool);
-      bool tm_same = tms_serial.size() == tms_pooled.size();
-      for (std::size_t w = 0; tm_same && w < tms_serial.size(); ++w) {
-        tm_same = dct::SparseTm::identical(tms_serial[w], tms_pooled[w]);
-      }
-      check(tm_same, seed,
-            "parallel determinism: pooled gap-aware TM series differs from serial");
-      dct::DecodeOptions popt;
-      popt.pool = &pool;
-      check(encode_trace(dct::decode_trace(obs_encoded, popt)) ==
-                encode_trace(back),
-            seed, "parallel determinism: pooled decode differs from serial");
+    // Oracle/registry order matters: the determinism oracle captures both
+    // manifests before the registry's codec round trip and the parallel
+    // oracle feed the process-global codec/analysis counters (invariants.h).
+    dct::testing::InvariantReport report;
+    dct::testing::determinism_oracle(a, b, "chaos_harness", report);
+    dct::testing::RunUnderTest run{a};
+    const auto inv = dct::testing::InvariantRegistry::builtin().check_all(run);
+    report.violations.insert(report.violations.end(), inv.violations.begin(),
+                             inv.violations.end());
+    dct::testing::parallel_oracle(a, 2 + static_cast<int>(seed % 7), report);
+    for (const auto& v : report.violations) {
+      check(false, seed, v.invariant + ": " + v.detail);
     }
 
     watchdog.disarm();

@@ -56,6 +56,8 @@
 #include "analysis/traffic_matrix.h"
 #include "common/fsio.h"
 #include "core/experiment.h"
+#include "testing/invariants.h"
+#include "testing/oracles.h"
 #include "trace/codec.h"
 
 namespace fs = std::filesystem;
@@ -149,6 +151,15 @@ void export_outputs(const dct::ClusterExperiment& exp, const fs::path& out) {
     } else {
       exp.run();
     }
+    // Every completed child evaluates the shared invariant registry
+    // (src/testing/invariants.h): recovery must land on a state that is not
+    // just byte-identical to the reference but self-consistent.
+    dct::testing::RunUnderTest run{exp};
+    const auto report = dct::testing::InvariantRegistry::builtin().check_all(run);
+    if (!report.ok()) {
+      std::cerr << "[crash] child invariant violations:\n" << report.summary();
+      ::_exit(4);
+    }
     export_outputs(exp, out);
     ::_exit(0);
   } catch (const std::exception& e) {
@@ -197,26 +208,6 @@ std::string slurp(const fs::path& p) {
   return std::string(bytes.begin(), bytes.end());
 }
 
-// Manifest comparison strips checkpoint lineage and wall-clock keys (the
-// only fields allowed to differ between the reference and the resumed run),
-// then drops trailing commas so removed lines cannot shift JSON punctuation.
-std::string filter_manifest(const std::string& json) {
-  std::istringstream in(json);
-  std::string out, line;
-  while (std::getline(in, line)) {
-    if (line.find("wall") != std::string::npos ||
-        line.find("ckpt") != std::string::npos ||
-        line.find("checkpoint") != std::string::npos) {
-      continue;
-    }
-    while (!line.empty() && (line.back() == ',' || line.back() == ' ')) {
-      line.pop_back();
-    }
-    out += line;
-    out += '\n';
-  }
-  return out;
-}
 
 struct RoundStats {
   int kills = 0;
@@ -430,8 +421,11 @@ class Runner {
     // Byte-compare the three artifacts.
     const bool trace_ok = slurp(ref_out / "trace.bin") == slurp(run_out / "trace.bin");
     const bool tm_ok = slurp(ref_out / "tm.csv") == slurp(run_out / "tm.csv");
-    const bool manifest_ok = filter_manifest(slurp(ref_out / "manifest.json")) ==
-                             filter_manifest(slurp(run_out / "manifest.json"));
+    // Lineage and wall-clock keys are the only fields allowed to differ
+    // between the reference and the resumed run (testing/oracles.h).
+    const bool manifest_ok =
+        dct::testing::filter_manifest_lines(slurp(ref_out / "manifest.json")) ==
+        dct::testing::filter_manifest_lines(slurp(run_out / "manifest.json"));
 
     std::cerr << "[crash] round " << round << " (seed " << seed << "): "
               << rs.kills << " kills, " << rs.resumes << " resumes, "
